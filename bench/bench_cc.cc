@@ -1,0 +1,87 @@
+// E12 — the [DST80] substrate: congruence closure with signature hashing.
+//
+// Expected shape: near-linear scaling (the O(n log n) flavor of the
+// algorithm) for chain merges and for the cascade triggered by collapsing
+// the base of a long chain.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cc/congruence_closure.h"
+#include "src/term/symbol_table.h"
+
+namespace {
+
+using namespace relspec;
+
+// Merge n independent pairs along one chain: f^i(0) == f^{i+n}(0).
+void BM_Cc_ChainMerges(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  SymbolTable symbols;
+  FuncId f = *symbols.InternFunction("f", 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TermArena arena;
+    std::vector<TermId> chain = {arena.Zero()};
+    for (int i = 0; i < 2 * n; ++i) chain.push_back(arena.Apply(f, chain.back()));
+    CongruenceClosure cc(&arena);
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      cc.Merge(chain[static_cast<size_t>(i)], chain[static_cast<size_t>(i + n)]);
+    }
+    benchmark::DoNotOptimize(cc.NumClasses());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Cc_ChainMerges)->RangeMultiplier(4)->Range(64, 16384);
+
+// One merge at the base of an n-deep chain cascades congruence upward
+// through every application: the DST80 propagation path.
+void BM_Cc_CascadeFromBase(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  SymbolTable symbols;
+  FuncId f = *symbols.InternFunction("f", 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TermArena arena;
+    // Two parallel chains over distinct bases g(0) and h(0).
+    FuncId g = *symbols.InternFunction("g", 1);
+    FuncId h = *symbols.InternFunction("h", 1);
+    TermId a = arena.Apply(g, arena.Zero());
+    TermId b = arena.Apply(h, arena.Zero());
+    CongruenceClosure cc(&arena);
+    TermId ta = a, tb = b;
+    for (int i = 0; i < n; ++i) {
+      ta = arena.Apply(f, ta);
+      tb = arena.Apply(f, tb);
+      cc.AreCongruent(ta, tb);  // register both chains
+    }
+    state.ResumeTiming();
+    cc.Merge(a, b);  // cascades n congruence merges
+    bool top = cc.AreCongruent(ta, tb);
+    benchmark::DoNotOptimize(top);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Cc_CascadeFromBase)->RangeMultiplier(4)->Range(64, 16384);
+
+// Membership-style queries on a closed structure (the equational-spec
+// access pattern): assert a period, test deep terms.
+void BM_Cc_PeriodicQueries(benchmark::State& state) {
+  SymbolTable symbols;
+  FuncId f = *symbols.InternFunction("f", 1);
+  TermArena arena;
+  CongruenceClosure cc(&arena);
+  TermId two = arena.Apply(f, arena.Apply(f, arena.Zero()));
+  cc.Merge(arena.Zero(), two);
+  int depth = static_cast<int>(state.range(0));
+  TermId probe = arena.Zero();
+  for (int i = 0; i < depth; ++i) probe = arena.Apply(f, probe);
+  for (auto _ : state) {
+    bool even = cc.AreCongruent(probe, arena.Zero());
+    benchmark::DoNotOptimize(even);
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_Cc_PeriodicQueries)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace

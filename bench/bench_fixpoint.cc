@@ -1,0 +1,95 @@
+// E16 (internals) — the chi-table saturation behind Theorem 4.1's decision
+// procedure, and the Section 4 remark that "finite least fixpoints can be of
+// double exponential size" (the trunk alone is |Sigma|^c).
+//
+// Expected shape: chi entries track the number of distinct node states
+// (linear for rotations, exponential for the subset family); the trunk size
+// is c+1 for one symbol and 2^(c+1)-1 for two symbols — exponential in the
+// depth of the deepest ground term.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+
+namespace {
+
+using namespace relspec;
+using namespace relspec_bench;
+
+void BM_Fixpoint_ChiEntries_Rotation(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string source = RotationProgram(k);
+  size_t entries = 0, rounds = 0;
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    entries = (*db)->labeling().chi().num_entries();
+    rounds = (*db)->labeling().rounds();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["k"] = k;
+  state.counters["chi_entries"] = static_cast<double>(entries);
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_Fixpoint_ChiEntries_Rotation)->DenseRange(2, 12, 2);
+
+void BM_Fixpoint_ChiEntries_Subset(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string source = SubsetProgram(n);
+  size_t entries = 0, rounds = 0;
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    entries = (*db)->labeling().chi().num_entries();
+    rounds = (*db)->labeling().rounds();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["n"] = n;
+  state.counters["chi_entries"] = static_cast<double>(entries);
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_Fixpoint_ChiEntries_Subset)
+    ->DenseRange(2, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Trunk growth with the depth c of the deepest ground fact: linear for one
+// symbol, 2^(c+1)-1 for two — the exponential-size remark of Section 4.
+void BM_Fixpoint_TrunkGrowth(benchmark::State& state) {
+  int c = static_cast<int>(state.range(0));
+  int syms = static_cast<int>(state.range(1));
+  std::string term = "0";
+  for (int i = 0; i < c; ++i) term = "f(" + term + ")";
+  std::string source = "P(" + term + ").\nP(t) -> P(f(t)).\n";
+  if (syms == 2) source += "P(t) -> P(g(t)).\n";
+  size_t trunk = 0, clusters = 0;
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    trunk = (*db)->labeling().trunk_paths().size();
+    clusters = (*db)->label_graph().num_clusters();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["c"] = c;
+  state.counters["trunk_nodes"] = static_cast<double>(trunk);
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_Fixpoint_TrunkGrowth)
+    ->Args({2, 1})
+    ->Args({8, 1})
+    ->Args({32, 1})
+    ->Args({2, 2})
+    ->Args({6, 2})
+    ->Args({10, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

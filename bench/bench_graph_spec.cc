@@ -1,0 +1,84 @@
+// E7 — Theorem 4.2: the graph specification is computable in DEXPTIME and
+// its size has exponential upper and lower bounds.
+//
+// Expected shape: construction time and specification size grow linearly in
+// k on the benign rotation family and exponentially in n on the subset
+// family (the lower-bound witness: 2^(n-1) distinct states force that many
+// clusters).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+
+namespace {
+
+using namespace relspec;
+using namespace relspec_bench;
+
+void BuildAndReport(benchmark::State& state, const std::string& source) {
+  size_t clusters = 0, tuples = 0, edges = 0;
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    auto spec = (*db)->BuildGraphSpec();
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      return;
+    }
+    clusters = spec->num_clusters();
+    tuples = spec->num_slice_tuples();
+    edges = spec->num_edges();
+    benchmark::DoNotOptimize(spec);
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+  state.counters["tuples"] = static_cast<double>(tuples);
+  state.counters["edges"] = static_cast<double>(edges);
+}
+
+void BM_GraphSpec_Rotation(benchmark::State& state) {
+  BuildAndReport(state, RotationProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_GraphSpec_Rotation)->DenseRange(2, 16, 2);
+
+void BM_GraphSpec_Subset(benchmark::State& state) {
+  BuildAndReport(state, SubsetProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_GraphSpec_Subset)
+    ->DenseRange(2, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphSpec_WideSlices(benchmark::State& state) {
+  BuildAndReport(state, WidePredicateProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_GraphSpec_WideSlices)->DenseRange(8, 64, 8);
+
+// Ablation: the footnote-3 merged frontier shrinks the spec on programs
+// with deep trunks at no membership cost.
+void BM_GraphSpec_MergedFrontier(benchmark::State& state) {
+  std::string source = "P(" + std::to_string(state.range(0)) + ").\n" +
+                       "P(t) -> P(t+1).\n";
+  EngineOptions options;
+  options.graph.merge_trunk_frontier = state.range(1) != 0;
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source, options);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    clusters = (*db)->label_graph().num_clusters();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_GraphSpec_MergedFrontier)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+}  // namespace

@@ -1,0 +1,132 @@
+// E11 — the paper's motivation (Section 1): compare three ways of living
+// with an infinite least fixpoint.
+//
+//   1. [RBS87]: reject the unsafe query (zero cost, zero answers);
+//   2. bounded materialization: evaluate to depth d and store tuples —
+//      storage and time grow with d (and with m^d on branching programs),
+//      and membership beyond d is silently wrong;
+//   3. relational specification: one fixed-size build, O(depth) membership.
+//
+// Expected shape: materialization cost rises with the horizon while the
+// specification's cost is flat; the crossover is immediate for any horizon
+// beyond a few times the state count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+#include "src/core/fixpoint.h"
+
+namespace {
+
+using namespace relspec;
+using namespace relspec_bench;
+
+// Bounded materialization of the rotation program to horizon d.
+void BM_Materialize_Bounded(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto db = FunctionalDatabase::FromSource(RotationProgram(6));
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  size_t facts = 0;
+  for (auto _ : state) {
+    auto bounded = ComputeBoundedFixpoint((*db)->ground(), depth);
+    if (!bounded.ok()) {
+      state.SkipWithError(bounded.status().ToString().c_str());
+      return;
+    }
+    facts = bounded->TotalFacts();
+    benchmark::DoNotOptimize(bounded);
+  }
+  state.counters["horizon"] = depth;
+  state.counters["stored_facts"] = static_cast<double>(facts);
+}
+BENCHMARK(BM_Materialize_Bounded)->RangeMultiplier(4)->Range(8, 2048);
+
+// The same horizon served by the finite specification: built once, stored
+// size independent of the horizon.
+void BM_Materialize_SpecBuild(benchmark::State& state) {
+  size_t tuples = 0, clusters = 0;
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(RotationProgram(6));
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    auto spec = (*db)->BuildGraphSpec();
+    if (!spec.ok()) return;
+    tuples = spec->num_slice_tuples();
+    clusters = spec->num_clusters();
+    benchmark::DoNotOptimize(spec);
+  }
+  state.counters["stored_tuples"] = static_cast<double>(tuples);
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_Materialize_SpecBuild);
+
+// Branching programs make materialization exponential in the horizon while
+// the specification stays fixed: the subset family with n = 4.
+void BM_Materialize_BoundedBranching(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto db = FunctionalDatabase::FromSource(SubsetProgram(4));
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  size_t facts = 0;
+  for (auto _ : state) {
+    auto bounded = ComputeBoundedFixpoint((*db)->ground(), depth);
+    if (!bounded.ok()) {
+      state.SkipWithError(bounded.status().ToString().c_str());
+      return;
+    }
+    facts = bounded->TotalFacts();
+    benchmark::DoNotOptimize(bounded);
+  }
+  state.counters["horizon"] = depth;
+  state.counters["stored_facts"] = static_cast<double>(facts);
+}
+BENCHMARK(BM_Materialize_BoundedBranching)
+    ->DenseRange(2, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Materialize_SpecBuildBranching(benchmark::State& state) {
+  size_t tuples = 0, clusters = 0;
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(SubsetProgram(4));
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    auto spec = (*db)->BuildGraphSpec();
+    if (!spec.ok()) return;
+    tuples = spec->num_slice_tuples();
+    clusters = spec->num_clusters();
+    benchmark::DoNotOptimize(spec);
+  }
+  state.counters["stored_tuples"] = static_cast<double>(tuples);
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_Materialize_SpecBuildBranching);
+
+// Membership beyond the materialization horizon: the bounded store answers
+// (wrongly) false; the specification walks to any depth.
+void BM_Materialize_DeepMembership(benchmark::State& state) {
+  auto db = FunctionalDatabase::FromSource(RotationProgram(6));
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  int depth = static_cast<int>(state.range(0));
+  std::string fact = "OnCall(" + std::to_string(depth) + ", m0)";
+  for (auto _ : state) {
+    auto holds = (*db)->HoldsFactText(fact);
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_Materialize_DeepMembership)->RangeMultiplier(8)->Range(64, 32768);
+
+}  // namespace

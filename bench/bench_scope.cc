@@ -1,0 +1,57 @@
+// E4/E5 — Lemmas 3.1 and 3.2: the equivalence scope is bounded by 2^gsize
+// and the congruence scope by 1 + m*c + m*2^gsize. We sweep both program
+// families and report the measured scopes as counters next to the bounds.
+//
+// Expected shape: scope grows linearly with k for rotations, exponentially
+// with n for the subset family, and both always respect the lemma bounds.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+
+namespace {
+
+using namespace relspec;
+using namespace relspec_bench;
+
+void ReportScopes(benchmark::State& state, const std::string& source) {
+  std::unique_ptr<FunctionalDatabase> db;
+  for (auto _ : state) {
+    auto built = FunctionalDatabase::FromSource(source);
+    if (!built.ok()) {
+      state.SkipWithError(built.status().ToString().c_str());
+      return;
+    }
+    db = std::move(*built);
+    benchmark::DoNotOptimize(db);
+  }
+  const LabelGraph& graph = db->label_graph();
+  double gsize = static_cast<double>(db->ground().num_atoms());
+  state.counters["gsize"] = gsize;
+  state.counters["scope_equiv"] = static_cast<double>(graph.EquivalenceScope());
+  state.counters["scope_congr"] = static_cast<double>(graph.CongruenceScope());
+  state.counters["bound_equiv_2^gsize"] = std::pow(2.0, gsize);
+  double m = static_cast<double>(db->ground().num_symbols());
+  double c = static_cast<double>(db->ground().trunk_depth());
+  state.counters["bound_congr"] = 1.0 + m * c + m * std::pow(2.0, gsize);
+}
+
+void BM_Scope_Rotation(benchmark::State& state) {
+  ReportScopes(state, RotationProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Scope_Rotation)->DenseRange(2, 10, 2);
+
+void BM_Scope_Subset(benchmark::State& state) {
+  ReportScopes(state, SubsetProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Scope_Subset)->DenseRange(2, 7, 1)->Unit(benchmark::kMillisecond);
+
+void BM_Scope_WideSlices(benchmark::State& state) {
+  ReportScopes(state, WidePredicateProgram(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Scope_WideSlices)->DenseRange(4, 32, 4);
+
+}  // namespace

@@ -1,0 +1,137 @@
+// E14 — the [CI88] temporal baseline vs the full 1989 construction on
+// temporal (single +1 symbol, forward) programs.
+//
+// Expected shape: both produce the same answers; the temporal lasso walk is
+// faster (no chi table, no tree traversal) but only handles the forward
+// fragment — the generality/performance trade-off the paper discusses in
+// Sections 1 and 6.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+#include "src/parser/parser.h"
+#include "src/temporal/temporal_engine.h"
+
+namespace {
+
+using namespace relspec;
+using namespace relspec_bench;
+
+void BM_Temporal_Lasso(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  auto program = ParseProgram(RotationProgram(k));
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  size_t states = 0;
+  for (auto _ : state) {
+    auto engine = TemporalEngine::Build(*program);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      return;
+    }
+    auto spec = (*engine)->ComputeSpec();
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      return;
+    }
+    states = spec->num_states();
+    benchmark::DoNotOptimize(spec);
+  }
+  state.counters["k"] = k;
+  state.counters["lasso_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Temporal_Lasso)->DenseRange(2, 14, 3);
+
+void BM_Temporal_FullEngine(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string source = RotationProgram(k);
+  size_t clusters = 0;
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    clusters = (*db)->label_graph().num_clusters();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["k"] = k;
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK(BM_Temporal_FullEngine)->DenseRange(2, 14, 3);
+
+// The exponential-period witness: an n-bit counter's lasso has 2^n states
+// (the PSPACE side of Theorem 4.1 is not polynomial either).
+void BM_Temporal_BinaryCounter(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto program = ParseProgram(BinaryCounterProgram(n));
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  size_t period = 0;
+  for (auto _ : state) {
+    auto engine = TemporalEngine::Build(*program);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      return;
+    }
+    auto spec = (*engine)->ComputeSpec();
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      return;
+    }
+    period = spec->period();
+    benchmark::DoNotOptimize(spec);
+  }
+  state.counters["n_bits"] = n;
+  state.counters["period"] = static_cast<double>(period);
+}
+BENCHMARK(BM_Temporal_BinaryCounter)
+    ->DenseRange(2, 9, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Periodic-set extraction: the [CI88] answer representation.
+void BM_Temporal_PeriodicAnswers(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  auto program = ParseProgram(RotationProgram(k));
+  if (!program.ok()) return;
+  auto engine = TemporalEngine::Build(*program);
+  if (!engine.ok()) return;
+  auto spec = (*engine)->ComputeSpec();
+  if (!spec.ok()) return;
+  const SymbolTable& symbols = (*engine)->program().symbols;
+  PredId oncall = *symbols.FindPredicate("OnCall");
+  ConstId m0 = *symbols.FindConstant("m0");
+  for (auto _ : state) {
+    PeriodicSet days = spec->AnswersFor(oncall, {m0});
+    benchmark::DoNotOptimize(days);
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_Temporal_PeriodicAnswers)->DenseRange(2, 14, 6);
+
+// Deep membership through both representations.
+void BM_Temporal_DeepHolds(benchmark::State& state) {
+  auto program = ParseProgram(RotationProgram(7));
+  if (!program.ok()) return;
+  auto engine = TemporalEngine::Build(*program);
+  if (!engine.ok()) return;
+  auto spec = (*engine)->ComputeSpec();
+  if (!spec.ok()) return;
+  const SymbolTable& symbols = (*engine)->program().symbols;
+  PredId oncall = *symbols.FindPredicate("OnCall");
+  ConstId m0 = *symbols.FindConstant("m0");
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    bool holds = spec->Holds(n, oncall, {m0});
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["depth"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Temporal_DeepHolds)->RangeMultiplier(16)->Range(16, 1 << 20);
+
+}  // namespace

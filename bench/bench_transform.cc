@@ -1,0 +1,99 @@
+// E10 — Section 2.4 and the appendix: normalization and the mixed-to-pure
+// transformation produce output polynomial in the input.
+//
+// Expected shape: normalization output grows linearly with the rule depth d
+// (one peel predicate per level); mixed-to-pure output grows with n^v where
+// v is the number of mixed-argument variables (here v = 2, so quadratic in
+// the number of constants) — polynomial, as Section 2.4 claims.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/mixed_to_pure.h"
+#include "src/core/normalize.h"
+#include "src/parser/parser.h"
+
+namespace {
+
+using namespace relspec;
+using namespace relspec_bench;
+
+void BM_Normalize_DeepRule(benchmark::State& state) {
+  int d = static_cast<int>(state.range(0));
+  std::string source = DeepRuleProgram(d);
+  int rules_out = 0, aux = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto p = ParseProgram(source);
+    state.ResumeTiming();
+    if (!p.ok()) {
+      state.SkipWithError(p.status().ToString().c_str());
+      return;
+    }
+    auto stats = NormalizeProgram(&*p);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    rules_out = stats->rules_out;
+    aux = stats->aux_predicates;
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["depth"] = d;
+  state.counters["rules_out"] = rules_out;
+  state.counters["aux_preds"] = aux;
+}
+BENCHMARK(BM_Normalize_DeepRule)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_MixedToPure_Domain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string source = MixedProgram(n);
+  int rules_out = 0, symbols = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto p = ParseProgram(source);
+    state.ResumeTiming();
+    if (!p.ok()) {
+      state.SkipWithError(p.status().ToString().c_str());
+      return;
+    }
+    auto stats = MixedToPure(&*p);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    rules_out = stats->rules_out;
+    symbols = stats->new_symbols;
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["n_constants"] = n;
+  state.counters["rules_out"] = rules_out;
+  state.counters["new_symbols"] = symbols;
+}
+BENCHMARK(BM_MixedToPure_Domain)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_FullTransformPipeline(benchmark::State& state) {
+  // Normalization then purification on a program that needs both.
+  int n = static_cast<int>(state.range(0));
+  std::string source = MixedProgram(n) + "At(s, x) -> Far(s+2, x).\n";
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto p = ParseProgram(source);
+    state.ResumeTiming();
+    if (!p.ok()) {
+      state.SkipWithError(p.status().ToString().c_str());
+      return;
+    }
+    auto ns = NormalizeProgram(&*p);
+    auto ms = MixedToPure(&*p);
+    if (!ns.ok() || !ms.ok()) {
+      state.SkipWithError("transform failed");
+      return;
+    }
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["n_constants"] = n;
+}
+BENCHMARK(BM_FullTransformPipeline)->RangeMultiplier(2)->Range(2, 16);
+
+}  // namespace

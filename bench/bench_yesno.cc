@@ -1,0 +1,79 @@
+// E6 — Theorem 4.1: yes-no query processing is DEXPTIME-complete for
+// functional rules and PSPACE-complete for temporal rules.
+//
+// Expected shape: once the specification is built, a membership test is a
+// walk linear in the term depth for both families; the *construction* cost
+// is what separates the classes — rotation programs stay polynomial in k
+// while the subset family grows exponentially in n. We measure end-to-end
+// yes-no latency (build + one query) for both, plus the per-query walk.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/engine.h"
+
+namespace {
+
+using namespace relspec;
+using namespace relspec_bench;
+
+// End-to-end: build everything, answer one deep membership question.
+void BM_YesNo_Temporal_EndToEnd(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string source = RotationProgram(k);
+  std::string fact = "OnCall(" + std::to_string(10 * k) + ", m0)";
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    auto holds = (*db)->HoldsFactText(fact);
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_YesNo_Temporal_EndToEnd)->DenseRange(2, 12, 2);
+
+void BM_YesNo_Functional_EndToEnd(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string source = SubsetProgram(n);
+  // Query: is bit n-1 set after applying set0..set{n-1}?
+  std::string term = "0";
+  for (int i = 0; i < n; ++i) {
+    term = "set" + std::to_string(i) + "(" + term + ")";
+  }
+  std::string fact = "B(" + term + ", b" + std::to_string(n - 1) + ")";
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    auto holds = (*db)->HoldsFactText(fact);
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_YesNo_Functional_EndToEnd)
+    ->DenseRange(2, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+// Amortized: the specification is built once; queries are Link walks.
+void BM_YesNo_WalkDepth(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  auto db = FunctionalDatabase::FromSource(RotationProgram(5));
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  std::string fact = "OnCall(" + std::to_string(depth) + ", m0)";
+  for (auto _ : state) {
+    auto holds = (*db)->HoldsFactText(fact);
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_YesNo_WalkDepth)->RangeMultiplier(4)->Range(4, 4096);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Minimal leveled logging to stderr, plus CHECK macros for internal
+// invariants. Logging defaults to warnings-and-above so library users see
+// nothing in normal operation; tests and benchmarks can raise the level.
+
+#ifndef RELSPEC_BASE_LOGGING_H_
+#define RELSPEC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace relspec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace relspec
+
+#define RELSPEC_LOG_IS_ON(level) \
+  (::relspec::LogLevel::level >= ::relspec::GetLogLevel())
+
+#define RELSPEC_LOG(level)                                       \
+  !RELSPEC_LOG_IS_ON(level)                                      \
+      ? (void)0                                                  \
+      : ::relspec::internal::LogMessageVoidify() &               \
+            ::relspec::internal::LogMessage(                     \
+                ::relspec::LogLevel::level, __FILE__, __LINE__)  \
+                .stream()
+
+/// Aborts with a message when an internal invariant is violated.
+#define RELSPEC_CHECK(cond)                                             \
+  (cond) ? (void)0                                                      \
+         : ::relspec::internal::LogMessageVoidify() &                   \
+               ::relspec::internal::LogMessage(                         \
+                   ::relspec::LogLevel::kFatal, __FILE__, __LINE__)     \
+                   .stream()                                            \
+               << "Check failed: " #cond " "
+
+#define RELSPEC_CHECK_EQ(a, b) RELSPEC_CHECK((a) == (b))
+#define RELSPEC_CHECK_NE(a, b) RELSPEC_CHECK((a) != (b))
+#define RELSPEC_CHECK_LT(a, b) RELSPEC_CHECK((a) < (b))
+#define RELSPEC_CHECK_LE(a, b) RELSPEC_CHECK((a) <= (b))
+#define RELSPEC_CHECK_GT(a, b) RELSPEC_CHECK((a) > (b))
+#define RELSPEC_CHECK_GE(a, b) RELSPEC_CHECK((a) >= (b))
+
+#endif  // RELSPEC_BASE_LOGGING_H_

@@ -1,0 +1,159 @@
+// Status and StatusOr: the library-wide error model.
+//
+// relspec does not throw exceptions across its public API. Every fallible
+// operation returns a Status (or a StatusOr<T> carrying a value on success),
+// in the style of Apache Arrow and RocksDB.
+
+#ifndef RELSPEC_BASE_STATUS_H_
+#define RELSPEC_BASE_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace relspec {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< malformed input (bad rule, bad query, bad term)
+  kNotFound = 2,          ///< missing predicate / symbol / file
+  kAlreadyExists = 3,     ///< duplicate declaration
+  kFailedPrecondition = 4,///< operation invoked in the wrong state
+  kOutOfRange = 5,        ///< index/depth outside the valid range
+  kUnimplemented = 6,     ///< feature outside the supported fragment
+  kInternal = 7,          ///< invariant violation inside the library
+  kResourceExhausted = 8, ///< configured limits (atoms, states, depth) hit
+};
+
+/// Returns the canonical lowercase name of a StatusCode ("invalid argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail.
+///
+/// A Status is cheap to copy when OK (no allocation); error states carry a
+/// heap-allocated message. Use the RELSPEC_RETURN_NOT_OK macro to propagate.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  /// Factory helpers, one per StatusCode.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status Unimplemented(std::string msg);
+  static Status Internal(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the error message; no-op on OK statuses.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; shared so copies are cheap.
+  std::shared_ptr<const State> state_;
+};
+
+/// Either a value of type T or an error Status. Never both, never neither.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define RELSPEC_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::relspec::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns its Status, otherwise
+/// moves the value into `lhs`.
+#define RELSPEC_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                  \
+  if (!var.ok()) return var.status();                 \
+  lhs = std::move(var).value()
+
+#define RELSPEC_ASSIGN_CONCAT_(x, y) x##y
+#define RELSPEC_ASSIGN_CONCAT(x, y) RELSPEC_ASSIGN_CONCAT_(x, y)
+
+#define RELSPEC_ASSIGN_OR_RETURN(lhs, expr) \
+  RELSPEC_ASSIGN_OR_RETURN_IMPL(            \
+      RELSPEC_ASSIGN_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+}  // namespace relspec
+
+#endif  // RELSPEC_BASE_STATUS_H_

@@ -1,0 +1,29 @@
+// Small string helpers shared across the library.
+
+#ifndef RELSPEC_BASE_STR_UTIL_H_
+#define RELSPEC_BASE_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relspec {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace relspec
+
+#endif  // RELSPEC_BASE_STR_UTIL_H_

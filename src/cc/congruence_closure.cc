@@ -1,0 +1,238 @@
+#include "src/cc/congruence_closure.h"
+
+#include <unordered_set>
+
+#include "src/base/logging.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+void CongruenceClosure::AddTerm(TermId t) {
+  if (t < known_bits_.size() && known_bits_[t]) return;
+  // Walk down to the first known subterm, then add bottom-up.
+  std::vector<TermId> chain;
+  TermId cur = t;
+  while (true) {
+    bool is_known = cur < known_bits_.size() && known_bits_[cur];
+    if (is_known) break;
+    chain.push_back(cur);
+    if (cur == kZeroTerm) break;
+    cur = arena_->node(cur).child;
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    TermId u = *it;
+    if (known_bits_.size() <= u) known_bits_.resize(u + 1, false);
+    known_bits_[u] = true;
+    known_.push_back(u);
+    uf_.EnsureSize(u + 1);
+    if (u == kZeroTerm) continue;
+    // Register u under its signature; if an equal-signature term exists,
+    // u joins its class immediately.
+    Signature sig = SignatureOf(u);
+    parents_[sig.child_root].push_back(u);
+    auto [sit, inserted] = signatures_.emplace(sig, u);
+    if (!inserted && !uf_.Same(sit->second, u)) {
+      pending_.push_back(Pending{sit->second, u, /*congruence=*/true});
+      DrainPending();
+    }
+  }
+}
+
+CongruenceClosure::Signature CongruenceClosure::SignatureOf(TermId t) {
+  const TermNode& n = arena_->node(t);
+  return Signature{n.fn, uf_.Find(n.child), n.args};
+}
+
+void CongruenceClosure::Merge(TermId a, TermId b) {
+  AddTerm(a);
+  AddTerm(b);
+  pending_.push_back(Pending{a, b, /*congruence=*/false});
+  DrainPending();
+}
+
+bool CongruenceClosure::AreCongruent(TermId a, TermId b) {
+  AddTerm(a);
+  AddTerm(b);
+  return uf_.Same(a, b);
+}
+
+TermId CongruenceClosure::Find(TermId t) {
+  AddTerm(t);
+  return uf_.Find(t);
+}
+
+size_t CongruenceClosure::NumClasses() {
+  size_t n = 0;
+  for (TermId t : known_) {
+    if (uf_.Find(t) == t) ++n;
+  }
+  return n;
+}
+
+void CongruenceClosure::DrainPending() {
+  while (!pending_.empty()) {
+    Pending p = pending_.back();
+    TermId a = p.a;
+    TermId b = p.b;
+    pending_.pop_back();
+    uint32_t ra = uf_.Find(a);
+    uint32_t rb = uf_.Find(b);
+    if (ra == rb) continue;
+    AddProofEdge(a, b, p.congruence);
+    uint32_t merged = uf_.Union(ra, rb);
+    ++num_unions_;
+    uint32_t absorbed = merged == ra ? rb : ra;
+    // Every parent of the absorbed class gets a new signature rooted at the
+    // merged class; collisions detected there queue further merges.
+    PropagateFrom(absorbed);
+    parents_.erase(absorbed);
+  }
+}
+
+void CongruenceClosure::PropagateFrom(uint32_t root) {
+  // Re-hash every application whose child class just changed; collisions in
+  // the signature table are exactly the congruence consequences.
+  auto it = parents_.find(root);
+  if (it == parents_.end()) return;
+  std::vector<TermId> apps = it->second;  // copy: the map mutates below
+  for (TermId app : apps) {
+    Signature sig = SignatureOf(app);
+    if (sig.child_root != root) {
+      // The class was absorbed elsewhere; re-file the parent.
+      parents_[sig.child_root].push_back(app);
+    }
+    auto [sit, inserted] = signatures_.emplace(sig, app);
+    if (!inserted && !uf_.Same(sit->second, app)) {
+      pending_.push_back(Pending{sit->second, app, /*congruence=*/true});
+    }
+  }
+}
+
+void CongruenceClosure::AddProofEdge(TermId a, TermId b, bool congruence) {
+  // Reverse the path from a to its proof-forest root so a becomes the root
+  // of its tree, then hang a below b.
+  std::vector<std::pair<TermId, std::pair<TermId, bool>>> path;
+  TermId cur = a;
+  while (true) {
+    auto it = proof_parent_.find(cur);
+    if (it == proof_parent_.end()) break;
+    path.emplace_back(cur, it->second);
+    cur = it->second.first;
+  }
+  for (const auto& [node, edge] : path) proof_parent_.erase(node);
+  for (const auto& [node, edge] : path) {
+    proof_parent_[edge.first] = {node, edge.second};
+  }
+  proof_parent_[a] = {b, congruence};
+}
+
+StatusOr<EqProof> CongruenceClosure::Explain(TermId a, TermId b) {
+  AddTerm(a);
+  AddTerm(b);
+  if (!uf_.Same(a, b)) {
+    return Status::NotFound("terms are not congruent");
+  }
+  EqProof proof;
+  proof.lhs = a;
+  proof.rhs = b;
+  if (a == b) return proof;
+
+  // Nearest common ancestor in the (shared) proof tree.
+  std::unordered_map<TermId, size_t> a_order;
+  {
+    TermId cur = a;
+    size_t i = 0;
+    a_order.emplace(cur, i++);
+    auto it = proof_parent_.find(cur);
+    while (it != proof_parent_.end()) {
+      cur = it->second.first;
+      a_order.emplace(cur, i++);
+      it = proof_parent_.find(cur);
+    }
+  }
+  TermId lca = b;
+  while (a_order.count(lca) == 0) {
+    auto it = proof_parent_.find(lca);
+    if (it == proof_parent_.end()) {
+      return Status::Internal("proof forest lost the connection");
+    }
+    lca = it->second.first;
+  }
+
+  auto make_step = [this](TermId u, TermId v, bool congruence,
+                          bool flipped) -> StatusOr<EqStep> {
+    EqStep step;
+    step.asserted = !congruence;
+    step.lhs = flipped ? v : u;
+    step.rhs = flipped ? u : v;
+    if (congruence) {
+      // Signatures matched: same symbol, same arguments, congruent children.
+      RELSPEC_ASSIGN_OR_RETURN(
+          EqProof sub,
+          Explain(arena_->node(step.lhs).child, arena_->node(step.rhs).child));
+      step.premises.push_back(std::move(sub));
+    }
+    return step;
+  };
+
+  // Edges a -> lca, in order.
+  for (TermId cur = a; cur != lca;) {
+    const auto& edge = proof_parent_.at(cur);
+    RELSPEC_ASSIGN_OR_RETURN(EqStep step,
+                             make_step(cur, edge.first, edge.second, false));
+    proof.steps.push_back(std::move(step));
+    cur = edge.first;
+  }
+  // Edges b -> lca, flipped and reversed so the chain runs lca -> b.
+  std::vector<EqStep> tail;
+  for (TermId cur = b; cur != lca;) {
+    const auto& edge = proof_parent_.at(cur);
+    RELSPEC_ASSIGN_OR_RETURN(EqStep step,
+                             make_step(cur, edge.first, edge.second, true));
+    tail.push_back(std::move(step));
+    cur = edge.first;
+  }
+  for (auto it = tail.rbegin(); it != tail.rend(); ++it) {
+    proof.steps.push_back(std::move(*it));
+  }
+  return proof;
+}
+
+void EqProof::CollectAsserted(
+    std::vector<std::pair<TermId, TermId>>* out) const {
+  for (const EqStep& step : steps) {
+    if (step.asserted) {
+      out->emplace_back(step.lhs, step.rhs);
+    } else {
+      for (const EqProof& premise : step.premises) {
+        premise.CollectAsserted(out);
+      }
+    }
+  }
+}
+
+size_t EqProof::NumSteps() const {
+  size_t n = steps.size();
+  for (const EqStep& step : steps) {
+    for (const EqProof& premise : step.premises) n += premise.NumSteps();
+  }
+  return n;
+}
+
+std::string EqProof::ToString(const TermArena& arena,
+                              const SymbolTable& symbols, int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + arena.ToString(lhs, symbols) +
+                    " == " + arena.ToString(rhs, symbols) + "\n";
+  for (const EqStep& step : steps) {
+    out += pad + "  " + arena.ToString(step.lhs, symbols) +
+           " == " + arena.ToString(step.rhs, symbols) +
+           (step.asserted ? "   [asserted]" : "   [congruence]") + "\n";
+    for (const EqProof& premise : step.premises) {
+      out += premise.ToString(arena, symbols, indent + 2);
+    }
+  }
+  return out;
+}
+
+}  // namespace relspec

@@ -1,0 +1,35 @@
+#include "src/cc/union_find.h"
+
+namespace relspec {
+
+void UnionFind::EnsureSize(size_t n) {
+  while (parent_.size() < n) {
+    parent_.push_back(static_cast<uint32_t>(parent_.size()));
+    rank_.push_back(0);
+    ++num_sets_;
+  }
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+uint32_t UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return ra;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return ra;
+}
+
+}  // namespace relspec

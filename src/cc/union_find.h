@@ -1,0 +1,45 @@
+// Disjoint-set forest with path compression and union by rank.
+
+#ifndef RELSPEC_CC_UNION_FIND_H_
+#define RELSPEC_CC_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace relspec {
+
+/// Union-find over dense uint32 ids. Ids are added implicitly: any id below
+/// `size()` is a member; EnsureSize grows the universe.
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(size_t n) { EnsureSize(n); }
+
+  /// Grows the universe so ids [0, n) are valid, each initially its own set.
+  void EnsureSize(size_t n);
+
+  size_t size() const { return parent_.size(); }
+
+  /// Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of a and b; returns the surviving root, or the common
+  /// root if they were already merged.
+  uint32_t Union(uint32_t a, uint32_t b);
+
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Number of distinct sets.
+  size_t NumSets() const { return num_sets_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  size_t num_sets_ = 0;
+};
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CC_UNION_FIND_H_

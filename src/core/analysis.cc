@@ -1,0 +1,90 @@
+#include "src/core/analysis.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/ast/validate.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+namespace {
+size_t SaturatingPow(size_t base, int exp) {
+  size_t out = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && out > std::numeric_limits<size_t>::max() / base) {
+      return std::numeric_limits<size_t>::max();
+    }
+    out *= base;
+  }
+  return out;
+}
+}  // namespace
+
+std::string ProgramInfo::ToString() const {
+  return StrFormat(
+      "s=%d k=%d d=%d c=%d m=%d (+%d mixed) gsize<=%zu normal=%d pure=%d "
+      "domain-independent=%d",
+      num_predicates, max_arity, num_constants, max_ground_depth,
+      num_pure_functions, num_mixed_functions, gsize_bound, is_normal, is_pure,
+      domain_independent);
+}
+
+ProgramInfo Analyze(const Program& program) {
+  ProgramInfo info;
+  info.num_predicates = static_cast<int>(program.symbols.num_predicates());
+  for (PredId p = 0; p < program.symbols.num_predicates(); ++p) {
+    info.max_arity = std::max(info.max_arity, program.symbols.predicate(p).arity);
+  }
+  info.num_constants = static_cast<int>(program.ActiveDomain().size());
+  info.max_ground_depth = program.MaxGroundDepth();
+  info.num_pure_functions = static_cast<int>(program.PureFunctions().size());
+  info.num_mixed_functions = static_cast<int>(program.MixedFunctions().size());
+
+  size_t n = program.facts.size();
+  info.gsize_bound = SaturatingPow(std::max<size_t>(n, 1), info.max_arity + 1);
+  if (info.gsize_bound <
+      std::numeric_limits<size_t>::max() /
+          (static_cast<size_t>(info.num_predicates) + 1)) {
+    info.gsize_bound *= static_cast<size_t>(info.num_predicates) + 1;
+  } else {
+    info.gsize_bound = std::numeric_limits<size_t>::max();
+  }
+
+  info.is_normal = IsNormalProgram(program);
+  info.is_pure = !HasMixedOccurrences(program);
+  info.domain_independent = CheckDomainIndependence(program).ok();
+  return info;
+}
+
+namespace {
+bool AtomUsesMixed(const Atom& a, const SymbolTable& symbols) {
+  if (!a.fterm.has_value()) return false;
+  for (const FuncApply& app : a.fterm->apps) {
+    if (symbols.function(app.fn).arity >= 2) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool HasMixedOccurrences(const Program& program) {
+  for (const Atom& f : program.facts) {
+    if (AtomUsesMixed(f, program.symbols)) return true;
+  }
+  for (const Rule& r : program.rules) {
+    if (AtomUsesMixed(r.head, program.symbols)) return true;
+    for (const Atom& a : r.body) {
+      if (AtomUsesMixed(a, program.symbols)) return true;
+    }
+  }
+  return false;
+}
+
+Status CheckDomainIndependence(const Program& program) {
+  for (const Rule& r : program.rules) {
+    RELSPEC_RETURN_NOT_OK(CheckRangeRestricted(r, program.symbols));
+  }
+  return Status::OK();
+}
+
+}  // namespace relspec

@@ -1,0 +1,52 @@
+// Program analysis: the data-complexity parameters of Section 2.5 and the
+// syntactic property checks the engine relies on.
+
+#ifndef RELSPEC_CORE_ANALYSIS_H_
+#define RELSPEC_CORE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/base/status.h"
+
+namespace relspec {
+
+/// The parameters of Section 2.5 plus derived quantities.
+struct ProgramInfo {
+  /// s: number of predicates in Z and D.
+  int num_predicates = 0;
+  /// k: maximal predicate arity.
+  int max_arity = 0;
+  /// d: number of distinct non-functional constants.
+  int num_constants = 0;
+  /// c: depth of the largest ground functional term (0 if none).
+  int max_ground_depth = 0;
+  /// m: number of successors of a state = |pure symbols| (+ mixed expansion).
+  int num_pure_functions = 0;
+  int num_mixed_functions = 0;
+  /// Upper bound on the generalized database size: (s+1) * n^(k+1), where n
+  /// is the database size (Section 2.5). Clamped to SIZE_MAX on overflow.
+  size_t gsize_bound = 0;
+
+  bool is_normal = false;      ///< every rule normal (Section 2.4)
+  bool is_pure = false;        ///< no mixed function symbols
+  bool domain_independent = false;  ///< range-restricted (Section 2.3)
+
+  std::string ToString() const;
+};
+
+/// Computes the parameters and property flags for `program`.
+ProgramInfo Analyze(const Program& program);
+
+/// Domain independence == range restriction (Section 2.3). Returns OK or the
+/// first offending rule's diagnostic.
+Status CheckDomainIndependence(const Program& program);
+
+/// True if any rule or fact uses a mixed (k-ary) function symbol. The symbol
+/// table may retain mixed entries after MixedToPure; only occurrences count.
+bool HasMixedOccurrences(const Program& program);
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_ANALYSIS_H_

@@ -1,0 +1,90 @@
+#include "src/core/engine.h"
+
+#include "src/ast/printer.h"
+#include "src/ast/validate.h"
+#include "src/core/verify.h"
+#include "src/parser/parser.h"
+
+namespace relspec {
+
+StatusOr<std::unique_ptr<FunctionalDatabase>> FunctionalDatabase::FromSource(
+    std::string_view source, const EngineOptions& options) {
+  RELSPEC_ASSIGN_OR_RETURN(ParseResult parsed, Parse(source));
+  if (!parsed.queries.empty()) {
+    return Status::InvalidArgument(
+        "FromSource expects facts and rules only; answer queries through "
+        "AnswerQuery/ParseQuery instead");
+  }
+  return FromProgram(std::move(parsed.program), options);
+}
+
+StatusOr<std::unique_ptr<FunctionalDatabase>> FunctionalDatabase::FromProgram(
+    Program program, const EngineOptions& options) {
+  auto db = std::unique_ptr<FunctionalDatabase>(new FunctionalDatabase());
+  RELSPEC_RETURN_NOT_OK(ValidateProgram(program));
+  RELSPEC_RETURN_NOT_OK(CheckDomainIndependence(program));
+  db->original_ = program;
+  db->program_ = std::move(program);
+  RELSPEC_ASSIGN_OR_RETURN(db->normalize_stats_,
+                           NormalizeProgram(&db->program_));
+  RELSPEC_ASSIGN_OR_RETURN(db->purify_stats_, MixedToPure(&db->program_));
+  db->info_ = Analyze(db->program_);
+  RELSPEC_ASSIGN_OR_RETURN(GroundProgram ground,
+                           Ground(db->program_, options.ground));
+  db->ground_ = std::make_unique<GroundProgram>(std::move(ground));
+  RELSPEC_ASSIGN_OR_RETURN(db->labeling_,
+                           ComputeFixpoint(*db->ground_, options.fixpoint));
+  RELSPEC_ASSIGN_OR_RETURN(db->graph_,
+                           BuildLabelGraph(&db->labeling_, options.graph));
+  return db;
+}
+
+StatusOr<Path> FunctionalDatabase::PathOfGroundTerm(const FuncTerm& term) {
+  if (!term.IsGround()) {
+    return Status::InvalidArgument("term is not ground");
+  }
+  RELSPEC_ASSIGN_OR_RETURN(FuncTerm pure,
+                           PurifyGroundTerm(term, &program_.symbols));
+  std::vector<FuncId> syms;
+  syms.reserve(pure.apps.size());
+  for (const FuncApply& a : pure.apps) syms.push_back(a.fn);
+  return Path(std::move(syms));
+}
+
+StatusOr<bool> FunctionalDatabase::HoldsFact(const Atom& fact) {
+  if (!fact.IsGround()) {
+    return Status::InvalidArgument("HoldsFact expects a ground atom");
+  }
+  std::vector<ConstId> args;
+  args.reserve(fact.args.size());
+  for (const NfArg& a : fact.args) args.push_back(a.id);
+  if (!fact.fterm.has_value()) {
+    return labeling_.HoldsGlobal(fact.pred, args);
+  }
+  RELSPEC_ASSIGN_OR_RETURN(Path path, PathOfGroundTerm(*fact.fterm));
+  return labeling_.Holds(path, SliceAtom{fact.pred, args});
+}
+
+StatusOr<bool> FunctionalDatabase::HoldsFactText(std::string_view text) {
+  std::string wrapped = "? " + std::string(text) + ".";
+  RELSPEC_ASSIGN_OR_RETURN(Query q, ParseQuery(wrapped, &program_));
+  if (q.atoms.size() != 1 || !q.atoms[0].IsGround()) {
+    return Status::InvalidArgument(
+        "HoldsFactText expects a single ground atom");
+  }
+  return HoldsFact(q.atoms[0]);
+}
+
+StatusOr<GraphSpecification> FunctionalDatabase::BuildGraphSpec() {
+  return BuildGraphSpecification(graph_, &labeling_, program_.symbols);
+}
+
+StatusOr<EquationalSpecification> FunctionalDatabase::BuildEquationalSpec() {
+  return BuildEquationalSpecification(graph_, &labeling_, program_.symbols);
+}
+
+Status FunctionalDatabase::Verify() {
+  return VerifyQuotientModel(graph_, &labeling_);
+}
+
+}  // namespace relspec

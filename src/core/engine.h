@@ -1,0 +1,105 @@
+// FunctionalDatabase: the public facade over the whole pipeline.
+//
+//   source text --parse--> Program --validate/normalize/purify--> Program'
+//     --ground--> GroundProgram --fixpoint--> Labeling --Algorithm Q-->
+//     LabelGraph --> GraphSpecification / EquationalSpecification
+//
+// Typical use:
+//
+//   auto db = FunctionalDatabase::FromSource(R"(
+//     Meets(0, Tony).
+//     Next(Tony, Jan).  Next(Jan, Tony).
+//     Meets(t, x), Next(x, y) -> Meets(t+1, y).
+//   )");
+//   db->HoldsFactText("Meets(4, Tony)");   // -> true
+//   auto spec = db->BuildGraphSpec();      // finite (B, F)
+
+#ifndef RELSPEC_CORE_ENGINE_H_
+#define RELSPEC_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/ast/ast.h"
+#include "src/base/status.h"
+#include "src/core/analysis.h"
+#include "src/core/equational_spec.h"
+#include "src/core/fixpoint.h"
+#include "src/core/graph_spec.h"
+#include "src/core/ground.h"
+#include "src/core/label_graph.h"
+#include "src/core/mixed_to_pure.h"
+#include "src/core/normalize.h"
+
+namespace relspec {
+
+struct EngineOptions {
+  GroundOptions ground;
+  FixpointOptions fixpoint;
+  LabelGraphOptions graph;
+};
+
+/// A fully materialized functional deductive database with a finitely
+/// represented least fixpoint. Movable, not copyable.
+class FunctionalDatabase {
+ public:
+  /// Parses and builds. The source may not contain queries.
+  static StatusOr<std::unique_ptr<FunctionalDatabase>> FromSource(
+      std::string_view source, const EngineOptions& options = {});
+  /// Builds from an already-constructed program (takes a copy).
+  static StatusOr<std::unique_ptr<FunctionalDatabase>> FromProgram(
+      Program program, const EngineOptions& options = {});
+
+  /// The program as given (before normalization and purification).
+  const Program& original_program() const { return original_; }
+  /// The transformed (normal, pure) program the engine actually runs.
+  const Program& program() const { return program_; }
+  /// Writable symbol table (parsing helper terms may intern new symbols).
+  SymbolTable* mutable_symbols() { return &program_.symbols; }
+  /// Writable transformed program, for ParseQuery and friends. Only the
+  /// symbol table may be extended; rules and facts must not be touched.
+  Program* mutable_program() { return &program_; }
+
+  const ProgramInfo& info() const { return info_; }
+  const NormalizeStats& normalize_stats() const { return normalize_stats_; }
+  const MixedToPureStats& purify_stats() const { return purify_stats_; }
+  const GroundProgram& ground() const { return *ground_; }
+  Labeling& labeling() { return labeling_; }
+  const LabelGraph& label_graph() const { return graph_; }
+
+  /// Membership of a ground fact given as an Atom over the original
+  /// predicates (mixed terms are purified internally).
+  StatusOr<bool> HoldsFact(const Atom& fact);
+  /// Convenience: "Meets(4, Tony)" — parsed against this database.
+  StatusOr<bool> HoldsFactText(std::string_view text);
+
+  /// Builds the (B, F) graph specification (Section 3.4).
+  StatusOr<GraphSpecification> BuildGraphSpec();
+  /// Builds the (B, R) equational specification (Section 3.5).
+  StatusOr<EquationalSpecification> BuildEquationalSpec();
+
+  /// Checks the quotient-model certificate (Proposition 3.2): the computed
+  /// finite structure is a model of Z and D, hence equals LFP(Z, D).
+  Status Verify();
+
+  /// Converts a ground functional term over the original symbols into the
+  /// engine's pure path form.
+  StatusOr<Path> PathOfGroundTerm(const FuncTerm& term);
+
+ private:
+  FunctionalDatabase() = default;
+
+  Program original_;
+  Program program_;
+  ProgramInfo info_;
+  NormalizeStats normalize_stats_;
+  MixedToPureStats purify_stats_;
+  std::unique_ptr<GroundProgram> ground_;  // address-stable for labeling_
+  Labeling labeling_;
+  LabelGraph graph_;
+};
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_ENGINE_H_

@@ -1,0 +1,116 @@
+#include "src/core/equational_spec.h"
+
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+void EquationalSpecification::EnsureClosure() {
+  if (closure_ != nullptr) return;
+  arena_ = std::make_unique<TermArena>();
+  closure_ = std::make_unique<CongruenceClosure>(arena_.get());
+  for (const auto& [t1, t2] : equations_) {
+    closure_->Merge(t1.ToTerm(arena_.get()), t2.ToTerm(arena_.get()));
+  }
+}
+
+bool EquationalSpecification::Congruent(const Path& a, const Path& b) {
+  EnsureClosure();
+  return closure_->AreCongruent(a.ToTerm(arena_.get()), b.ToTerm(arena_.get()));
+}
+
+StatusOr<EqProof> EquationalSpecification::ExplainCongruence(const Path& a,
+                                                             const Path& b) {
+  EnsureClosure();
+  return closure_->Explain(a.ToTerm(arena_.get()), b.ToTerm(arena_.get()));
+}
+
+StatusOr<std::string> EquationalSpecification::ExplainCongruenceText(
+    const Path& a, const Path& b) {
+  RELSPEC_ASSIGN_OR_RETURN(EqProof proof, ExplainCongruence(a, b));
+  return proof.ToString(*arena_, symbols_);
+}
+
+bool EquationalSpecification::Holds(const Path& path, PredId pred,
+                                    const std::vector<ConstId>& args) {
+  auto it = atom_index_.find(SliceAtom{pred, args});
+  if (it == atom_index_.end()) return false;
+  AtomIdx atom = it->second;
+  EnsureClosure();
+  TermId t0 = path.ToTerm(arena_.get());
+  // T = {t : P(t, a...) in B}; accept iff (t0, t) in Cl(R) for some t.
+  for (const Cluster& c : clusters_) {
+    if (!c.label.Test(atom)) continue;
+    if (closure_->AreCongruent(t0, c.representative.ToTerm(arena_.get()))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EquationalSpecification::HoldsGlobal(
+    PredId pred, const std::vector<ConstId>& args) const {
+  for (const auto& [p, a] : globals_) {
+    if (p == pred && a == args) return true;
+  }
+  return false;
+}
+
+size_t EquationalSpecification::num_slice_tuples() const {
+  size_t n = 0;
+  for (const Cluster& c : clusters_) n += c.label.Count();
+  return n;
+}
+
+std::string EquationalSpecification::ToString() const {
+  std::string out = StrFormat(
+      "equational specification: %zu representatives, %zu tuples, %zu "
+      "equations\n",
+      clusters_.size(), num_slice_tuples(), equations_.size());
+  for (const auto& [t1, t2] : equations_) {
+    out += "  " + t1.ToString(symbols_) + " == " + t2.ToString(symbols_) + "\n";
+  }
+  return out;
+}
+
+StatusOr<EquationalSpecification> BuildEquationalSpecification(
+    const LabelGraph& graph, Labeling* labeling, const SymbolTable& symbols) {
+  EquationalSpecification out;
+  out.symbols_ = symbols;
+  out.trunk_depth_ = graph.trunk_depth();
+  out.clusters_ = graph.clusters();
+
+  const GroundProgram& ground = labeling->ground();
+  out.atoms_.reserve(ground.num_atoms());
+  for (AtomIdx i = 0; i < ground.num_atoms(); ++i) {
+    out.atoms_.push_back(ground.atom(i));
+    out.atom_index_.emplace(ground.atom(i), i);
+  }
+  for (CtxIdx i = 0; i < ground.num_ctx(); ++i) {
+    const CtxProp& prop = ground.ctx_prop(i);
+    if (prop.kind == CtxProp::Kind::kGlobal && labeling->ctx().Test(i)) {
+      out.globals_.emplace_back(prop.pred, prop.args);
+    }
+  }
+
+  // R(t1, t2) iff Active(t1), Potential(t2), t1 ~ t2 (Section 3.6): i.e. one
+  // equation per Potential term that did not become Active, pairing it with
+  // its cluster's representative.
+  //  (a) the initial depth-(c+1) layer;
+  for (const auto& [path, cluster] : graph.boundary_clusters()) {
+    const Path& rep = graph.cluster(cluster).representative;
+    if (!(rep == path)) out.equations_.emplace_back(path, rep);
+  }
+  //  (b) children of Active representatives beyond the trunk.
+  for (const Cluster& c : graph.clusters()) {
+    if (c.trunk) continue;
+    for (size_t s = 0; s < c.successors.size(); ++s) {
+      Path child = c.representative.Extend(
+          labeling->ground().alphabet()[s]);
+      const Path& rep = graph.cluster(c.successors[s]).representative;
+      if (!(rep == child)) out.equations_.emplace_back(child, rep);
+    }
+  }
+  return out;
+}
+
+}  // namespace relspec

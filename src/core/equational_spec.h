@@ -1,0 +1,90 @@
+// EquationalSpecification: the paper's (B, R) — primary database + ground
+// equations (Section 3.5).
+//
+// R contains the pairs (t1, t2) with Active(t1), Potential(t2) and t1 ~ t2
+// extracted from Algorithm Q. Cl(R) — the reflexive, symmetric, transitive,
+// congruent closure of R — equals the state congruence beyond the trunk. A
+// membership test P(t0, a...) first collects T = {t : P(t, a...) in B} and
+// then decides (t0, t) in Cl(R) with the congruence closure procedure
+// [DST80]; although Cl(R) is infinite, the test only examines the finitely
+// many subterms of R, t0 and t.
+
+#ifndef RELSPEC_CORE_EQUATIONAL_SPEC_H_
+#define RELSPEC_CORE_EQUATIONAL_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cc/congruence_closure.h"
+#include "src/core/label_graph.h"
+#include "src/term/symbol_table.h"
+#include "src/term/term.h"
+
+namespace relspec {
+
+class EquationalSpecification {
+ public:
+  /// Membership of the functional fact pred(path, args...), via congruence
+  /// closure against the representatives holding this tuple.
+  bool Holds(const Path& path, PredId pred, const std::vector<ConstId>& args);
+
+  bool HoldsGlobal(PredId pred, const std::vector<ConstId>& args) const;
+
+  /// Decides (a, b) in Cl(R).
+  bool Congruent(const Path& a, const Path& b);
+
+  /// A proof of (a, b) in Cl(R): the chain of R-equations and congruence
+  /// liftings used (Nelson-Oppen explanation over [DST80] closure).
+  /// NotFound when the terms are not congruent.
+  StatusOr<EqProof> ExplainCongruence(const Path& a, const Path& b);
+  /// The same proof, rendered.
+  StatusOr<std::string> ExplainCongruenceText(const Path& a, const Path& b);
+
+  /// The equations R as (term, representative) path pairs.
+  const std::vector<std::pair<Path, Path>>& equations() const {
+    return equations_;
+  }
+  size_t num_equations() const { return equations_.size(); }
+
+  /// Representatives and their slices (the primary database B), aligned with
+  /// the graph specification's clusters.
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  const std::vector<SliceAtom>& atom_dictionary() const { return atoms_; }
+  const std::vector<std::pair<PredId, std::vector<ConstId>>>& globals() const {
+    return globals_;
+  }
+  const SymbolTable& symbols() const { return symbols_; }
+  int trunk_depth() const { return trunk_depth_; }
+
+  size_t num_slice_tuples() const;
+
+  std::string ToString() const;
+
+ private:
+  friend StatusOr<EquationalSpecification> BuildEquationalSpecification(
+      const LabelGraph&, Labeling*, const SymbolTable&);
+  friend class SpecIo;
+
+  /// Lazily constructs the congruence closure over the equations.
+  void EnsureClosure();
+
+  std::vector<Cluster> clusters_;  // successors unused; kept for slices
+  std::vector<std::pair<Path, Path>> equations_;
+  std::vector<SliceAtom> atoms_;
+  std::unordered_map<SliceAtom, AtomIdx, SliceAtomHasher> atom_index_;
+  std::vector<std::pair<PredId, std::vector<ConstId>>> globals_;
+  SymbolTable symbols_;
+  int trunk_depth_ = 0;
+
+  std::unique_ptr<TermArena> arena_;
+  std::unique_ptr<CongruenceClosure> closure_;
+};
+
+/// Extracts the self-contained (B, R) from a computed label graph.
+StatusOr<EquationalSpecification> BuildEquationalSpecification(
+    const LabelGraph& graph, Labeling* labeling, const SymbolTable& symbols);
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_EQUATIONAL_SPEC_H_

@@ -1,0 +1,79 @@
+// Provenance: derivation trees for facts of the least fixpoint.
+//
+// The paper's specifications are "explicit" — membership is decidable
+// without the rules — but a user of a deductive database also wants to know
+// *why* a fact holds. ExplainFact reconstructs a minimal-step derivation
+// tree: leaves are database facts of D, inner nodes are rule applications at
+// concrete tree positions.
+//
+// Implementation: a justification-recording re-run of the bounded fixpoint
+// (the first rule instance to derive each fact is recorded; its premises
+// were derived strictly earlier, so the recorded graph is acyclic), with the
+// bound doubled until the target fact appears. Every fact of LFP(Z, D) has a
+// finite derivation, so the search terminates for true facts; for false
+// facts it stops at `max_bound` with NotFound.
+
+#ifndef RELSPEC_CORE_EXPLAIN_H_
+#define RELSPEC_CORE_EXPLAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/core/ground.h"
+#include "src/term/path.h"
+
+namespace relspec {
+
+/// One derivation node: a fact plus how it was obtained.
+struct Derivation {
+  enum class Kind {
+    kDatabaseFact,  ///< a fact of D
+    kLocalRule,     ///< a positional rule applied at `at`
+    kGlobalRule,    ///< a propositional rule over context facts
+  };
+
+  Kind kind = Kind::kDatabaseFact;
+
+  /// The derived fact: either a slice atom at a position...
+  bool is_positional = true;
+  Path position;
+  AtomIdx atom = kInvalidId;
+  /// ...or a context proposition (global / pinned).
+  CtxIdx ctx = kInvalidId;
+
+  /// For rule nodes: the position the rule's functional variable was bound
+  /// to, and the index of the ground rule in the GroundProgram.
+  Path at;
+  uint32_t rule_index = 0;
+
+  std::vector<Derivation> premises;
+
+  /// Number of rule applications in the tree.
+  size_t NumSteps() const;
+  /// Indented, human-readable rendering.
+  std::string ToString(const GroundProgram& ground,
+                       const SymbolTable& symbols) const;
+};
+
+struct ExplainOptions {
+  /// The search gives up when a derivation needs nodes deeper than this.
+  int max_bound = 64;
+  size_t max_nodes = 2'000'000;
+};
+
+/// Explains why pred(path, args...) is in LFP(Z, D). NotFound if it is not
+/// derivable within max_bound.
+StatusOr<Derivation> ExplainFact(const GroundProgram& ground, const Path& path,
+                                 const SliceAtom& fact,
+                                 const ExplainOptions& options = {});
+
+/// Explains a ground non-functional fact.
+StatusOr<Derivation> ExplainGlobal(const GroundProgram& ground, PredId pred,
+                                   const std::vector<ConstId>& args,
+                                   const ExplainOptions& options = {});
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_EXPLAIN_H_

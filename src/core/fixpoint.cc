@@ -1,0 +1,345 @@
+#include "src/core/fixpoint.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+namespace {
+
+// All paths of depth 0..max_depth in shortlex order.
+StatusOr<std::vector<Path>> PathsUpToDepth(const std::vector<FuncId>& alphabet,
+                                           int max_depth, size_t cap) {
+  std::vector<Path> out = {Path::Zero()};
+  std::vector<Path> layer = {Path::Zero()};
+  for (int d = 1; d <= max_depth; ++d) {
+    std::vector<Path> next;
+    next.reserve(layer.size() * alphabet.size());
+    for (const Path& p : layer) {
+      for (FuncId f : alphabet) next.push_back(p.Extend(f));
+    }
+    out.insert(out.end(), next.begin(), next.end());
+    if (out.size() > cap) {
+      return Status::ResourceExhausted(
+          StrFormat("trunk enumeration exceeded %zu nodes at depth %d", cap, d));
+    }
+    layer = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Labeling
+// ---------------------------------------------------------------------------
+
+const DynamicBitset& Labeling::LabelOf(const Path& path) {
+  int c = trunk_depth();
+  // Reject paths using symbols outside the alphabet: their labels are empty
+  // (no rule or fact can place anything there; see ground.h).
+  for (FuncId f : path.symbols()) {
+    if (ground_->SymIndexOf(f) == kInvalidId) return empty_label_;
+  }
+  if (path.depth() <= c) return trunk_labels_.at(path);
+  if (path.depth() == c + 1) {
+    return chi_->Value(chi_->EntryFor(boundary_seeds_.at(path)));
+  }
+  auto it = deep_cache_.find(path);
+  if (it != deep_cache_.end()) return it->second;
+  // Walk down from the boundary, one Expand per symbol.
+  DynamicBitset label = LabelOf(path.Prefix(c + 1));
+  for (int i = c + 1; i < path.depth(); ++i) {
+    SymIdx sym = ground_->SymIndexOf(path.at(i));
+    label = chi_->Expand(label)[sym];
+  }
+  return deep_cache_.emplace(path, std::move(label)).first->second;
+}
+
+bool Labeling::Holds(const Path& path, const SliceAtom& atom) {
+  AtomIdx idx = ground_->FindAtom(atom);
+  if (idx == kInvalidId) return false;
+  return LabelOf(path).Test(idx);
+}
+
+bool Labeling::HoldsGlobal(PredId pred, const std::vector<ConstId>& args) const {
+  CtxIdx idx = ground_->FindGlobal(pred, args);
+  return idx != kInvalidId && shared_->ctx.Test(idx);
+}
+
+// ---------------------------------------------------------------------------
+// ComputeFixpoint
+// ---------------------------------------------------------------------------
+
+StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
+                                   const FixpointOptions& options) {
+  Labeling out;
+  out.ground_ = &ground;
+  out.shared_ = std::make_unique<Labeling::ChiShared>();
+  out.shared_->ctx = DynamicBitset(ground.num_ctx());
+  out.empty_label_ = DynamicBitset(ground.num_atoms());
+  out.chi_ = std::make_unique<ChiEngine>(&ground, &out.shared_->ctx,
+                                         &out.shared_->ctx_changed);
+  out.chi_->set_max_entries(options.max_chi_entries);
+  DynamicBitset& ctx = out.shared_->ctx;
+
+  const int c = ground.trunk_depth();
+  const size_t num_atoms = ground.num_atoms();
+  RELSPEC_ASSIGN_OR_RETURN(
+      out.trunk_paths_,
+      PathsUpToDepth(ground.alphabet(), c, options.max_trunk_nodes));
+  for (const Path& p : out.trunk_paths_) {
+    out.trunk_labels_.emplace(p, DynamicBitset(num_atoms));
+  }
+  // Boundary seeds: children of depth-c trunk nodes.
+  for (const Path& p : out.trunk_paths_) {
+    if (p.depth() != c) continue;
+    for (FuncId f : ground.alphabet()) {
+      out.boundary_seeds_.emplace(p.Extend(f), DynamicBitset(num_atoms));
+    }
+  }
+
+  // Initial facts.
+  for (CtxIdx g : ground.global_facts()) ctx.Set(g);
+  for (const auto& [path, atom] : ground.pinned_facts()) {
+    auto it = out.trunk_labels_.find(path);
+    if (it == out.trunk_labels_.end()) {
+      return Status::Internal("pinned fact at a non-trunk path");
+    }
+    it->second.Set(atom);
+  }
+
+  ChiEngine& chi = *out.chi_;
+  auto boundary_label = [&](const Path& p) -> const DynamicBitset& {
+    return chi.Value(chi.EntryFor(out.boundary_seeds_.at(p)));
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++out.rounds_;
+    if (options.max_rounds > 0 && out.rounds_ > options.max_rounds) {
+      return Status::ResourceExhausted("fixpoint round limit exceeded");
+    }
+
+    // 1. Propositional closure of the global rules.
+    bool gchanged = true;
+    while (gchanged) {
+      gchanged = false;
+      for (const GroundRule& rule : ground.global_rules()) {
+        if (ctx.Test(rule.head_id)) continue;
+        bool sat = true;
+        for (CtxIdx b : rule.body_ctx) {
+          if (!ctx.Test(b)) {
+            sat = false;
+            break;
+          }
+        }
+        if (sat) {
+          ctx.Set(rule.head_id);
+          gchanged = true;
+          changed = true;
+        }
+      }
+    }
+
+    // 2. Context -> trunk pinned sync.
+    for (CtxIdx i = 0; i < ground.num_ctx(); ++i) {
+      const CtxProp& prop = ground.ctx_prop(i);
+      if (prop.kind != CtxProp::Kind::kPinned || !ctx.Test(i)) continue;
+      DynamicBitset& label = out.trunk_labels_.at(prop.path);
+      if (!label.Test(prop.atom)) {
+        label.Set(prop.atom);
+        changed = true;
+      }
+    }
+
+    // 3. Trunk rules, one pass over nodes in shortlex order.
+    for (const Path& w : out.trunk_paths_) {
+      DynamicBitset& label = out.trunk_labels_.at(w);
+      bool is_frontier = w.depth() == c;  // children are boundary nodes
+      for (const GroundRule& rule : ground.local_rules()) {
+        auto child_of = [&](SymIdx s) -> const DynamicBitset& {
+          Path child = w.Extend(ground.alphabet()[s]);
+          if (is_frontier) return boundary_label(child);
+          return out.trunk_labels_.at(child);
+        };
+        if (!BodySatisfied(rule, label, ctx, child_of)) continue;
+        switch (rule.head_kind) {
+          case GroundRule::HeadKind::kEps:
+            if (!label.Test(rule.head_id)) {
+              label.Set(rule.head_id);
+              changed = true;
+            }
+            break;
+          case GroundRule::HeadKind::kChild: {
+            Path child = w.Extend(ground.alphabet()[rule.head_sym]);
+            DynamicBitset& target = is_frontier
+                                        ? out.boundary_seeds_.at(child)
+                                        : out.trunk_labels_.at(child);
+            if (!target.Test(rule.head_id)) {
+              target.Set(rule.head_id);
+              changed = true;
+            }
+            break;
+          }
+          case GroundRule::HeadKind::kCtx:
+            if (!ctx.Test(rule.head_id)) {
+              ctx.Set(rule.head_id);
+              changed = true;
+            }
+            break;
+        }
+      }
+    }
+
+    // 3b. Demand every boundary entry: even if no trunk rule reads through a
+    // child, the boundary node's own closure (eps rules at depth c+1) must
+    // be computed before its label is served.
+    for (const auto& [path, seed] : out.boundary_seeds_) {
+      chi.EntryFor(seed);
+    }
+
+    // 4. Trunk -> context pinned sync.
+    for (CtxIdx i = 0; i < ground.num_ctx(); ++i) {
+      const CtxProp& prop = ground.ctx_prop(i);
+      if (prop.kind != CtxProp::Kind::kPinned || ctx.Test(i)) continue;
+      if (out.trunk_labels_.at(prop.path).Test(prop.atom)) {
+        ctx.Set(i);
+        changed = true;
+      }
+    }
+
+    // 5. One pass over the chi table.
+    out.shared_->ctx_changed = false;
+    RELSPEC_ASSIGN_OR_RETURN(bool chi_changed, chi.ProcessAllOnce());
+    changed |= chi_changed || out.shared_->ctx_changed;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded (brute-force) fixpoint
+// ---------------------------------------------------------------------------
+
+const DynamicBitset& BoundedLabeling::LabelOf(const Path& path) const {
+  auto it = labels_.find(path);
+  return it == labels_.end() ? empty_label_ : it->second;
+}
+
+bool BoundedLabeling::Holds(const Path& path, const SliceAtom& atom) const {
+  AtomIdx idx = ground_->FindAtom(atom);
+  if (idx == kInvalidId) return false;
+  return LabelOf(path).Test(idx);
+}
+
+bool BoundedLabeling::HoldsGlobal(PredId pred,
+                                  const std::vector<ConstId>& args) const {
+  CtxIdx idx = ground_->FindGlobal(pred, args);
+  return idx != kInvalidId && ctx_.Test(idx);
+}
+
+size_t BoundedLabeling::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& [path, label] : labels_) n += label.Count();
+  return n;
+}
+
+StatusOr<BoundedLabeling> ComputeBoundedFixpoint(const GroundProgram& ground,
+                                                 int bound, size_t max_nodes) {
+  BoundedLabeling out;
+  out.ground_ = &ground;
+  out.bound_ = bound;
+  out.empty_label_ = DynamicBitset(ground.num_atoms());
+  out.ctx_ = DynamicBitset(ground.num_ctx());
+
+  RELSPEC_ASSIGN_OR_RETURN(std::vector<Path> nodes,
+                           PathsUpToDepth(ground.alphabet(), bound, max_nodes));
+  for (const Path& p : nodes) {
+    out.labels_.emplace(p, DynamicBitset(ground.num_atoms()));
+  }
+
+  for (CtxIdx g : ground.global_facts()) out.ctx_.Set(g);
+  for (const auto& [path, atom] : ground.pinned_facts()) {
+    auto it = out.labels_.find(path);
+    if (it == out.labels_.end()) {
+      return Status::InvalidArgument(
+          "bounded fixpoint bound is smaller than the trunk depth");
+    }
+    it->second.Set(atom);
+  }
+
+  DynamicBitset empty(ground.num_atoms());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Global rules.
+    for (const GroundRule& rule : ground.global_rules()) {
+      if (out.ctx_.Test(rule.head_id)) continue;
+      bool sat = true;
+      for (CtxIdx b : rule.body_ctx) sat = sat && out.ctx_.Test(b);
+      if (sat) {
+        out.ctx_.Set(rule.head_id);
+        changed = true;
+      }
+    }
+    // Pinned syncs.
+    for (CtxIdx i = 0; i < ground.num_ctx(); ++i) {
+      const CtxProp& prop = ground.ctx_prop(i);
+      if (prop.kind != CtxProp::Kind::kPinned) continue;
+      auto it = out.labels_.find(prop.path);
+      if (it == out.labels_.end()) continue;
+      if (out.ctx_.Test(i) && !it->second.Test(prop.atom)) {
+        it->second.Set(prop.atom);
+        changed = true;
+      } else if (!out.ctx_.Test(i) && it->second.Test(prop.atom)) {
+        out.ctx_.Set(i);
+        changed = true;
+      }
+    }
+    // Local rules at every node of depth <= bound.
+    for (const Path& w : nodes) {
+      DynamicBitset& label = out.labels_.at(w);
+      bool has_children = w.depth() < bound;
+      for (const GroundRule& rule : ground.local_rules()) {
+        auto child_of = [&](SymIdx s) -> const DynamicBitset& {
+          if (!has_children) return empty;
+          return out.labels_.at(w.Extend(ground.alphabet()[s]));
+        };
+        // Truncation: rules writing to depth bound+1 cannot fire.
+        if (rule.head_kind == GroundRule::HeadKind::kChild && !has_children) {
+          continue;
+        }
+        if (!BodySatisfied(rule, label, out.ctx_, child_of)) continue;
+        switch (rule.head_kind) {
+          case GroundRule::HeadKind::kEps:
+            if (!label.Test(rule.head_id)) {
+              label.Set(rule.head_id);
+              changed = true;
+            }
+            break;
+          case GroundRule::HeadKind::kChild: {
+            DynamicBitset& target =
+                out.labels_.at(w.Extend(ground.alphabet()[rule.head_sym]));
+            if (!target.Test(rule.head_id)) {
+              target.Set(rule.head_id);
+              changed = true;
+            }
+            break;
+          }
+          case GroundRule::HeadKind::kCtx:
+            if (!out.ctx_.Test(rule.head_id)) {
+              out.ctx_.Set(rule.head_id);
+              changed = true;
+            }
+            break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace relspec

@@ -1,0 +1,127 @@
+// The least-fixpoint computation for grounded functional programs.
+//
+// The least fixpoint LFP(Z, D) is represented as
+//   * exact labels for every *trunk* node (paths of depth <= c, where ground
+//     facts are pinned),
+//   * seeds for the boundary layer (depth c+1), whose labels — and all
+//     deeper labels — live in the ChiEngine table,
+//   * the context bitset: true ground non-functional atoms ("globals") and
+//     pinned facts, closed under the propositional global rules.
+//
+// ComputeFixpoint runs a chaotic iteration (global rules, pinned syncs,
+// trunk rules, chi passes) until a full round changes nothing; monotonicity
+// over finite lattices gives termination and leastness.
+//
+// ComputeBoundedFixpoint is the brute-force reference: the least fixpoint of
+// the rule system restricted to nodes of depth <= bound. It
+// under-approximates LFP(Z, D) and converges to it on any fixed region as
+// the bound grows — the property tests and the materialization baseline
+// (experiment E11) are built on it.
+
+#ifndef RELSPEC_CORE_FIXPOINT_H_
+#define RELSPEC_CORE_FIXPOINT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/base/bitset.h"
+#include "src/base/status.h"
+#include "src/core/ground.h"
+#include "src/core/subtree_closure.h"
+#include "src/term/path.h"
+
+namespace relspec {
+
+struct FixpointOptions {
+  /// Cap on |Sigma|^c trunk nodes.
+  size_t max_trunk_nodes = 2'000'000;
+  /// Cap on chi-table entries (distinct demanded seeds).
+  size_t max_chi_entries = 1'000'000;
+  /// Cap on chaotic-iteration rounds (safety net; 0 = unlimited).
+  size_t max_rounds = 0;
+};
+
+/// The converged least fixpoint, queryable by path.
+class Labeling {
+ public:
+  /// The label (set of slice atoms true) of an arbitrary path. Paths using
+  /// function symbols outside the program's alphabet have empty labels.
+  /// Non-const: deep labels are expanded (and cached) on demand.
+  const DynamicBitset& LabelOf(const Path& path);
+
+  /// True iff the fact pred(path, args...) is in LFP(Z, D).
+  bool Holds(const Path& path, const SliceAtom& atom);
+  /// True iff the ground non-functional atom holds.
+  bool HoldsGlobal(PredId pred, const std::vector<ConstId>& args) const;
+
+  const DynamicBitset& ctx() const { return shared_->ctx; }
+  const GroundProgram& ground() const { return *ground_; }
+  ChiEngine& chi() { return *chi_; }
+  int trunk_depth() const { return ground_->trunk_depth(); }
+
+  /// All trunk paths (depth <= c) in shortlex order.
+  const std::vector<Path>& trunk_paths() const { return trunk_paths_; }
+  const DynamicBitset& TrunkLabel(const Path& path) const {
+    return trunk_labels_.at(path);
+  }
+
+  size_t rounds() const { return rounds_; }
+
+ private:
+  friend StatusOr<Labeling> ComputeFixpoint(const GroundProgram&,
+                                            const FixpointOptions&);
+  // Heap-allocated so ChiEngine's pointers into it survive moves of the
+  // enclosing Labeling.
+  struct ChiShared {
+    DynamicBitset ctx;
+    bool ctx_changed = false;
+  };
+  const GroundProgram* ground_ = nullptr;  // owned by the caller
+  std::unique_ptr<ChiShared> shared_;
+  std::unique_ptr<ChiEngine> chi_;
+  std::vector<Path> trunk_paths_;
+  std::unordered_map<Path, DynamicBitset, PathHash> trunk_labels_;
+  /// Boundary (depth c+1) seeds.
+  std::unordered_map<Path, DynamicBitset, PathHash> boundary_seeds_;
+  /// Cache for LabelOf beyond the boundary.
+  std::unordered_map<Path, DynamicBitset, PathHash> deep_cache_;
+  size_t rounds_ = 0;
+  DynamicBitset empty_label_;
+};
+
+/// Computes the least fixpoint. `ground` must outlive the result.
+StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
+                                   const FixpointOptions& options = {});
+
+/// Brute-force bounded fixpoint: labels for every path of depth <= bound.
+class BoundedLabeling {
+ public:
+  const DynamicBitset& LabelOf(const Path& path) const;
+  bool Holds(const Path& path, const SliceAtom& atom) const;
+  bool HoldsGlobal(PredId pred, const std::vector<ConstId>& args) const;
+  const DynamicBitset& ctx() const { return ctx_; }
+  int bound() const { return bound_; }
+  size_t num_nodes() const { return labels_.size(); }
+  /// Total facts stored (sum of label cardinalities) — the materialization
+  /// footprint used by experiment E11.
+  size_t TotalFacts() const;
+
+ private:
+  friend StatusOr<BoundedLabeling> ComputeBoundedFixpoint(const GroundProgram&,
+                                                          int, size_t);
+  const GroundProgram* ground_ = nullptr;
+  int bound_ = 0;
+  std::unordered_map<Path, DynamicBitset, PathHash> labels_;
+  DynamicBitset ctx_;
+  DynamicBitset empty_label_;
+};
+
+/// Least fixpoint of the rule system restricted to nodes of depth <= bound.
+StatusOr<BoundedLabeling> ComputeBoundedFixpoint(const GroundProgram& ground,
+                                                 int bound,
+                                                 size_t max_nodes = 5'000'000);
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_FIXPOINT_H_

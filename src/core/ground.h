@@ -1,0 +1,176 @@
+// Grounding: from a normal, pure, domain-independent program to positional
+// rules over a finite atom universe (the "generalized database", Section 2.5).
+//
+// After normalization and the mixed-to-pure transformation, every rule has at
+// most one functional variable s, and its non-ground functional terms are s
+// or f(s). Instantiating the non-functional variables over the active domain
+// turns each rule into a *positional rule* whose parts are:
+//
+//   * slice atoms at offset epsilon (at s) or at a child offset f (at f(s)),
+//     drawn from the finite atom universe U = {(P, a...)};
+//   * context propositions: ground non-functional atoms ("globals") and
+//     ground-functional-term atoms ("pinned", e.g. At(0, p0)), which behave
+//     like position-independent propositions;
+//   * a head that is a slice atom at epsilon or at a child, or a context
+//     proposition (fired existentially: some node satisfies the body).
+//
+// The least fixpoint of the program is then a labeling of the infinite tree
+// Sigma* (Sigma = pure function symbols) by subsets of U, plus a set of true
+// context propositions; src/core/fixpoint.h computes it.
+
+#ifndef RELSPEC_CORE_GROUND_H_
+#define RELSPEC_CORE_GROUND_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/base/status.h"
+#include "src/term/path.h"
+
+namespace relspec {
+
+/// Index into the slice-atom universe U.
+using AtomIdx = uint32_t;
+/// Index into the context-proposition space (globals + pinned).
+using CtxIdx = uint32_t;
+/// Index into the grounded alphabet (dense renumbering of the pure symbols).
+using SymIdx = uint32_t;
+
+/// A slice atom: functional predicate + non-functional constant arguments.
+/// The functional component is implicit (the tree position).
+struct SliceAtom {
+  PredId pred = kInvalidId;
+  std::vector<ConstId> args;
+  bool operator==(const SliceAtom& o) const {
+    return pred == o.pred && args == o.args;
+  }
+};
+
+struct SliceAtomHasher {
+  size_t operator()(const SliceAtom& a) const;
+};
+
+/// A context proposition.
+struct CtxProp {
+  enum class Kind { kGlobal, kPinned };
+  Kind kind = Kind::kGlobal;
+  /// kGlobal: a ground non-functional atom.
+  PredId pred = kInvalidId;
+  std::vector<ConstId> args;
+  /// kPinned: the position of the pinned slice atom...
+  Path path;
+  /// ...and the atom itself.
+  AtomIdx atom = 0;
+
+  bool operator==(const CtxProp& o) const {
+    return kind == o.kind && pred == o.pred && args == o.args &&
+           path == o.path && atom == o.atom;
+  }
+};
+
+/// One grounded positional rule. Offsets: epsilon = the node s itself;
+/// child(sym) = the node f(s). All vectors are deduplicated.
+struct GroundRule {
+  enum class HeadKind { kEps, kChild, kCtx };
+
+  std::vector<AtomIdx> body_eps;
+  std::vector<std::pair<SymIdx, AtomIdx>> body_child;
+  std::vector<CtxIdx> body_ctx;
+
+  HeadKind head_kind = HeadKind::kEps;
+  SymIdx head_sym = 0;   // kChild only
+  uint32_t head_id = 0;  // AtomIdx (kEps/kChild) or CtxIdx (kCtx)
+
+  /// True if the rule quantifies over tree nodes (has any positional part).
+  bool IsLocal() const {
+    return head_kind != HeadKind::kCtx || !body_eps.empty() ||
+           !body_child.empty();
+  }
+  bool operator==(const GroundRule& o) const {
+    return body_eps == o.body_eps && body_child == o.body_child &&
+           body_ctx == o.body_ctx && head_kind == o.head_kind &&
+           head_sym == o.head_sym && head_id == o.head_id;
+  }
+};
+
+/// The grounded program: universe, alphabet, rules and initial facts.
+class GroundProgram {
+ public:
+  // --- universe ---
+  size_t num_atoms() const { return atoms_.size(); }
+  size_t num_ctx() const { return ctx_props_.size(); }
+  const SliceAtom& atom(AtomIdx i) const { return atoms_[i]; }
+  const CtxProp& ctx_prop(CtxIdx i) const { return ctx_props_[i]; }
+
+  /// Finds an interned slice atom; kInvalidId if the atom never occurs (it
+  /// is then certainly false everywhere).
+  AtomIdx FindAtom(const SliceAtom& key) const;
+  /// Finds an interned global proposition; kInvalidId if absent.
+  CtxIdx FindGlobal(PredId pred, const std::vector<ConstId>& args) const;
+
+  // --- alphabet ---
+  /// Pure function symbols occurring in the program, dense-renumbered.
+  const std::vector<FuncId>& alphabet() const { return alphabet_; }
+  size_t num_symbols() const { return alphabet_.size(); }
+  /// Maps a FuncId to its SymIdx; kInvalidId if not in the alphabet.
+  SymIdx SymIndexOf(FuncId f) const;
+
+  /// The trunk depth c (max depth of a ground functional term in Z and D).
+  int trunk_depth() const { return trunk_depth_; }
+
+  // --- rules and facts ---
+  const std::vector<GroundRule>& local_rules() const { return local_rules_; }
+  const std::vector<GroundRule>& global_rules() const { return global_rules_; }
+  /// Initial pinned facts from D: (position, atom).
+  const std::vector<std::pair<Path, AtomIdx>>& pinned_facts() const {
+    return pinned_facts_;
+  }
+  /// Initial global facts from D.
+  const std::vector<CtxIdx>& global_facts() const { return global_facts_; }
+
+  /// Human-readable rendering (for tests and debugging).
+  std::string AtomToString(AtomIdx i, const SymbolTable& symbols) const;
+  std::string CtxToString(CtxIdx i, const SymbolTable& symbols) const;
+  std::string RuleToString(const GroundRule& r, const SymbolTable& symbols) const;
+
+ private:
+  friend class Grounder;
+
+  struct SliceAtomHash {
+    size_t operator()(const SliceAtom& a) const;
+  };
+  struct CtxPropHash {
+    size_t operator()(const CtxProp& p) const;
+  };
+
+  std::vector<SliceAtom> atoms_;
+  std::unordered_map<SliceAtom, AtomIdx, SliceAtomHash> atom_index_;
+  std::vector<CtxProp> ctx_props_;
+  std::unordered_map<CtxProp, CtxIdx, CtxPropHash> ctx_index_;
+  std::vector<FuncId> alphabet_;
+  std::unordered_map<FuncId, SymIdx> sym_index_;
+  int trunk_depth_ = 0;
+  std::vector<GroundRule> local_rules_;
+  std::vector<GroundRule> global_rules_;
+  std::vector<std::pair<Path, AtomIdx>> pinned_facts_;
+  std::vector<CtxIdx> global_facts_;
+};
+
+struct GroundOptions {
+  /// Cap on grounded rule instances; exceeded -> ResourceExhausted.
+  size_t max_rules = 10'000'000;
+  /// Prune substitutions against facts of EDB non-functional predicates
+  /// (predicates that occur in no rule head). Purely an optimization.
+  bool edb_pruning = true;
+};
+
+/// Grounds a validated, normal, pure, domain-independent program.
+StatusOr<GroundProgram> Ground(const Program& program,
+                               const GroundOptions& options = {});
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_GROUND_H_

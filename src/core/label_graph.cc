@@ -1,0 +1,120 @@
+#include "src/core/label_graph.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "src/base/logging.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+uint32_t LabelGraph::ClusterOf(const Path& path) const {
+  for (FuncId f : path.symbols()) {
+    if (sym_index_.count(f) == 0) return kInvalidId;
+  }
+  if (path.depth() < frontier_depth_) return trunk_cluster_.at(path);
+  uint32_t cur = boundary_cluster_.at(path.Prefix(frontier_depth_));
+  for (int i = frontier_depth_; i < path.depth(); ++i) {
+    cur = clusters_[cur].successors[sym_index_.at(path.at(i))];
+  }
+  return cur;
+}
+
+size_t LabelGraph::EquivalenceScope() const {
+  std::unordered_set<DynamicBitset, DynamicBitsetHash> labels;
+  for (const Cluster& c : clusters_) labels.insert(c.label);
+  return labels.size();
+}
+
+StatusOr<LabelGraph> BuildLabelGraph(Labeling* labeling,
+                                     const LabelGraphOptions& options) {
+  LabelGraph out;
+  const GroundProgram& ground = labeling->ground();
+  const int c = ground.trunk_depth();
+  const int frontier = options.merge_trunk_frontier ? c : c + 1;
+  out.trunk_depth_ = c;
+  out.frontier_depth_ = frontier;
+  out.num_symbols_ = ground.num_symbols();
+  for (SymIdx i = 0; i < ground.num_symbols(); ++i) {
+    out.sym_index_.emplace(ground.alphabet()[i], i);
+  }
+
+  // Trunk clusters: one singleton per path of depth < frontier, shortlex.
+  for (const Path& w : labeling->trunk_paths()) {
+    if (w.depth() >= frontier) continue;
+    uint32_t id = static_cast<uint32_t>(out.clusters_.size());
+    Cluster cl;
+    cl.representative = w;
+    cl.label = labeling->TrunkLabel(w);
+    cl.trunk = true;
+    out.clusters_.push_back(std::move(cl));
+    out.trunk_cluster_.emplace(w, id);
+  }
+
+  // Algorithm Q: breadth-first from the frontier layer.
+  std::unordered_map<DynamicBitset, uint32_t, DynamicBitsetHash> label_to_cluster;
+  std::deque<Path> queue;
+  if (frontier <= c) {
+    for (const Path& w : labeling->trunk_paths()) {
+      if (w.depth() == frontier) queue.push_back(w);
+    }
+  } else {
+    for (const Path& w : labeling->trunk_paths()) {
+      if (w.depth() != c) continue;
+      for (FuncId f : ground.alphabet()) queue.push_back(w.Extend(f));
+    }
+  }
+  while (!queue.empty()) {
+    Path p = std::move(queue.front());
+    queue.pop_front();
+    ++out.num_potential_;
+    DynamicBitset label = labeling->LabelOf(p);
+    auto it = label_to_cluster.find(label);
+    if (it != label_to_cluster.end()) {
+      // Inactive: subsumed by an earlier Active term; branch not extended.
+      if (p.depth() == frontier) out.boundary_cluster_.emplace(p, it->second);
+      continue;
+    }
+    // Active: p is the representative of a new cluster.
+    uint32_t id = static_cast<uint32_t>(out.clusters_.size());
+    if (out.clusters_.size() >= options.max_clusters) {
+      return Status::ResourceExhausted(
+          StrFormat("label graph exceeded max_clusters=%zu",
+                    options.max_clusters));
+    }
+    Cluster cl;
+    cl.representative = p;
+    cl.label = label;
+    out.clusters_.push_back(std::move(cl));
+    label_to_cluster.emplace(std::move(label), id);
+    if (p.depth() == frontier) out.boundary_cluster_.emplace(p, id);
+    ++out.num_active_;
+    for (FuncId f : ground.alphabet()) queue.push_back(p.Extend(f));
+  }
+
+  // Successor mappings.
+  for (Cluster& cl : out.clusters_) {
+    cl.successors.assign(ground.num_symbols(), kInvalidId);
+    for (SymIdx s = 0; s < ground.num_symbols(); ++s) {
+      Path child = cl.representative.Extend(ground.alphabet()[s]);
+      if (cl.trunk) {
+        if (child.depth() < frontier) {
+          cl.successors[s] = out.trunk_cluster_.at(child);
+        } else {
+          cl.successors[s] = out.boundary_cluster_.at(child);
+        }
+      } else {
+        auto it = label_to_cluster.find(labeling->LabelOf(child));
+        if (it == label_to_cluster.end()) {
+          return Status::Internal(
+              "successor label missing from the cluster index (BFS did not "
+              "close the graph)");
+        }
+        cl.successors[s] = it->second;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace relspec

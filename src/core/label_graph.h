@@ -1,0 +1,107 @@
+// Algorithm Q (the paper's Figure 1): the quotient model as a finite graph.
+//
+// Clusters of the finite state congruence (Section 3.2):
+//   * every trunk term (depth <= c) is its own cluster;
+//   * beyond the trunk, terms are clustered by state equivalence ~ (equal
+//     labels), which is a congruence there (Theorem 3.1).
+//
+// The algorithm traverses terms breadth-first in the shortlex precedence
+// ordering starting from depth c+1 (the Potential set). A term is Active —
+// becomes a cluster representative — iff no earlier Active term has the same
+// state. Only Active branches are extended; successor mappings point from
+// each cluster to the cluster of f(representative).
+
+#ifndef RELSPEC_CORE_LABEL_GRAPH_H_
+#define RELSPEC_CORE_LABEL_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/bitset.h"
+#include "src/base/status.h"
+#include "src/core/fixpoint.h"
+#include "src/term/path.h"
+
+namespace relspec {
+
+/// One congruence class of the finite state congruence.
+struct Cluster {
+  Path representative;
+  /// The state: slice atoms true at every term of the cluster.
+  DynamicBitset label;
+  /// successors[sym]: cluster of f(representative), one per alphabet symbol.
+  std::vector<uint32_t> successors;
+  /// True for trunk clusters (depth <= c, singleton classes).
+  bool trunk = false;
+};
+
+struct LabelGraphOptions {
+  /// Cap on |Sigma|^(c+1) initial Potential terms + discovered clusters.
+  size_t max_clusters = 1'000'000;
+  /// Start the traversal at depth c instead of c+1 (the paper's footnote 3,
+  /// stated for temporal rules; sound in general because no pinned fact lies
+  /// strictly below a depth-c node). Reproduces Section 3.5's R = {(0,2)}
+  /// for the Even example.
+  bool merge_trunk_frontier = false;
+};
+
+/// The computed quotient model: clusters, successors, and the Link walk.
+class LabelGraph {
+ public:
+  size_t num_clusters() const { return clusters_.size(); }
+  const Cluster& cluster(uint32_t idx) const { return clusters_[idx]; }
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  /// The cluster containing `path`, or kInvalidId for paths that use symbols
+  /// outside the alphabet (their labels are empty). O(depth) walk.
+  uint32_t ClusterOf(const Path& path) const;
+
+  /// The cluster of f(representative of `cluster`).
+  uint32_t SuccessorOf(uint32_t cluster, SymIdx sym) const {
+    return clusters_[cluster].successors[sym];
+  }
+
+  int trunk_depth() const { return trunk_depth_; }
+  /// Depth at which label-based clustering starts (c+1, or c when
+  /// merge_trunk_frontier is set).
+  int frontier_depth() const { return frontier_depth_; }
+  size_t num_symbols() const { return num_symbols_; }
+
+  /// scope_~ (Lemma 3.1): number of distinct states among all clusters.
+  size_t EquivalenceScope() const;
+  /// scope_congruence (Lemma 3.2): number of clusters.
+  size_t CongruenceScope() const { return clusters_.size(); }
+  /// Number of Active (non-trunk representative) terms.
+  size_t num_active() const { return num_active_; }
+  /// Number of Potential terms examined by the traversal.
+  size_t num_potential() const { return num_potential_; }
+
+  /// Cluster of each frontier-depth path (the Link walk's entry points).
+  const std::unordered_map<Path, uint32_t, PathHash>& boundary_clusters() const {
+    return boundary_cluster_;
+  }
+
+ private:
+  friend StatusOr<LabelGraph> BuildLabelGraph(Labeling*, const LabelGraphOptions&);
+  friend class SpecIo;
+
+  std::vector<Cluster> clusters_;
+  std::unordered_map<FuncId, uint32_t> sym_index_;
+  std::unordered_map<Path, uint32_t, PathHash> trunk_cluster_;
+  /// Cluster of each depth-(c+1) path (entry point of the Link walk).
+  std::unordered_map<Path, uint32_t, PathHash> boundary_cluster_;
+  int trunk_depth_ = 0;
+  int frontier_depth_ = 1;
+  size_t num_symbols_ = 0;
+  size_t num_active_ = 0;
+  size_t num_potential_ = 0;
+};
+
+/// Runs Algorithm Q against a converged least-fixpoint labeling.
+StatusOr<LabelGraph> BuildLabelGraph(Labeling* labeling,
+                                     const LabelGraphOptions& options = {});
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_LABEL_GRAPH_H_

@@ -1,0 +1,273 @@
+#include "src/core/normalize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/ast/validate.h"
+#include "src/base/logging.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+namespace {
+
+// Generates the fresh names used for auxiliary predicates and variables.
+// '$' cannot appear in user identifiers (the lexer rejects it), so these
+// never collide with user symbols.
+class FreshNames {
+ public:
+  explicit FreshNames(SymbolTable* symbols) : symbols_(symbols) {}
+
+  VarId Var() {
+    return symbols_->InternVariable(StrFormat("$v%d", var_counter_++));
+  }
+
+  StatusOr<PredId> Predicate(const std::string& hint, int arity,
+                             bool functional) {
+    return symbols_->InternPredicate(StrFormat("$%s%d", hint.c_str(), pred_counter_++),
+                                     arity, functional);
+  }
+
+ private:
+  SymbolTable* symbols_;
+  int var_counter_ = 0;
+  int pred_counter_ = 0;
+};
+
+// The functional variable at the base of an atom's term, if any.
+std::optional<VarId> BaseVar(const Atom& atom) {
+  if (atom.fterm.has_value() && atom.fterm->has_var) return atom.fterm->var;
+  return std::nullopt;
+}
+
+// Non-functional variables of an atom (mixed-argument and ordinary).
+std::set<VarId> NfVars(const Atom& atom) {
+  std::vector<VarId> nf;
+  std::optional<VarId> fv;
+  CollectVariables(atom, &nf, &fv);
+  return std::set<VarId>(nf.begin(), nf.end());
+}
+
+// One peel step shared by body and head flattening: the auxiliary predicate
+// Aux with the defining rule
+//   direction kBody:  P(fn(u,w...),v...) -> Aux(u,w...,v...)
+//   direction kHead:  Aux(u,w...,v...)  -> P(fn(u,w...),v...)
+// is created once per (pred, fn, direction) and reused.
+class Peeler {
+ public:
+  enum class Direction { kBody, kHead };
+
+  Peeler(Program* program, FreshNames* fresh, std::vector<Rule>* extra_rules,
+         NormalizeStats* stats)
+      : program_(program), fresh_(fresh), extra_rules_(extra_rules),
+        stats_(stats) {}
+
+  /// Returns the auxiliary predicate for peeling `fn` off `pred` atoms.
+  StatusOr<PredId> AuxFor(PredId pred, FuncId fn, Direction dir) {
+    auto key = std::make_tuple(pred, fn, dir == Direction::kHead);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+
+    // Copy out: interning the aux predicate below may reallocate the
+    // symbol table's storage and invalidate references into it.
+    const int pred_arity = program_->symbols.predicate(pred).arity;
+    int fn_extra = program_->symbols.function(fn).arity - 1;
+    int aux_arity = pred_arity + fn_extra;  // functional + w... + v...
+    RELSPEC_ASSIGN_OR_RETURN(
+        PredId aux, fresh_->Predicate("peel", aux_arity, /*functional=*/true));
+    ++stats_->aux_predicates;
+
+    // Build the defining rule with fresh distinct variables.
+    VarId u = fresh_->Var();
+    std::vector<NfArg> ws, vs;
+    for (int i = 0; i < fn_extra; ++i) ws.push_back(NfArg::Variable(fresh_->Var()));
+    for (int i = 0; i < pred_arity - 1; ++i) {
+      vs.push_back(NfArg::Variable(fresh_->Var()));
+    }
+    Atom deep;  // P(fn(u,w...),v...)
+    deep.pred = pred;
+    deep.fterm = FuncTerm::Var(u).Apply(fn, ws);
+    deep.args = vs;
+    Atom flat;  // Aux(u,w...,v...)
+    flat.pred = aux;
+    flat.fterm = FuncTerm::Var(u);
+    flat.args = ws;
+    flat.args.insert(flat.args.end(), vs.begin(), vs.end());
+
+    Rule def;
+    if (dir == Direction::kBody) {
+      def.body.push_back(std::move(deep));
+      def.head = std::move(flat);
+    } else {
+      def.body.push_back(std::move(flat));
+      def.head = std::move(deep);
+    }
+    extra_rules_->push_back(std::move(def));
+    cache_.emplace(key, aux);
+    return aux;
+  }
+
+  /// Rewrites `atom` (with a non-ground functional term of depth >= 2) into
+  /// the equivalent aux atom with the outermost application removed.
+  StatusOr<Atom> PeelOnce(const Atom& atom, Direction dir) {
+    RELSPEC_CHECK(atom.fterm.has_value());
+    FuncTerm term = *atom.fterm;
+    RELSPEC_CHECK_GE(term.depth(), 2);
+    FuncApply outer = term.apps.back();
+    term.apps.pop_back();
+    RELSPEC_ASSIGN_OR_RETURN(PredId aux, AuxFor(atom.pred, outer.fn, dir));
+    Atom out;
+    out.pred = aux;
+    out.fterm = std::move(term);
+    out.args = outer.args;
+    out.args.insert(out.args.end(), atom.args.begin(), atom.args.end());
+    return out;
+  }
+
+ private:
+  Program* program_;
+  FreshNames* fresh_;
+  std::vector<Rule>* extra_rules_;
+  NormalizeStats* stats_;
+  std::map<std::tuple<PredId, FuncId, bool>, PredId> cache_;
+};
+
+bool NeedsFlattening(const Atom& atom) {
+  return atom.fterm.has_value() && !atom.fterm->IsGround() &&
+         atom.fterm->depth() >= 2;
+}
+
+// Splits off body atoms whose functional variable differs from the rule's
+// kept variable into fresh non-functional projection predicates. Returns the
+// rewritten rule; projection rules are appended to `pending`.
+StatusOr<Rule> SplitFunctionalVariables(const Rule& rule, FreshNames* fresh,
+                                        std::vector<Rule>* pending,
+                                        NormalizeStats* stats) {
+  // Distinct functional variables in body order.
+  std::vector<VarId> fvars;
+  for (const Atom& a : rule.body) {
+    std::optional<VarId> v = BaseVar(a);
+    if (v.has_value() &&
+        std::find(fvars.begin(), fvars.end(), *v) == fvars.end()) {
+      fvars.push_back(*v);
+    }
+  }
+  if (fvars.size() <= 1) return rule;
+
+  // Keep the head's variable if it has one, else the first body variable.
+  std::optional<VarId> head_var = BaseVar(rule.head);
+  VarId keep = head_var.has_value() ? *head_var : fvars[0];
+  if (head_var.has_value() &&
+      std::find(fvars.begin(), fvars.end(), keep) == fvars.end()) {
+    return Status::InvalidArgument(
+        "rule head's functional variable does not occur in the body "
+        "(not range-restricted)");
+  }
+
+  Rule main;
+  main.head = rule.head;
+  std::map<VarId, std::vector<Atom>> groups;
+  for (const Atom& a : rule.body) {
+    std::optional<VarId> v = BaseVar(a);
+    if (v.has_value() && *v != keep) {
+      groups[*v].push_back(a);
+    } else {
+      main.body.push_back(a);
+    }
+  }
+
+  for (auto& [v, group] : groups) {
+    // Non-functional variables shared between the group and the rest of the
+    // rule (head, kept atoms, and *other* groups) must be carried through
+    // the projection predicate so joins across groups are preserved.
+    std::set<VarId> group_vars;
+    for (const Atom& a : group) {
+      std::set<VarId> nv = NfVars(a);
+      group_vars.insert(nv.begin(), nv.end());
+    }
+    std::set<VarId> rest_vars = NfVars(rule.head);
+    for (const Atom& a : rule.body) {
+      std::optional<VarId> av = BaseVar(a);
+      if (av.has_value() && *av == v) continue;  // atom belongs to this group
+      std::set<VarId> nv = NfVars(a);
+      rest_vars.insert(nv.begin(), nv.end());
+    }
+    std::vector<VarId> shared;
+    for (VarId gv : group_vars) {
+      if (rest_vars.count(gv) > 0) shared.push_back(gv);
+    }
+
+    RELSPEC_ASSIGN_OR_RETURN(
+        PredId proj, fresh->Predicate("proj", static_cast<int>(shared.size()),
+                                      /*functional=*/false));
+    ++stats->aux_predicates;
+    Atom proj_atom;
+    proj_atom.pred = proj;
+    for (VarId sv : shared) proj_atom.args.push_back(NfArg::Variable(sv));
+
+    Rule proj_rule;
+    proj_rule.body = std::move(group);
+    proj_rule.head = proj_atom;
+    pending->push_back(std::move(proj_rule));
+
+    main.body.push_back(std::move(proj_atom));
+  }
+  return main;
+}
+
+}  // namespace
+
+StatusOr<NormalizeStats> NormalizeProgram(Program* program) {
+  NormalizeStats stats;
+  stats.rules_in = static_cast<int>(program->rules.size());
+
+  FreshNames fresh(&program->symbols);
+  std::vector<Rule> done;
+  std::vector<Rule> aux_definitions;
+  Peeler peeler(program, &fresh, &aux_definitions, &stats);
+
+  std::vector<Rule> pending = std::move(program->rules);
+  program->rules.clear();
+  // Process LIFO; newly created rules may themselves need flattening.
+  while (!pending.empty()) {
+    Rule rule = std::move(pending.back());
+    pending.pop_back();
+
+    RELSPEC_ASSIGN_OR_RETURN(
+        rule, SplitFunctionalVariables(rule, &fresh, &pending, &stats));
+
+    // Flatten deep body atoms: peel outermost applications until depth <= 1.
+    bool requeued = false;
+    for (Atom& a : rule.body) {
+      if (NeedsFlattening(a)) {
+        RELSPEC_ASSIGN_OR_RETURN(a, peeler.PeelOnce(a, Peeler::Direction::kBody));
+        pending.push_back(rule);
+        requeued = true;
+        break;  // re-examine the whole rule after each step
+      }
+    }
+    if (requeued) continue;
+
+    // Flatten a deep head the same way (the aux definition rule re-applies
+    // the peeled symbol).
+    if (NeedsFlattening(rule.head)) {
+      RELSPEC_ASSIGN_OR_RETURN(
+          rule.head, peeler.PeelOnce(rule.head, Peeler::Direction::kHead));
+      pending.push_back(rule);
+      continue;
+    }
+
+    done.push_back(std::move(rule));
+  }
+
+  done.insert(done.end(), aux_definitions.begin(), aux_definitions.end());
+  program->rules = std::move(done);
+  stats.rules_out = static_cast<int>(program->rules.size());
+  if (!IsNormalProgram(*program)) {
+    return Status::Internal("normalization did not produce a normal program");
+  }
+  return stats;
+}
+
+}  // namespace relspec

@@ -1,0 +1,39 @@
+// Rule normalization (paper appendix).
+//
+// A functional rule is *normal* (Section 2.4) when it contains at most one
+// functional variable and all its non-ground functional terms have depth at
+// most 1. Every functional rule can be rewritten into an equivalent set of
+// normal rules by introducing auxiliary predicates:
+//
+//  * variable splitting: body atoms whose functional variable differs from
+//    the head's are projected into a fresh non-functional predicate carrying
+//    the shared non-functional variables;
+//  * depth flattening: a deep non-ground term a_k(...a_1(s)) in a body atom
+//    is peeled outermost-first (P(a_k(u),x) -> Aux(u,x)), and in a head atom
+//    innermost-first (body -> Aux(a_1(s),y), ..., Aux(u,y) -> P(a_k(u),x)).
+//
+// The transformation is database-independent, preserves domain independence,
+// and is equivalent to the original rules with respect to the original
+// predicates (appendix).
+
+#ifndef RELSPEC_CORE_NORMALIZE_H_
+#define RELSPEC_CORE_NORMALIZE_H_
+
+#include "src/ast/ast.h"
+#include "src/base/status.h"
+
+namespace relspec {
+
+struct NormalizeStats {
+  int rules_in = 0;
+  int rules_out = 0;
+  int aux_predicates = 0;
+};
+
+/// Rewrites `program`'s rules in place into an equivalent normal set.
+/// Idempotent on already-normal programs.
+StatusOr<NormalizeStats> NormalizeProgram(Program* program);
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_NORMALIZE_H_

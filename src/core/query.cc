@@ -1,0 +1,337 @@
+#include "src/core/query.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "src/ast/printer.h"
+#include "src/ast/validate.h"
+#include "src/base/str_util.h"
+#include "src/datalog/evaluator.h"
+
+namespace relspec {
+
+namespace {
+
+// The functional variable of a query, if any.
+std::optional<VarId> FunctionalVarOf(const Query& query) {
+  for (const Atom& a : query.atoms) {
+    if (a.fterm.has_value() && a.fterm->has_var) return a.fterm->var;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> ColumnNames(const Query& query,
+                                     const SymbolTable& symbols) {
+  std::vector<std::string> out;
+  out.reserve(query.answer_vars.size());
+  for (VarId v : query.answer_vars) out.push_back(symbols.variable_name(v));
+  return out;
+}
+
+}  // namespace
+
+bool ConcreteAnswer::operator<(const ConcreteAnswer& o) const {
+  if (term.has_value() != o.term.has_value()) return !term.has_value();
+  if (term.has_value() && !(*term == *o.term)) return *term < *o.term;
+  return tuple < o.tuple;
+}
+
+StatusOr<bool> QueryAnswer::Contains(const std::optional<Path>& term,
+                                     const std::vector<ConstId>& tuple) const {
+  if (functional_ != term.has_value()) {
+    return Status::InvalidArgument(
+        functional_ ? "this answer has a functional column; provide a term"
+                    : "this answer has no functional column");
+  }
+  if (!functional_) {
+    return std::find(flat_.begin(), flat_.end(), tuple) != flat_.end();
+  }
+  uint32_t cluster = graph_.ClusterOf(*term);
+  if (cluster == kInvalidId) return false;
+  const auto& tuples = per_cluster_[cluster];
+  return std::find(tuples.begin(), tuples.end(), tuple) != tuples.end();
+}
+
+StatusOr<std::vector<ConcreteAnswer>> QueryAnswer::Enumerate(
+    int max_depth, size_t max_count) const {
+  std::vector<ConcreteAnswer> out;
+  if (!functional_) {
+    for (const auto& tuple : flat_) {
+      if (out.size() >= max_count) break;
+      out.push_back(ConcreteAnswer{std::nullopt, tuple});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  // Breadth-first over terms, walking clusters by successor.
+  std::deque<std::pair<Path, uint32_t>> queue;
+  queue.emplace_back(Path::Zero(), graph_.ClusterOf(Path::Zero()));
+  while (!queue.empty() && out.size() < max_count) {
+    auto [path, cluster] = std::move(queue.front());
+    queue.pop_front();
+    for (const auto& tuple : per_cluster_[cluster]) {
+      if (out.size() >= max_count) break;
+      out.push_back(ConcreteAnswer{path, tuple});
+    }
+    if (path.depth() < max_depth) {
+      for (size_t s = 0; s < alphabet_.size(); ++s) {
+        queue.emplace_back(path.Extend(alphabet_[s]),
+                           graph_.SuccessorOf(cluster, static_cast<SymIdx>(s)));
+      }
+    }
+  }
+  return out;
+}
+
+bool QueryAnswer::IsEmpty() const {
+  if (!functional_) return flat_.empty();
+  for (const auto& tuples : per_cluster_) {
+    if (!tuples.empty()) return false;
+  }
+  return true;
+}
+
+size_t QueryAnswer::NumSpecTuples() const {
+  if (!functional_) return flat_.size();
+  size_t n = 0;
+  for (const auto& tuples : per_cluster_) n += tuples.size();
+  return n;
+}
+
+std::string QueryAnswer::ToString() const {
+  std::string out = "answer(";
+  out += Join(columns_, ",");
+  out += ")";
+  if (!functional_) {
+    out += StrFormat(": finite, %zu tuples\n", flat_.size());
+    return out;
+  }
+  out += StrFormat(": %zu clusters, %zu spec tuples\n", per_cluster_.size(),
+                   NumSpecTuples());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental answers (Theorem 5.1)
+// ---------------------------------------------------------------------------
+
+StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase* db,
+                                             const Query& query) {
+  RELSPEC_RETURN_NOT_OK(ValidateQuery(query, db->program().symbols));
+  if (!IsUniformQuery(query)) {
+    return Status::InvalidArgument(
+        "incremental answers require a uniform query (Theorem 5.1); use "
+        "AnswerQueryRecompute");
+  }
+  const SymbolTable& symbols = db->program().symbols;
+  const GroundProgram& ground = db->ground();
+  const LabelGraph& graph = db->label_graph();
+  std::optional<VarId> func_var = FunctionalVarOf(query);
+
+  QueryAnswer out;
+  out.symbols_ = symbols;
+  out.columns_ = ColumnNames(query, symbols);
+  out.functional_ =
+      func_var.has_value() &&
+      std::find(query.answer_vars.begin(), query.answer_vars.end(),
+                *func_var) != query.answer_vars.end();
+
+  // Dense variable numbering for the join.
+  std::map<VarId, uint32_t> var_index;
+  auto var_of = [&](VarId v) {
+    auto it = var_index.find(v);
+    if (it != var_index.end()) return it->second;
+    uint32_t idx = static_cast<uint32_t>(var_index.size());
+    var_index.emplace(v, idx);
+    return idx;
+  };
+
+  // Per-atom relation sources.
+  enum class Source { kSlice, kFixed, kGlobal };
+  struct AtomPlan {
+    Source source = Source::kGlobal;
+    std::vector<datalog::Tuple> fixed_tuples;  // kFixed / kGlobal
+    datalog::DAtom datom;
+  };
+  std::vector<AtomPlan> plans;
+  bool any_slice = false;
+  for (size_t i = 0; i < query.atoms.size(); ++i) {
+    const Atom& a = query.atoms[i];
+    AtomPlan plan;
+    plan.datom.pred = static_cast<PredId>(i);
+    for (const NfArg& arg : a.args) {
+      plan.datom.args.push_back(arg.IsConstant()
+                                    ? datalog::DTerm::Val(arg.id)
+                                    : datalog::DTerm::Var(var_of(arg.id)));
+    }
+    if (!a.fterm.has_value()) {
+      plan.source = Source::kGlobal;
+      for (CtxIdx ci = 0; ci < ground.num_ctx(); ++ci) {
+        const CtxProp& prop = ground.ctx_prop(ci);
+        if (prop.kind == CtxProp::Kind::kGlobal && prop.pred == a.pred &&
+            db->labeling().ctx().Test(ci)) {
+          plan.fixed_tuples.push_back(prop.args);
+        }
+      }
+    } else if (a.fterm->IsGround()) {
+      plan.source = Source::kFixed;
+      RELSPEC_ASSIGN_OR_RETURN(Path path, db->PathOfGroundTerm(*a.fterm));
+      const DynamicBitset& label = db->labeling().LabelOf(path);
+      label.ForEach([&](size_t b) {
+        const SliceAtom& sa = ground.atom(static_cast<AtomIdx>(b));
+        if (sa.pred == a.pred) plan.fixed_tuples.push_back(sa.args);
+      });
+    } else {
+      plan.source = Source::kSlice;
+      any_slice = true;
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Projection: the non-functional answer columns.
+  std::vector<uint32_t> projection;
+  for (VarId v : query.answer_vars) {
+    if (func_var.has_value() && v == *func_var) continue;
+    projection.push_back(var_of(v));
+  }
+  uint32_t num_vars = static_cast<uint32_t>(var_index.size());
+
+  auto join_against = [&](const DynamicBitset* cluster_label)
+      -> StatusOr<std::vector<std::vector<ConstId>>> {
+    datalog::Database jdb;
+    std::vector<datalog::DAtom> body;
+    for (size_t i = 0; i < plans.size(); ++i) {
+      RELSPEC_RETURN_NOT_OK(jdb.Declare(
+          static_cast<PredId>(i),
+          static_cast<int>(plans[i].datom.args.size())));
+      if (plans[i].source == Source::kSlice) {
+        cluster_label->ForEach([&](size_t b) {
+          const SliceAtom& sa = ground.atom(static_cast<AtomIdx>(b));
+          if (sa.pred == query.atoms[i].pred) {
+            jdb.Insert(static_cast<PredId>(i), sa.args);
+          }
+        });
+      } else {
+        for (const auto& t : plans[i].fixed_tuples) {
+          jdb.Insert(static_cast<PredId>(i), t);
+        }
+      }
+      body.push_back(plans[i].datom);
+    }
+    return datalog::JoinProject(jdb, body, num_vars, projection);
+  };
+
+  if (func_var.has_value()) {
+    out.graph_ = graph;
+    out.alphabet_ = ground.alphabet();
+    out.per_cluster_.resize(graph.num_clusters());
+    for (uint32_t c = 0; c < graph.num_clusters(); ++c) {
+      RELSPEC_ASSIGN_OR_RETURN(out.per_cluster_[c],
+                               join_against(&graph.cluster(c).label));
+    }
+    if (!out.functional_) {
+      // The functional variable is existential: flatten to a finite set.
+      std::set<std::vector<ConstId>> seen;
+      for (const auto& tuples : out.per_cluster_) {
+        seen.insert(tuples.begin(), tuples.end());
+      }
+      out.flat_.assign(seen.begin(), seen.end());
+      out.per_cluster_.clear();
+      out.graph_ = LabelGraph();
+      out.alphabet_.clear();
+    }
+  } else {
+    (void)any_slice;  // no functional variable => no slice sources
+    RELSPEC_ASSIGN_OR_RETURN(out.flat_, join_against(nullptr));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Recompute answers (the general method)
+// ---------------------------------------------------------------------------
+
+StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase* db,
+                                           const Query& query) {
+  RELSPEC_RETURN_NOT_OK(ValidateQuery(query, db->program().symbols));
+  static std::atomic<int> counter{0};
+  std::string pred_name = StrFormat("$query%d", counter++);
+
+  Program extended = db->original_program();
+  // The query was parsed against the transformed symbol table; share it so
+  // variable/predicate ids line up.
+  extended.symbols = db->program().symbols;
+
+  std::optional<VarId> func_var = FunctionalVarOf(query);
+  bool functional =
+      func_var.has_value() &&
+      std::find(query.answer_vars.begin(), query.answer_vars.end(),
+                *func_var) != query.answer_vars.end();
+
+  Rule query_rule;
+  query_rule.body = query.atoms;
+  Atom head;
+  int arity = static_cast<int>(query.answer_vars.size());
+  RELSPEC_ASSIGN_OR_RETURN(
+      head.pred, extended.symbols.InternPredicate(pred_name, arity, functional));
+  if (functional) head.fterm = FuncTerm::Var(*func_var);
+  for (VarId v : query.answer_vars) {
+    if (functional && v == *func_var) continue;
+    head.args.push_back(NfArg::Variable(v));
+  }
+  query_rule.head = std::move(head);
+  extended.rules.push_back(std::move(query_rule));
+
+  RELSPEC_ASSIGN_OR_RETURN(std::unique_ptr<FunctionalDatabase> sub,
+                           FunctionalDatabase::FromProgram(std::move(extended)));
+  RELSPEC_ASSIGN_OR_RETURN(PredId qpred,
+                           sub->program().symbols.FindPredicate(pred_name));
+
+  QueryAnswer out;
+  out.symbols_ = sub->program().symbols;
+  out.columns_ = ColumnNames(query, out.symbols_);
+  out.functional_ = functional;
+  const GroundProgram& sground = sub->ground();
+  if (functional) {
+    out.graph_ = sub->label_graph();
+    out.alphabet_ = sground.alphabet();
+    out.per_cluster_.resize(out.graph_.num_clusters());
+    for (uint32_t c = 0; c < out.graph_.num_clusters(); ++c) {
+      out.graph_.cluster(c).label.ForEach([&](size_t b) {
+        const SliceAtom& sa = sground.atom(static_cast<AtomIdx>(b));
+        if (sa.pred == qpred) out.per_cluster_[c].push_back(sa.args);
+      });
+    }
+  } else {
+    std::set<std::vector<ConstId>> seen;
+    if (func_var.has_value()) {
+      // Existential functional variable: QUERY facts may live in slices of
+      // any cluster if the head is functional — but we made the head
+      // non-functional, so they are globals.
+    }
+    for (CtxIdx ci = 0; ci < sground.num_ctx(); ++ci) {
+      const CtxProp& prop = sground.ctx_prop(ci);
+      if (prop.kind == CtxProp::Kind::kGlobal && prop.pred == qpred &&
+          sub->labeling().ctx().Test(ci)) {
+        seen.insert(prop.args);
+      }
+    }
+    out.flat_.assign(seen.begin(), seen.end());
+  }
+  return out;
+}
+
+StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query) {
+  if (IsUniformQuery(query)) return AnswerQueryIncremental(db, query);
+  return AnswerQueryRecompute(db, query);
+}
+
+StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query) {
+  RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerQuery(db, query));
+  return !answer.IsEmpty();
+}
+
+}  // namespace relspec

@@ -1,0 +1,116 @@
+// Query answering with finitely represented (possibly infinite) answers
+// (Section 5).
+//
+// Queries are positive conjunctions with at most one functional variable.
+// Two construction strategies are provided:
+//
+//  * AnswerQueryRecompute — the general method: add a QUERY rule to Z and
+//    build the specification of the extended program's least fixpoint; the
+//    QUERY slices form the answer's relational specification (Q(B'), F').
+//  * AnswerQueryIncremental — for *uniform* queries (the only non-ground
+//    functional term is a bare variable, Theorem 5.1): evaluate the query
+//    against each slice of the existing primary database B, reusing the
+//    successor maps F unchanged: (Q(B), F). No fixpoint recomputation.
+//
+// AnswerQuery dispatches to the incremental method whenever the query is
+// uniform.
+
+#ifndef RELSPEC_CORE_QUERY_H_
+#define RELSPEC_CORE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/base/status.h"
+#include "src/core/engine.h"
+#include "src/core/label_graph.h"
+
+namespace relspec {
+
+/// One concrete element of a query answer: the functional term (if the
+/// functional variable is an answer column) plus the non-functional columns
+/// in answer_vars order.
+struct ConcreteAnswer {
+  std::optional<Path> term;
+  std::vector<ConstId> tuple;
+  bool operator==(const ConcreteAnswer& o) const {
+    bool term_eq = term.has_value() == o.term.has_value() &&
+                   (!term.has_value() || *term == *o.term);
+    return term_eq && tuple == o.tuple;
+  }
+  bool operator<(const ConcreteAnswer& o) const;
+};
+
+/// A finitely represented query answer. For answers with a functional
+/// column, the representation is (Q(B), F): per-cluster tuple sets plus the
+/// successor graph; for finite answers it is a plain tuple set.
+class QueryAnswer {
+ public:
+  /// True if the functional variable is one of the answer columns (the
+  /// answer may then be infinite).
+  bool has_functional_answer() const { return functional_; }
+
+  /// Answer column names, in answer_vars order (functional column included).
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Membership of a candidate answer. `term` must be provided iff
+  /// has_functional_answer().
+  StatusOr<bool> Contains(const std::optional<Path>& term,
+                          const std::vector<ConstId>& tuple) const;
+
+  /// Concrete answers: finite answers are returned in full; infinite ones
+  /// are expanded breadth-first over terms up to max_depth / max_count.
+  StatusOr<std::vector<ConcreteAnswer>> Enumerate(int max_depth,
+                                                  size_t max_count) const;
+
+  /// True if the answer has no elements at all.
+  bool IsEmpty() const;
+
+  /// Tuples stored in the specification (size of Q(B)).
+  size_t NumSpecTuples() const;
+
+  const SymbolTable& symbols() const { return symbols_; }
+  const LabelGraph& graph() const { return graph_; }
+  const std::vector<std::vector<std::vector<ConstId>>>& tuples_per_cluster()
+      const {
+    return per_cluster_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  friend StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase*,
+                                                      const Query&);
+  friend StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase*,
+                                                    const Query&);
+
+  bool functional_ = false;
+  std::vector<std::string> columns_;
+  // Functional answers: aligned with graph_ clusters.
+  LabelGraph graph_;
+  std::vector<FuncId> alphabet_;
+  std::vector<std::vector<std::vector<ConstId>>> per_cluster_;
+  // Finite answers:
+  std::vector<std::vector<ConstId>> flat_;
+  SymbolTable symbols_;
+};
+
+/// General method: extend Z with a QUERY rule and rebuild.
+StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase* db,
+                                           const Query& query);
+
+/// Incremental method for uniform queries (Theorem 5.1).
+StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase* db,
+                                             const Query& query);
+
+/// Dispatches: incremental for uniform queries, recompute otherwise.
+StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query);
+
+/// "Does Z and D imply the (existentially closed) query?"
+StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query);
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_QUERY_H_

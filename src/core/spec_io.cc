@@ -1,0 +1,369 @@
+#include "src/core/spec_io.h"
+
+#include <sstream>
+
+#include "src/base/str_util.h"
+
+namespace relspec {
+namespace {
+
+// Paths are serialized as innermost-first dot-words; "0" is the constant.
+std::string PathWord(const Path& p, const SymbolTable& symbols) {
+  if (p.empty()) return "0";
+  return p.ToWord(symbols);
+}
+
+StatusOr<Path> ParsePathWord(std::string_view word, const SymbolTable& symbols) {
+  if (word == "0") return Path::Zero();
+  std::vector<FuncId> syms;
+  for (const std::string& name : Split(word, '.')) {
+    RELSPEC_ASSIGN_OR_RETURN(FuncId f, symbols.FindFunction(name));
+    syms.push_back(f);
+  }
+  return Path(std::move(syms));
+}
+
+void SerializeSymbols(const SymbolTable& symbols, std::ostringstream* out) {
+  *out << "symbols\n";
+  for (PredId p = 0; p < symbols.num_predicates(); ++p) {
+    const PredicateInfo& info = symbols.predicate(p);
+    *out << "pred " << info.name << " " << info.arity << " "
+         << (info.functional ? "functional" : "plain") << "\n";
+  }
+  for (FuncId f = 0; f < symbols.num_functions(); ++f) {
+    const FunctionInfo& info = symbols.function(f);
+    *out << "fn " << info.name << " " << info.arity << "\n";
+  }
+  for (ConstId c = 0; c < symbols.num_constants(); ++c) {
+    *out << "const " << symbols.constant_name(c) << "\n";
+  }
+  *out << "end\n";
+}
+
+void SerializeAtoms(const std::vector<SliceAtom>& atoms,
+                    const SymbolTable& symbols, std::ostringstream* out) {
+  *out << "atoms " << atoms.size() << "\n";
+  for (const SliceAtom& a : atoms) {
+    *out << symbols.predicate(a.pred).name;
+    for (ConstId c : a.args) *out << " " << symbols.constant_name(c);
+    *out << "\n";
+  }
+}
+
+void SerializeGlobals(
+    const std::vector<std::pair<PredId, std::vector<ConstId>>>& globals,
+    const SymbolTable& symbols, std::ostringstream* out) {
+  for (const auto& [pred, args] : globals) {
+    *out << "global " << symbols.predicate(pred).name;
+    for (ConstId c : args) *out << " " << symbols.constant_name(c);
+    *out << "\n";
+  }
+}
+
+void SerializeCluster(const Cluster& c, const SymbolTable& symbols,
+                      std::ostringstream* out) {
+  *out << "cluster " << (c.trunk ? "trunk" : "bfs") << " "
+       << PathWord(c.representative, symbols) << " label";
+  c.label.ForEach([&](size_t i) { *out << " " << i; });
+  *out << " succ";
+  for (uint32_t s : c.successors) *out << " " << s;
+  *out << "\n";
+}
+
+// Line-based reader with a one-line pushback.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : stream_(std::string(text)) {}
+
+  bool Next(std::string* line) {
+    if (pushback_.has_value()) {
+      *line = std::move(*pushback_);
+      pushback_.reset();
+      return true;
+    }
+    while (std::getline(stream_, *line)) {
+      std::string_view s = StripWhitespace(*line);
+      if (s.empty() || s[0] == '#') continue;
+      *line = std::string(s);
+      return true;
+    }
+    return false;
+  }
+  void Pushback(std::string line) { pushback_ = std::move(line); }
+
+ private:
+  std::istringstream stream_;
+  std::optional<std::string> pushback_;
+};
+
+std::vector<std::string> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string field;
+  while (ss >> field) out.push_back(field);
+  return out;
+}
+
+Status ParseSymbols(Reader* reader, SymbolTable* symbols) {
+  std::string line;
+  if (!reader->Next(&line) || line != "symbols") {
+    return Status::InvalidArgument("expected 'symbols' section");
+  }
+  while (reader->Next(&line)) {
+    if (line == "end") return Status::OK();
+    std::vector<std::string> f = Fields(line);
+    if (f[0] == "pred" && f.size() == 4) {
+      RELSPEC_ASSIGN_OR_RETURN(
+          PredId id, symbols->InternPredicate(f[1], std::stoi(f[2]),
+                                              f[3] == "functional"));
+      (void)id;
+    } else if (f[0] == "fn" && f.size() == 3) {
+      RELSPEC_ASSIGN_OR_RETURN(FuncId id,
+                               symbols->InternFunction(f[1], std::stoi(f[2])));
+      (void)id;
+    } else if (f[0] == "const" && f.size() == 2) {
+      symbols->InternConstant(f[1]);
+    } else {
+      return Status::InvalidArgument("bad symbols line: " + line);
+    }
+  }
+  return Status::InvalidArgument("unterminated symbols section");
+}
+
+StatusOr<std::vector<SliceAtom>> ParseAtoms(Reader* reader,
+                                            const SymbolTable& symbols) {
+  std::string line;
+  if (!reader->Next(&line)) return Status::InvalidArgument("missing atoms");
+  std::vector<std::string> header = Fields(line);
+  if (header.size() != 2 || header[0] != "atoms") {
+    return Status::InvalidArgument("expected 'atoms <n>'");
+  }
+  size_t n = std::stoul(header[1]);
+  std::vector<SliceAtom> atoms;
+  atoms.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!reader->Next(&line)) return Status::InvalidArgument("truncated atoms");
+    std::vector<std::string> f = Fields(line);
+    SliceAtom a;
+    RELSPEC_ASSIGN_OR_RETURN(a.pred, symbols.FindPredicate(f[0]));
+    for (size_t k = 1; k < f.size(); ++k) {
+      RELSPEC_ASSIGN_OR_RETURN(ConstId c, symbols.FindConstant(f[k]));
+      a.args.push_back(c);
+    }
+    atoms.push_back(std::move(a));
+  }
+  return atoms;
+}
+
+StatusOr<Cluster> ParseClusterLine(const std::string& line,
+                                   const SymbolTable& symbols,
+                                   size_t num_atoms) {
+  std::vector<std::string> f = Fields(line);
+  if (f.size() < 4 || f[0] != "cluster") {
+    return Status::InvalidArgument("bad cluster line: " + line);
+  }
+  Cluster c;
+  c.trunk = f[1] == "trunk";
+  RELSPEC_ASSIGN_OR_RETURN(c.representative, ParsePathWord(f[2], symbols));
+  c.label = DynamicBitset(num_atoms);
+  size_t i = 3;
+  if (f[i] != "label") return Status::InvalidArgument("expected 'label'");
+  ++i;
+  for (; i < f.size() && f[i] != "succ"; ++i) {
+    c.label.Set(std::stoul(f[i]));
+  }
+  if (i == f.size()) return Status::InvalidArgument("expected 'succ'");
+  ++i;
+  for (; i < f.size(); ++i) {
+    c.successors.push_back(static_cast<uint32_t>(std::stoul(f[i])));
+  }
+  return c;
+}
+
+StatusOr<std::pair<PredId, std::vector<ConstId>>> ParseGlobalLine(
+    const std::string& line, const SymbolTable& symbols) {
+  std::vector<std::string> f = Fields(line);
+  std::pair<PredId, std::vector<ConstId>> out;
+  RELSPEC_ASSIGN_OR_RETURN(out.first, symbols.FindPredicate(f[1]));
+  for (size_t k = 2; k < f.size(); ++k) {
+    RELSPEC_ASSIGN_OR_RETURN(ConstId c, symbols.FindConstant(f[k]));
+    out.second.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SpecIo::Serialize(const GraphSpecification& spec) {
+  std::ostringstream out;
+  out << "relspec-graph-spec v1\n";
+  out << "trunk_depth " << spec.trunk_depth() << "\n";
+  out << "frontier_depth " << spec.graph().frontier_depth() << "\n";
+  SerializeSymbols(spec.symbols(), &out);
+  out << "alphabet";
+  for (FuncId f : spec.alphabet()) out << " " << spec.symbols().function(f).name;
+  out << "\n";
+  SerializeAtoms(spec.atom_dictionary(), spec.symbols(), &out);
+  out << "clusters " << spec.graph().num_clusters() << "\n";
+  for (const Cluster& c : spec.graph().clusters()) {
+    SerializeCluster(c, spec.symbols(), &out);
+  }
+  for (const auto& [path, cluster] : spec.graph().boundary_clusters()) {
+    out << "boundary " << PathWord(path, spec.symbols()) << " " << cluster
+        << "\n";
+  }
+  SerializeGlobals(spec.globals(), spec.symbols(), &out);
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<GraphSpecification> SpecIo::ParseGraphSpec(std::string_view text) {
+  Reader reader(text);
+  std::string line;
+  if (!reader.Next(&line) || line != "relspec-graph-spec v1") {
+    return Status::InvalidArgument("not a relspec graph specification");
+  }
+  GraphSpecification spec;
+  if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
+  {
+    std::vector<std::string> f = Fields(line);
+    if (f.size() != 2 || f[0] != "trunk_depth") {
+      return Status::InvalidArgument("expected trunk_depth");
+    }
+    spec.graph_.trunk_depth_ = std::stoi(f[1]);
+  }
+  if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
+  {
+    std::vector<std::string> f = Fields(line);
+    if (f.size() != 2 || f[0] != "frontier_depth") {
+      return Status::InvalidArgument("expected frontier_depth");
+    }
+    spec.graph_.frontier_depth_ = std::stoi(f[1]);
+  }
+  RELSPEC_RETURN_NOT_OK(ParseSymbols(&reader, &spec.symbols_));
+  if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
+  {
+    std::vector<std::string> f = Fields(line);
+    if (f.empty() || f[0] != "alphabet") {
+      return Status::InvalidArgument("expected alphabet");
+    }
+    for (size_t i = 1; i < f.size(); ++i) {
+      RELSPEC_ASSIGN_OR_RETURN(FuncId fn, spec.symbols_.FindFunction(f[i]));
+      spec.alphabet_.push_back(fn);
+      spec.graph_.sym_index_.emplace(fn, static_cast<uint32_t>(i - 1));
+    }
+    spec.graph_.num_symbols_ = spec.alphabet_.size();
+  }
+  RELSPEC_ASSIGN_OR_RETURN(spec.atoms_, ParseAtoms(&reader, spec.symbols_));
+  for (AtomIdx i = 0; i < spec.atoms_.size(); ++i) {
+    spec.atom_index_.emplace(spec.atoms_[i], i);
+  }
+  if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
+  size_t num_clusters = 0;
+  {
+    std::vector<std::string> f = Fields(line);
+    if (f.size() != 2 || f[0] != "clusters") {
+      return Status::InvalidArgument("expected clusters");
+    }
+    num_clusters = std::stoul(f[1]);
+  }
+  for (size_t i = 0; i < num_clusters; ++i) {
+    if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
+    RELSPEC_ASSIGN_OR_RETURN(
+        Cluster c, ParseClusterLine(line, spec.symbols_, spec.atoms_.size()));
+    if (c.trunk) {
+      spec.graph_.trunk_cluster_.emplace(
+          c.representative, static_cast<uint32_t>(spec.graph_.clusters_.size()));
+    }
+    spec.graph_.clusters_.push_back(std::move(c));
+  }
+  while (reader.Next(&line)) {
+    if (line == "end") return spec;
+    std::vector<std::string> f = Fields(line);
+    if (f[0] == "boundary" && f.size() == 3) {
+      RELSPEC_ASSIGN_OR_RETURN(Path p, ParsePathWord(f[1], spec.symbols_));
+      spec.graph_.boundary_cluster_.emplace(
+          p, static_cast<uint32_t>(std::stoul(f[2])));
+    } else if (f[0] == "global") {
+      RELSPEC_ASSIGN_OR_RETURN(auto g, ParseGlobalLine(line, spec.symbols_));
+      spec.globals_.push_back(std::move(g));
+    } else {
+      return Status::InvalidArgument("unexpected line: " + line);
+    }
+  }
+  return Status::InvalidArgument("missing 'end'");
+}
+
+std::string SpecIo::Serialize(const EquationalSpecification& spec) {
+  std::ostringstream out;
+  out << "relspec-eq-spec v1\n";
+  out << "trunk_depth " << spec.trunk_depth() << "\n";
+  SerializeSymbols(spec.symbols(), &out);
+  SerializeAtoms(spec.atom_dictionary(), spec.symbols(), &out);
+  out << "clusters " << spec.clusters().size() << "\n";
+  for (const Cluster& c : spec.clusters()) {
+    SerializeCluster(c, spec.symbols(), &out);
+  }
+  for (const auto& [t1, t2] : spec.equations()) {
+    out << "eq " << PathWord(t1, spec.symbols()) << " "
+        << PathWord(t2, spec.symbols()) << "\n";
+  }
+  SerializeGlobals(spec.globals(), spec.symbols(), &out);
+  out << "end\n";
+  return out.str();
+}
+
+StatusOr<EquationalSpecification> SpecIo::ParseEquationalSpec(
+    std::string_view text) {
+  Reader reader(text);
+  std::string line;
+  if (!reader.Next(&line) || line != "relspec-eq-spec v1") {
+    return Status::InvalidArgument("not a relspec equational specification");
+  }
+  EquationalSpecification spec;
+  if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
+  {
+    std::vector<std::string> f = Fields(line);
+    if (f.size() != 2 || f[0] != "trunk_depth") {
+      return Status::InvalidArgument("expected trunk_depth");
+    }
+    spec.trunk_depth_ = std::stoi(f[1]);
+  }
+  RELSPEC_RETURN_NOT_OK(ParseSymbols(&reader, &spec.symbols_));
+  RELSPEC_ASSIGN_OR_RETURN(spec.atoms_, ParseAtoms(&reader, spec.symbols_));
+  for (AtomIdx i = 0; i < spec.atoms_.size(); ++i) {
+    spec.atom_index_.emplace(spec.atoms_[i], i);
+  }
+  if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
+  size_t num_clusters = 0;
+  {
+    std::vector<std::string> f = Fields(line);
+    if (f.size() != 2 || f[0] != "clusters") {
+      return Status::InvalidArgument("expected clusters");
+    }
+    num_clusters = std::stoul(f[1]);
+  }
+  for (size_t i = 0; i < num_clusters; ++i) {
+    if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
+    RELSPEC_ASSIGN_OR_RETURN(
+        Cluster c, ParseClusterLine(line, spec.symbols_, spec.atoms_.size()));
+    spec.clusters_.push_back(std::move(c));
+  }
+  while (reader.Next(&line)) {
+    if (line == "end") return spec;
+    std::vector<std::string> f = Fields(line);
+    if (f[0] == "eq" && f.size() == 3) {
+      RELSPEC_ASSIGN_OR_RETURN(Path t1, ParsePathWord(f[1], spec.symbols_));
+      RELSPEC_ASSIGN_OR_RETURN(Path t2, ParsePathWord(f[2], spec.symbols_));
+      spec.equations_.emplace_back(std::move(t1), std::move(t2));
+    } else if (f[0] == "global") {
+      RELSPEC_ASSIGN_OR_RETURN(auto g, ParseGlobalLine(line, spec.symbols_));
+      spec.globals_.push_back(std::move(g));
+    } else {
+      return Status::InvalidArgument("unexpected line: " + line);
+    }
+  }
+  return Status::InvalidArgument("missing 'end'");
+}
+
+}  // namespace relspec

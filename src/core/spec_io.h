@@ -1,0 +1,35 @@
+// Serialization of relational specifications.
+//
+// A specification is explicit: once written out, queries can be answered
+// from the file alone, without the original rules. The format is a simple
+// line-oriented text format (stable across versions within the same major
+// format id).
+
+#ifndef RELSPEC_CORE_SPEC_IO_H_
+#define RELSPEC_CORE_SPEC_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/core/equational_spec.h"
+#include "src/core/graph_spec.h"
+
+namespace relspec {
+
+class SpecIo {
+ public:
+  /// Serializes a graph specification (B, F).
+  static std::string Serialize(const GraphSpecification& spec);
+  /// Parses a graph specification back; the result is fully queryable.
+  static StatusOr<GraphSpecification> ParseGraphSpec(std::string_view text);
+
+  /// Serializes an equational specification (B, R).
+  static std::string Serialize(const EquationalSpecification& spec);
+  static StatusOr<EquationalSpecification> ParseEquationalSpec(
+      std::string_view text);
+};
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_SPEC_IO_H_

@@ -1,0 +1,79 @@
+#include "src/core/verify.h"
+
+#include "src/base/str_util.h"
+#include "src/core/subtree_closure.h"
+
+namespace relspec {
+
+Status VerifyQuotientModel(const LabelGraph& graph, Labeling* labeling) {
+  const GroundProgram& ground = labeling->ground();
+  const DynamicBitset& ctx = labeling->ctx();
+
+  // 1. Database facts are present.
+  for (const auto& [path, atom] : ground.pinned_facts()) {
+    uint32_t cl = graph.ClusterOf(path);
+    if (cl == kInvalidId || !graph.cluster(cl).label.Test(atom)) {
+      return Status::Internal("quotient model is missing a pinned fact of D");
+    }
+  }
+  for (CtxIdx g : ground.global_facts()) {
+    if (!ctx.Test(g)) {
+      return Status::Internal("quotient model is missing a global fact of D");
+    }
+  }
+
+  // 2. Pinned context propositions agree with the labels at their paths.
+  for (CtxIdx i = 0; i < ground.num_ctx(); ++i) {
+    const CtxProp& prop = ground.ctx_prop(i);
+    if (prop.kind != CtxProp::Kind::kPinned) continue;
+    uint32_t cl = graph.ClusterOf(prop.path);
+    bool holds = cl != kInvalidId && graph.cluster(cl).label.Test(prop.atom);
+    if (holds != ctx.Test(i)) {
+      return Status::Internal(
+          "pinned context proposition inconsistent with its trunk label");
+    }
+  }
+
+  // 3. Global rules are closed.
+  for (const GroundRule& rule : ground.global_rules()) {
+    bool sat = true;
+    for (CtxIdx b : rule.body_ctx) sat = sat && ctx.Test(b);
+    if (sat && !ctx.Test(rule.head_id)) {
+      return Status::Internal("global rule not closed in the quotient model");
+    }
+  }
+
+  // 4. Local rules are closed on every cluster. Because every tree node
+  // folds onto a cluster with ClusterOf(w.f) == successor_f(ClusterOf(w)),
+  // per-cluster closure is exactly per-node closure on the infinite tree.
+  for (uint32_t c = 0; c < graph.num_clusters(); ++c) {
+    const Cluster& cl = graph.cluster(c);
+    for (const GroundRule& rule : ground.local_rules()) {
+      auto child_label = [&](SymIdx s) -> const DynamicBitset& {
+        return graph.cluster(cl.successors[s]).label;
+      };
+      if (!BodySatisfied(rule, cl.label, ctx, child_label)) continue;
+      bool ok = true;
+      switch (rule.head_kind) {
+        case GroundRule::HeadKind::kEps:
+          ok = cl.label.Test(rule.head_id);
+          break;
+        case GroundRule::HeadKind::kChild:
+          ok = graph.cluster(cl.successors[rule.head_sym])
+                   .label.Test(rule.head_id);
+          break;
+        case GroundRule::HeadKind::kCtx:
+          ok = ctx.Test(rule.head_id);
+          break;
+      }
+      if (!ok) {
+        return Status::Internal(StrFormat(
+            "local rule not closed on cluster %u (repr depth %d)", c,
+            cl.representative.depth()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace relspec

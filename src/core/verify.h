@@ -1,0 +1,29 @@
+// Certification of computed specifications (our addition; the constructive
+// side of Proposition 3.2).
+//
+// The engine's labels are derivation-justified, so unfold(quotient) is
+// contained in LFP(Z, D). VerifyQuotientModel checks the converse: that the
+// quotient structure is a *model* of Z and D — every rule is closed on every
+// cluster (with children read through the successor maps), the global rules
+// are closed, and all database facts are present. Together the two
+// directions certify unfold(quotient) == LFP(Z, D). The property-based tests
+// lean on this check, and it doubles as an internal-consistency assertion
+// for the fixpoint engine.
+
+#ifndef RELSPEC_CORE_VERIFY_H_
+#define RELSPEC_CORE_VERIFY_H_
+
+#include "src/base/status.h"
+#include "src/core/fixpoint.h"
+#include "src/core/label_graph.h"
+
+namespace relspec {
+
+/// Returns OK iff the quotient structure defined by `graph` (labels +
+/// successor maps) together with the context is a model of the grounded
+/// program. Any violated rule instance is reported with its cluster.
+Status VerifyQuotientModel(const LabelGraph& graph, Labeling* labeling);
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_VERIFY_H_

@@ -1,0 +1,39 @@
+#include "src/datalog/database.h"
+
+#include <algorithm>
+
+#include "src/base/str_util.h"
+
+namespace relspec {
+namespace datalog {
+
+Status Database::Declare(PredId pred, int arity) {
+  auto it = relations_.find(pred);
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      return Status::InvalidArgument(
+          StrFormat("predicate %u redeclared with arity %d (was %d)", pred,
+                    arity, it->second.arity()));
+    }
+    return Status::OK();
+  }
+  relations_.emplace(pred, Relation(arity));
+  return Status::OK();
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [pred, rel] : relations_) n += rel.size();
+  return n;
+}
+
+std::vector<PredId> Database::Predicates() const {
+  std::vector<PredId> out;
+  out.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) out.push_back(pred);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace relspec

@@ -1,0 +1,78 @@
+// Database: the extensional + intensional store of the DATALOG substrate,
+// plus the engine-level rule IR.
+
+#ifndef RELSPEC_DATALOG_DATABASE_H_
+#define RELSPEC_DATALOG_DATABASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/datalog/relation.h"
+#include "src/term/symbol_table.h"
+
+namespace relspec {
+namespace datalog {
+
+/// A term of the engine IR: a variable (rule-scoped index) or a constant
+/// value.
+struct DTerm {
+  enum class Kind { kVar, kVal };
+  Kind kind = Kind::kVal;
+  uint32_t id = 0;  // variable index or Value
+
+  static DTerm Var(uint32_t v) { return DTerm{Kind::kVar, v}; }
+  static DTerm Val(Value v) { return DTerm{Kind::kVal, v}; }
+  bool IsVar() const { return kind == Kind::kVar; }
+  bool operator==(const DTerm& o) const { return kind == o.kind && id == o.id; }
+};
+
+struct DAtom {
+  PredId pred = kInvalidId;
+  std::vector<DTerm> args;
+  /// Negated atoms may appear in rule bodies only; under stratified
+  /// negation they are evaluated against completed lower strata
+  /// (closed-world). Every variable of a negated atom must also occur in a
+  /// positive body atom.
+  bool negated = false;
+};
+
+/// A Horn rule in engine IR. Variables are indices 0..num_vars-1; the rule
+/// must be range-restricted (every head variable occurs in the body).
+struct DRule {
+  DAtom head;
+  std::vector<DAtom> body;
+  uint32_t num_vars = 0;
+};
+
+/// Predicate-indexed tuple store.
+class Database {
+ public:
+  /// Declares a predicate's relation; idempotent, but the arity must match.
+  Status Declare(PredId pred, int arity);
+
+  bool IsDeclared(PredId pred) const { return relations_.count(pred) > 0; }
+  Relation& relation(PredId pred) { return relations_.at(pred); }
+  const Relation& relation(PredId pred) const { return relations_.at(pred); }
+
+  /// Inserts a tuple; returns true if new. The predicate must be declared.
+  bool Insert(PredId pred, const Tuple& tuple) {
+    return relations_.at(pred).Insert(tuple);
+  }
+  bool Contains(PredId pred, const Tuple& tuple) const {
+    auto it = relations_.find(pred);
+    return it != relations_.end() && it->second.Contains(tuple);
+  }
+
+  size_t TotalTuples() const;
+  std::vector<PredId> Predicates() const;
+
+ private:
+  std::unordered_map<PredId, Relation> relations_;
+};
+
+}  // namespace datalog
+}  // namespace relspec
+
+#endif  // RELSPEC_DATALOG_DATABASE_H_

@@ -1,0 +1,86 @@
+#include "src/datalog/frontend.h"
+
+#include <map>
+
+#include "src/ast/printer.h"
+#include "src/ast/validate.h"
+
+namespace relspec {
+namespace datalog {
+
+namespace {
+
+// Translates an AST atom under a per-rule variable numbering.
+DAtom Translate(const Atom& atom, std::map<VarId, uint32_t>* vars) {
+  DAtom out;
+  out.pred = atom.pred;
+  for (const NfArg& a : atom.args) {
+    if (a.IsConstant()) {
+      out.args.push_back(DTerm::Val(a.id));
+    } else {
+      auto [it, inserted] = vars->emplace(a.id, static_cast<uint32_t>(vars->size()));
+      (void)inserted;
+      out.args.push_back(DTerm::Var(it->second));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<CompiledDatalog> CompileDatalog(const Program& program) {
+  RELSPEC_RETURN_NOT_OK(ValidateProgram(program));
+  for (PredId p = 0; p < program.symbols.num_predicates(); ++p) {
+    if (program.symbols.predicate(p).functional) {
+      return Status::FailedPrecondition(
+          "CompileDatalog handles function-free programs only; use "
+          "FunctionalDatabase for '" + program.symbols.predicate(p).name + "'");
+    }
+  }
+
+  CompiledDatalog out;
+  for (PredId p = 0; p < program.symbols.num_predicates(); ++p) {
+    RELSPEC_RETURN_NOT_OK(
+        out.db.Declare(p, program.symbols.predicate(p).arity));
+  }
+  for (const Atom& fact : program.facts) {
+    Tuple tuple;
+    tuple.reserve(fact.args.size());
+    for (const NfArg& a : fact.args) tuple.push_back(a.id);
+    out.db.Insert(fact.pred, tuple);
+  }
+  for (const Rule& rule : program.rules) {
+    DRule r;
+    std::map<VarId, uint32_t> vars;
+    for (const Atom& a : rule.body) r.body.push_back(Translate(a, &vars));
+    r.head = Translate(rule.head, &vars);
+    r.num_vars = static_cast<uint32_t>(vars.size());
+    out.rules.push_back(std::move(r));
+  }
+  return out;
+}
+
+StatusOr<Database> EvaluateDatalogProgram(const Program& program,
+                                          const EvalOptions& options) {
+  RELSPEC_ASSIGN_OR_RETURN(CompiledDatalog compiled, CompileDatalog(program));
+  RELSPEC_ASSIGN_OR_RETURN(EvalStats stats,
+                           Evaluate(compiled.rules, &compiled.db, options));
+  (void)stats;
+  return std::move(compiled.db);
+}
+
+StatusOr<bool> DatalogHolds(const Database& db, const Atom& fact) {
+  if (fact.fterm.has_value()) {
+    return Status::InvalidArgument("DatalogHolds expects a non-functional atom");
+  }
+  if (!fact.IsGround()) {
+    return Status::InvalidArgument("DatalogHolds expects a ground atom");
+  }
+  Tuple tuple;
+  tuple.reserve(fact.args.size());
+  for (const NfArg& a : fact.args) tuple.push_back(a.id);
+  return db.Contains(fact.pred, tuple);
+}
+
+}  // namespace datalog
+}  // namespace relspec

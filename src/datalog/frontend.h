@@ -1,0 +1,44 @@
+// Frontend: run function-free (plain DATALOG) programs directly on the
+// relational engine.
+//
+// The functional pipeline handles function-free programs too — grounding
+// turns them into propositional rules — but materializing all rule
+// instances is wasteful when a semi-naive relational evaluation can bind
+// variables on the fly. This frontend compiles an AST Program whose
+// predicates are all non-functional straight into engine IR. (Ablation
+// measured in bench_datalog: relational vs grounding-based evaluation.)
+
+#ifndef RELSPEC_DATALOG_FRONTEND_H_
+#define RELSPEC_DATALOG_FRONTEND_H_
+
+#include "src/ast/ast.h"
+#include "src/base/status.h"
+#include "src/datalog/database.h"
+#include "src/datalog/evaluator.h"
+
+namespace relspec {
+namespace datalog {
+
+/// A compiled function-free program: engine rules plus the extensional
+/// database, using the AST's PredIds and ConstIds directly as engine ids.
+struct CompiledDatalog {
+  std::vector<DRule> rules;
+  Database db;
+};
+
+/// Compiles `program`; fails with FailedPrecondition if any predicate is
+/// functional.
+StatusOr<CompiledDatalog> CompileDatalog(const Program& program);
+
+/// Compiles and evaluates to fixpoint; returns the materialized database.
+StatusOr<Database> EvaluateDatalogProgram(const Program& program,
+                                          const EvalOptions& options = {});
+
+/// Membership in the materialized database, by AST atom (must be ground and
+/// non-functional).
+StatusOr<bool> DatalogHolds(const Database& db, const Atom& fact);
+
+}  // namespace datalog
+}  // namespace relspec
+
+#endif  // RELSPEC_DATALOG_FRONTEND_H_

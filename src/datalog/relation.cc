@@ -1,0 +1,44 @@
+#include "src/datalog/relation.h"
+
+#include "src/base/logging.h"
+
+namespace relspec {
+namespace datalog {
+
+bool Relation::Insert(const Tuple& tuple) {
+  RELSPEC_CHECK_EQ(static_cast<int>(tuple.size()), arity_);
+  auto [it, inserted] = set_.insert(tuple);
+  (void)it;
+  if (inserted) rows_.push_back(tuple);
+  return inserted;
+}
+
+const std::vector<uint32_t>& Relation::Probe(const std::vector<int>& columns,
+                                             const Tuple& key) const {
+  static const std::vector<uint32_t> kEmpty;
+  uint64_t mask = 0;
+  for (int c : columns) mask |= uint64_t{1} << c;
+  ColumnIndex& index = indexes_[mask];
+  if (index.built_at < rows_.size()) {
+    // Catch the index up with rows appended since the last build.
+    for (uint32_t r = static_cast<uint32_t>(index.built_at); r < rows_.size();
+         ++r) {
+      Tuple k;
+      k.reserve(columns.size());
+      for (int c : columns) k.push_back(rows_[r][static_cast<size_t>(c)]);
+      index.map[std::move(k)].push_back(r);
+    }
+    index.built_at = rows_.size();
+  }
+  auto it = index.map.find(key);
+  return it == index.map.end() ? kEmpty : it->second;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  set_.clear();
+  indexes_.clear();
+}
+
+}  // namespace datalog
+}  // namespace relspec

@@ -1,0 +1,75 @@
+// Relation: tuple storage with lazily built hash indexes.
+//
+// The DATALOG substrate works over dense uint32 values. A value is a ConstId
+// for ordinary columns; the CONGR evaluation (core/congr.h) also stores
+// TermIds in columns, which is why relations are value-agnostic.
+
+#ifndef RELSPEC_DATALOG_RELATION_H_
+#define RELSPEC_DATALOG_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace relspec {
+namespace datalog {
+
+using Value = uint32_t;
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 1469598103934665603ull;
+    for (Value v : t) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// A set of equal-arity tuples, with duplicate elimination, insertion-order
+/// iteration, and hash indexes on arbitrary bound-column subsets.
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts a tuple; returns true if it was new.
+  bool Insert(const Tuple& tuple);
+  bool Contains(const Tuple& tuple) const { return set_.count(tuple) > 0; }
+
+  /// Tuples in insertion order. Stable across inserts (indices only grow).
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Row indices whose tuple matches `key` on the columns in `columns`
+  /// (ascending). Uses (and lazily rebuilds) a hash index for the column
+  /// subset.
+  const std::vector<uint32_t>& Probe(const std::vector<int>& columns,
+                                     const Tuple& key) const;
+
+  void Clear();
+
+ private:
+  struct ColumnIndex {
+    uint64_t built_at = 0;  // rows_.size() when last built
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map;
+  };
+
+  int arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  // Key: bitmask of indexed columns.
+  mutable std::unordered_map<uint64_t, ColumnIndex> indexes_;
+};
+
+}  // namespace datalog
+}  // namespace relspec
+
+#endif  // RELSPEC_DATALOG_RELATION_H_

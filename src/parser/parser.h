@@ -1,0 +1,64 @@
+// Parser for the relspec surface language.
+//
+// Grammar (statements end with '.'):
+//
+//   fact    :=  atom '.'
+//   rule    :=  atom {',' atom} '->' atom '.'        // paper style
+//            |  atom ':-' atom {',' atom} '.'        // Prolog style
+//   query   :=  '?' atom {',' atom} '.'              // all variables free
+//            |  '?' '(' var {',' var} ')' atom {',' atom} '.'
+//   atom    :=  IDENT [ '(' term {',' term} ')' ]
+//   term    :=  IDENT                                // variable or constant
+//            |  IDENT '(' term {',' term} ')'        // function application
+//            |  INTEGER                              // 0, or +1^n(0) sugar
+//            |  term '+' INTEGER                     // successor sugar
+//
+// Conventions (match the paper, Section 2.1):
+//  * identifiers matching [s-z][0-9']* are variables (x, y, s, t, x1, s');
+//    every other identifier in argument position is a constant;
+//  * the functional position of a functional predicate is argument 0;
+//  * whether a predicate is functional is inferred: an arg-0 expression that
+//    is an integer, a function application or a '+'-term makes the predicate
+//    functional, and functionality propagates through shared variables to a
+//    fixpoint; inconsistent use is an error;
+//  * 'n' in a functional position denotes the n-fold application of the
+//    builtin successor symbol "+1" to 0; 't+n' applies "+1" n times to t.
+//
+// Comments run from '%' or '//' to end of line.
+
+#ifndef RELSPEC_PARSER_PARSER_H_
+#define RELSPEC_PARSER_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/base/status.h"
+
+namespace relspec {
+
+/// A parsed source file: the program (facts + rules) and the queries, in
+/// source order.
+struct ParseResult {
+  Program program;
+  std::vector<Query> queries;
+};
+
+/// Parses a complete source text and validates the resulting program.
+StatusOr<ParseResult> Parse(std::string_view input);
+
+/// Parses a source text that must contain exactly one program (queries
+/// allowed but dropped). Convenience for tests and examples.
+StatusOr<Program> ParseProgram(std::string_view input);
+
+/// Parses a single query against an existing program's symbol table. The
+/// query may mention only predicates already present in the program.
+StatusOr<Query> ParseQuery(std::string_view input, Program* program);
+
+/// Name of the builtin successor function symbol used by numeral sugar.
+inline constexpr std::string_view kSuccessorName = "+1";
+
+}  // namespace relspec
+
+#endif  // RELSPEC_PARSER_PARSER_H_

@@ -1,0 +1,96 @@
+#include "src/safety/safety.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+bool SafetyReport::IsUnbounded(PredId p) const {
+  return std::find(unbounded_predicates.begin(), unbounded_predicates.end(),
+                   p) != unbounded_predicates.end();
+}
+
+std::string SafetyReport::ToString(const SymbolTable& symbols) const {
+  std::vector<std::string> names;
+  names.reserve(unbounded_predicates.size());
+  for (PredId p : unbounded_predicates) {
+    names.push_back(symbols.predicate(p).name);
+  }
+  return "potentially unbounded: {" + Join(names, ", ") + "}";
+}
+
+SafetyReport AnalyzeSafety(const Program& program) {
+  size_t n = program.symbols.num_predicates();
+  // reach[a] = predicates derivable (directly or transitively) from a.
+  std::vector<std::set<PredId>> reach(n);
+  for (const Rule& r : program.rules) {
+    for (const Atom& b : r.body) reach[b.pred].insert(r.head.pred);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t a = 0; a < n; ++a) {
+      for (PredId mid : std::set<PredId>(reach[a])) {
+        for (PredId tgt : reach[mid]) {
+          if (reach[a].insert(tgt).second) changed = true;
+        }
+      }
+    }
+  }
+  auto reaches = [&](PredId a, PredId b) {
+    return a == b || reach[a].count(b) > 0;
+  };
+
+  // Growing rules on recursive cycles seed unboundedness.
+  std::set<PredId> unbounded;
+  for (const Rule& r : program.rules) {
+    bool growing = r.head.fterm.has_value() && r.head.fterm->has_var &&
+                   r.head.fterm->depth() >= 1;
+    if (!growing) continue;
+    // The rule lies on a cycle if its head can feed back into its body.
+    for (const Atom& b : r.body) {
+      if (reaches(r.head.pred, b.pred)) {
+        unbounded.insert(r.head.pred);
+        break;
+      }
+    }
+  }
+  // Unboundedness propagates along derivability.
+  for (size_t a = 0; a < n; ++a) {
+    if (unbounded.count(static_cast<PredId>(a)) > 0) {
+      for (PredId tgt : reach[a]) unbounded.insert(tgt);
+    }
+  }
+
+  SafetyReport report;
+  report.unbounded_predicates.assign(unbounded.begin(), unbounded.end());
+  return report;
+}
+
+bool IsQuerySafe(const Program& program, const SafetyReport& report,
+                 const Query& query) {
+  (void)program;
+  // Find the functional variable, if it is an answer column.
+  std::optional<VarId> func_var;
+  for (const Atom& a : query.atoms) {
+    if (a.fterm.has_value() && a.fterm->has_var) func_var = a.fterm->var;
+  }
+  if (!func_var.has_value()) return true;
+  if (std::find(query.answer_vars.begin(), query.answer_vars.end(),
+                *func_var) == query.answer_vars.end()) {
+    return true;  // the functional variable is projected away
+  }
+  // Safe iff some atom binds the variable with a bounded predicate.
+  for (const Atom& a : query.atoms) {
+    if (a.fterm.has_value() && a.fterm->has_var && a.fterm->var == *func_var &&
+        !report.IsUnbounded(a.pred)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace relspec

@@ -1,0 +1,44 @@
+// The [RBS87] baseline: conservative safety analysis.
+//
+// The "standard solution" to infinite answers (Ramakrishnan, Bancilhon &
+// Silberschatz 1987) is to detect queries whose answers may be infinite and
+// reject them. We reproduce a conservative syntactic test: a functional
+// predicate is *potentially unbounded* when it is fed (transitively) by a
+// growing rule — one whose head deepens the functional term — lying on a
+// recursive cycle of the predicate dependency graph. A query is declared
+// unsafe when its answer columns include a functional variable whose every
+// binding atom has a potentially unbounded predicate.
+//
+// The point of the baseline (paper Section 1): relspec answers these queries
+// anyway, with a finite relational specification, where [RBS87] can only say
+// "rejected".
+
+#ifndef RELSPEC_SAFETY_SAFETY_H_
+#define RELSPEC_SAFETY_SAFETY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/base/status.h"
+
+namespace relspec {
+
+struct SafetyReport {
+  /// Predicates whose extensions may be infinite.
+  std::vector<PredId> unbounded_predicates;
+  bool IsUnbounded(PredId p) const;
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+/// Analyzes which predicates may have infinite extensions.
+SafetyReport AnalyzeSafety(const Program& program);
+
+/// The [RBS87]-style gate: true when the query's answer is guaranteed
+/// finite; false when it would be rejected as (potentially) unsafe.
+bool IsQuerySafe(const Program& program, const SafetyReport& report,
+                 const Query& query);
+
+}  // namespace relspec
+
+#endif  // RELSPEC_SAFETY_SAFETY_H_

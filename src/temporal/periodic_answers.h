@@ -1,0 +1,29 @@
+// Periodic-set answers from graph specifications.
+//
+// For single-symbol (temporal) programs, the successor graph restricted to
+// the +1 chain is a lasso, so the set of time points where a fact holds is
+// a PeriodicSet — [CI88]'s "infinite object" representation. Unlike the
+// TemporalEngine (which is limited to the forward fragment), this works for
+// *any* program the 1989 construction handles, as long as the alphabet has
+// one symbol: the graph specification already encodes the full fixpoint, so
+// extracting the lasso is a pure walk.
+
+#ifndef RELSPEC_TEMPORAL_PERIODIC_ANSWERS_H_
+#define RELSPEC_TEMPORAL_PERIODIC_ANSWERS_H_
+
+#include "src/base/status.h"
+#include "src/core/graph_spec.h"
+#include "src/temporal/periodic_set.h"
+
+namespace relspec {
+
+/// All n with pred(n, args...) in LFP(Z, D), as a periodic set. Fails with
+/// FailedPrecondition unless the specification's alphabet is a single
+/// symbol.
+StatusOr<PeriodicSet> PeriodicAnswers(const GraphSpecification& spec,
+                                      PredId pred,
+                                      const std::vector<ConstId>& args);
+
+}  // namespace relspec
+
+#endif  // RELSPEC_TEMPORAL_PERIODIC_ANSWERS_H_

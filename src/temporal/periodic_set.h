@@ -1,0 +1,49 @@
+// PeriodicSet: finite unions of points and arithmetic progressions over the
+// naturals — the "infinite objects" of [CI88] used to represent answers of
+// temporal deductive databases (one function symbol, +1).
+
+#ifndef RELSPEC_TEMPORAL_PERIODIC_SET_H_
+#define RELSPEC_TEMPORAL_PERIODIC_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relspec {
+
+/// A subset of N representable as points ∪ progressions {start + period*i}.
+class PeriodicSet {
+ public:
+  PeriodicSet() = default;
+
+  void AddPoint(uint64_t n);
+  /// Adds {start, start+period, start+2*period, ...}; period >= 1.
+  void AddProgression(uint64_t start, uint64_t period);
+
+  bool Contains(uint64_t n) const;
+  bool IsEmpty() const { return points_.empty() && progressions_.empty(); }
+  /// True if the set is finite (no progressions).
+  bool IsFinite() const { return progressions_.empty(); }
+
+  /// In-place union.
+  void UnionWith(const PeriodicSet& other);
+
+  /// Elements <= limit, ascending, deduplicated.
+  std::vector<uint64_t> Enumerate(uint64_t limit) const;
+
+  /// "{1, 3, 5+4i}" style rendering.
+  std::string ToString() const;
+
+  const std::vector<uint64_t>& points() const { return points_; }
+  const std::vector<std::pair<uint64_t, uint64_t>>& progressions() const {
+    return progressions_;
+  }
+
+ private:
+  std::vector<uint64_t> points_;
+  std::vector<std::pair<uint64_t, uint64_t>> progressions_;  // (start, period)
+};
+
+}  // namespace relspec
+
+#endif  // RELSPEC_TEMPORAL_PERIODIC_SET_H_

@@ -1,0 +1,83 @@
+// The [CI88] temporal baseline: periodicity-based evaluation for *forward
+// temporal* programs.
+//
+// [CI88] (Chomicki & Imielinski, PODS 1988) handled deductive databases with
+// the single function symbol +1 and represented infinite answers as
+// "infinite objects" — here, PeriodicSets. Its applicability was limited
+// (the 1989 paper's introductory Meets example already falls outside the
+// fragment handled there in full generality); we reproduce it as the
+// comparison baseline with the *forward fragment*:
+//
+//   * exactly one pure function symbol (+1), no mixed symbols,
+//   * no rule reads at a child position (body terms are s or ground):
+//     information flows forward in time only.
+//
+// Under these restrictions the least fixpoint restricted to the time line is
+// computed by iterating a step function label(n+1) = F(label(n)) and
+// detecting the lasso (prefix mu, period lambda) — linear in the number of
+// distinct states, with no chi table and no tree traversal.
+
+#ifndef RELSPEC_TEMPORAL_TEMPORAL_ENGINE_H_
+#define RELSPEC_TEMPORAL_TEMPORAL_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/base/bitset.h"
+#include "src/base/status.h"
+#include "src/core/ground.h"
+#include "src/temporal/periodic_set.h"
+
+namespace relspec {
+
+/// The lasso representation of a temporal least fixpoint: labels for time
+/// points 0..mu-1, then a cycle of length lambda repeating forever.
+class TemporalSpec {
+ public:
+  uint64_t prefix_length() const { return prefix_.size(); }
+  uint64_t period() const { return cycle_.size(); }
+
+  /// The label at time n.
+  const DynamicBitset& LabelAt(uint64_t n) const;
+  /// Membership of pred(n, args...).
+  bool Holds(uint64_t n, PredId pred, const std::vector<ConstId>& args) const;
+  /// All times at which pred(args...) holds, as a periodic set — the [CI88]
+  /// "infinite object" answer representation.
+  PeriodicSet AnswersFor(PredId pred, const std::vector<ConstId>& args) const;
+
+  bool HoldsGlobal(PredId pred, const std::vector<ConstId>& args) const;
+
+  /// Distinct states seen along the chain (= mu + lambda).
+  size_t num_states() const { return prefix_.size() + cycle_.size(); }
+
+ private:
+  friend class TemporalEngine;
+  const GroundProgram* ground_ = nullptr;
+  std::vector<DynamicBitset> prefix_;
+  std::vector<DynamicBitset> cycle_;
+  DynamicBitset ctx_;
+};
+
+/// Builds TemporalSpecs for forward temporal programs.
+class TemporalEngine {
+ public:
+  /// Transforms and grounds the program; fails with FailedPrecondition if it
+  /// is not a forward temporal program (see file comment).
+  static StatusOr<std::unique_ptr<TemporalEngine>> Build(Program program);
+
+  /// The lasso fixpoint.
+  StatusOr<TemporalSpec> ComputeSpec(size_t max_states = 10'000'000);
+
+  const GroundProgram& ground() const { return *ground_; }
+  const Program& program() const { return program_; }
+
+ private:
+  TemporalEngine() = default;
+  Program program_;
+  std::unique_ptr<GroundProgram> ground_;
+};
+
+}  // namespace relspec
+
+#endif  // RELSPEC_TEMPORAL_TEMPORAL_ENGINE_H_

@@ -1,0 +1,65 @@
+#include "src/term/term.h"
+
+#include "src/base/logging.h"
+
+namespace relspec {
+
+TermArena::TermArena() {
+  nodes_.push_back(TermNode{});  // the functional constant 0
+}
+
+TermId TermArena::Apply(FuncId fn, TermId child, std::vector<ConstId> args) {
+  RELSPEC_CHECK_LT(child, nodes_.size());
+  NodeKey key{fn, child, args};
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(
+      TermNode{fn, child, std::move(args), nodes_[child].depth + 1});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermArena::FromSymbols(const std::vector<FuncId>& fns) {
+  TermId t = Zero();
+  for (FuncId f : fns) t = Apply(f, t);
+  return t;
+}
+
+bool TermArena::IsPure(TermId id) const {
+  for (TermId t = id; t != kZeroTerm; t = nodes_[t].child) {
+    if (!nodes_[t].args.empty()) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<FuncId>> TermArena::ToSymbols(TermId id) const {
+  std::vector<FuncId> out;
+  out.reserve(static_cast<size_t>(Depth(id)));
+  for (TermId t = id; t != kZeroTerm; t = nodes_[t].child) {
+    if (!nodes_[t].args.empty()) {
+      return Status::FailedPrecondition(
+          "ToSymbols called on a term with mixed function symbols");
+    }
+    out.push_back(nodes_[t].fn);
+  }
+  // Collected outermost-first; return innermost-first to match FromSymbols.
+  std::vector<FuncId> inner(out.rbegin(), out.rend());
+  return inner;
+}
+
+std::string TermArena::ToString(TermId id, const SymbolTable& symbols) const {
+  if (id == kZeroTerm) return "0";
+  const TermNode& n = nodes_[id];
+  std::string out = symbols.function(n.fn).name;
+  out += "(";
+  out += ToString(n.child, symbols);
+  for (ConstId a : n.args) {
+    out += ",";
+    out += symbols.constant_name(a);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace relspec

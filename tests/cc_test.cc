@@ -1,0 +1,321 @@
+// Unit tests for union-find and the DST80 congruence closure.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <random>
+
+#include "src/cc/congruence_closure.h"
+#include "src/cc/union_find.h"
+#include "src/term/symbol_table.h"
+
+namespace relspec {
+namespace {
+
+TEST(UnionFind, BasicUnions) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  EXPECT_FALSE(uf.Same(0, 1));
+  uf.Union(0, 1);
+  EXPECT_TRUE(uf.Same(0, 1));
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Same(0, 2));
+  EXPECT_FALSE(uf.Same(0, 3));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  // Idempotent union.
+  uf.Union(0, 2);
+  EXPECT_EQ(uf.NumSets(), 3u);
+}
+
+TEST(UnionFind, GrowsOnDemand) {
+  UnionFind uf;
+  uf.EnsureSize(2);
+  uf.Union(0, 1);
+  uf.EnsureSize(10);
+  EXPECT_EQ(uf.NumSets(), 9u);
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_FALSE(uf.Same(0, 9));
+}
+
+TEST(UnionFind, RandomizedAgainstNaive) {
+  std::mt19937 rng(42);
+  constexpr int kN = 60;
+  UnionFind uf(kN);
+  std::vector<int> naive(kN);
+  for (int i = 0; i < kN; ++i) naive[i] = i;
+  auto naive_find = [&](int x) {
+    while (naive[x] != x) x = naive[x];
+    return x;
+  };
+  for (int step = 0; step < 500; ++step) {
+    int a = static_cast<int>(rng() % kN);
+    int b = static_cast<int>(rng() % kN);
+    if (step % 3 == 0) {
+      uf.Union(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
+      naive[naive_find(a)] = naive_find(b);
+    } else {
+      EXPECT_EQ(uf.Same(static_cast<uint32_t>(a), static_cast<uint32_t>(b)),
+                naive_find(a) == naive_find(b));
+    }
+  }
+}
+
+// ---------- congruence closure ----------
+
+class CcFixture : public ::testing::Test {
+ protected:
+  CcFixture() : cc_(&arena_) {
+    f_ = *symbols_.InternFunction("f", 1);
+    g_ = *symbols_.InternFunction("g", 1);
+  }
+
+  TermId Nat(int n) {  // f^n(0)
+    TermId t = arena_.Zero();
+    for (int i = 0; i < n; ++i) t = arena_.Apply(f_, t);
+    return t;
+  }
+
+  SymbolTable symbols_;
+  TermArena arena_;
+  CongruenceClosure cc_;
+  FuncId f_, g_;
+};
+
+TEST_F(CcFixture, ReflexiveByDefault) {
+  EXPECT_TRUE(cc_.AreCongruent(Nat(3), Nat(3)));
+  EXPECT_FALSE(cc_.AreCongruent(Nat(3), Nat(4)));
+}
+
+TEST_F(CcFixture, MergePropagatesUpward) {
+  // The paper's Section 3.5 example: R = {(0, 2)}.
+  cc_.Merge(Nat(0), Nat(2));
+  EXPECT_TRUE(cc_.AreCongruent(Nat(0), Nat(2)));
+  EXPECT_TRUE(cc_.AreCongruent(Nat(0), Nat(4)));   // lifted twice
+  EXPECT_TRUE(cc_.AreCongruent(Nat(1), Nat(3)));   // lifted once
+  EXPECT_TRUE(cc_.AreCongruent(Nat(1), Nat(13)));  // odd ~ odd
+  EXPECT_FALSE(cc_.AreCongruent(Nat(0), Nat(3)));  // even vs odd
+  EXPECT_FALSE(cc_.AreCongruent(Nat(0), Nat(1)));
+}
+
+TEST_F(CcFixture, LazyTermsJoinExistingClasses) {
+  cc_.Merge(Nat(0), Nat(2));
+  // Terms interned after the merge still resolve correctly.
+  EXPECT_TRUE(cc_.AreCongruent(Nat(10), Nat(0)));
+  EXPECT_FALSE(cc_.AreCongruent(Nat(11), Nat(0)));
+}
+
+TEST_F(CcFixture, MixedSymbolsWithDifferentArgsStayApart) {
+  FuncId ext = *symbols_.InternFunction("ext", 2);
+  ConstId a = symbols_.InternConstant("a");
+  ConstId b = symbols_.InternConstant("b");
+  TermId ea = arena_.Apply(ext, arena_.Zero(), {a});
+  TermId eb = arena_.Apply(ext, arena_.Zero(), {b});
+  EXPECT_FALSE(cc_.AreCongruent(ea, eb));
+  // ext(x, a) == ext(y, a) follows from x == y...
+  TermId one = Nat(1);
+  cc_.Merge(arena_.Zero(), one);
+  TermId ea1 = arena_.Apply(ext, one, {a});
+  EXPECT_TRUE(cc_.AreCongruent(ea, ea1));
+  // ...but never across different constant arguments.
+  TermId eb1 = arena_.Apply(ext, one, {b});
+  EXPECT_FALSE(cc_.AreCongruent(ea, eb1));
+  EXPECT_TRUE(cc_.AreCongruent(eb, eb1));
+}
+
+TEST_F(CcFixture, TwoSymbolWordCongruence) {
+  // a ~ ab (from the list example): then any suffix extension agrees.
+  TermId ta = arena_.Apply(f_, arena_.Zero());
+  TermId tab = arena_.Apply(g_, ta);
+  cc_.Merge(ta, tab);
+  // a.b.b ~ a.b ~ a
+  TermId tabb = arena_.Apply(g_, tab);
+  EXPECT_TRUE(cc_.AreCongruent(tabb, ta));
+  // g(0) unaffected.
+  EXPECT_FALSE(cc_.AreCongruent(arena_.Apply(g_, arena_.Zero()), ta));
+}
+
+TEST_F(CcFixture, TransitivityAcrossSeparateMerges) {
+  cc_.Merge(Nat(1), Nat(4));
+  cc_.Merge(Nat(4), Nat(7));
+  EXPECT_TRUE(cc_.AreCongruent(Nat(1), Nat(7)));
+  EXPECT_TRUE(cc_.AreCongruent(Nat(2), Nat(8)));  // lifted
+}
+
+TEST_F(CcFixture, NumClassesTracksMerges) {
+  Nat(4);  // interns 0..4
+  cc_.AreCongruent(Nat(4), Nat(4));
+  size_t before = cc_.NumClasses();
+  EXPECT_EQ(before, 5u);
+  cc_.Merge(Nat(0), Nat(1));
+  // 0~1 collapses everything: 1~2, 2~3, 3~4 by congruence.
+  EXPECT_EQ(cc_.NumClasses(), 1u);
+}
+
+TEST_F(CcFixture, DiamondMergeTriggersCascade) {
+  // Merge g(0) with f(0); then f(f(0)) ~ g(f(0)) requires signature
+  // propagation through the merged child class... build the diamond first.
+  TermId f0 = arena_.Apply(f_, arena_.Zero());
+  TermId g0 = arena_.Apply(g_, arena_.Zero());
+  TermId ff0 = arena_.Apply(f_, f0);
+  TermId fg0 = arena_.Apply(f_, g0);
+  EXPECT_FALSE(cc_.AreCongruent(ff0, fg0));
+  cc_.Merge(f0, g0);
+  EXPECT_TRUE(cc_.AreCongruent(ff0, fg0));
+  EXPECT_FALSE(cc_.AreCongruent(ff0, f0));
+}
+
+TEST_F(CcFixture, RandomizedAgainstBruteForce) {
+  // Random unary-term universes; compare the closure against a brute-force
+  // fixpoint of the congruence rules over the bounded universe.
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    TermArena arena;
+    CongruenceClosure cc(&arena);
+    constexpr int kDepth = 8;
+    std::vector<TermId> terms;  // f/g words up to depth kDepth... linear f-chain
+    // Universe: all f/g words of depth <= 4 (21 terms over 2 symbols).
+    std::vector<TermId> layer = {arena.Zero()};
+    terms.push_back(arena.Zero());
+    for (int d = 0; d < 4; ++d) {
+      std::vector<TermId> next;
+      for (TermId t : layer) {
+        for (FuncId fn : {f_, g_}) {
+          TermId u = arena.Apply(fn, t);
+          next.push_back(u);
+          terms.push_back(u);
+        }
+      }
+      layer = next;
+    }
+    (void)kDepth;
+    // Random equations between terms.
+    std::vector<std::pair<TermId, TermId>> eqs;
+    for (int e = 0; e < 3; ++e) {
+      eqs.emplace_back(terms[rng() % terms.size()], terms[rng() % terms.size()]);
+    }
+    for (auto [a, b] : eqs) cc.Merge(a, b);
+
+    // Brute force: union-find over the universe, iterate congruence.
+    std::map<TermId, TermId> parent;
+    for (TermId t : terms) parent[t] = t;
+    std::function<TermId(TermId)> find = [&](TermId x) {
+      while (parent[x] != x) x = parent[x];
+      return x;
+    };
+    auto unite = [&](TermId a, TermId b) { parent[find(a)] = find(b); };
+    for (auto [a, b] : eqs) unite(a, b);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (TermId a : terms) {
+        for (TermId b : terms) {
+          if (find(a) != find(b)) continue;
+          for (FuncId fn : {f_, g_}) {
+            TermId fa = arena.Apply(fn, a);
+            TermId fb = arena.Apply(fn, b);
+            if (parent.count(fa) > 0 && parent.count(fb) > 0 &&
+                find(fa) != find(fb)) {
+              unite(fa, fb);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    for (TermId a : terms) {
+      for (TermId b : terms) {
+        // Brute force under-approximates on the clipped frontier (congruence
+        // via deeper terms is impossible for unary words), so equality holds.
+        EXPECT_EQ(cc.AreCongruent(a, b), find(a) == find(b))
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+// ---------- proof production (Explain) ----------
+
+TEST_F(CcFixture, ExplainAssertedEquation) {
+  cc_.Merge(Nat(0), Nat(2));
+  auto proof = cc_.Explain(Nat(0), Nat(2));
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  EXPECT_EQ(proof->lhs, Nat(0));
+  EXPECT_EQ(proof->rhs, Nat(2));
+  ASSERT_EQ(proof->steps.size(), 1u);
+  EXPECT_TRUE(proof->steps[0].asserted);
+  EXPECT_EQ(proof->NumSteps(), 1u);
+}
+
+TEST_F(CcFixture, ExplainReflexivityIsEmpty) {
+  auto proof = cc_.Explain(Nat(3), Nat(3));
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(proof->steps.empty());
+  EXPECT_EQ(proof->NumSteps(), 0u);
+}
+
+TEST_F(CcFixture, ExplainNonCongruentIsNotFound) {
+  cc_.Merge(Nat(0), Nat(2));
+  EXPECT_TRUE(cc_.Explain(Nat(0), Nat(1)).status().IsNotFound());
+}
+
+TEST_F(CcFixture, ExplainCongruenceLifting) {
+  // 4 == 0 follows from 0 == 2 used twice, via congruence.
+  cc_.Merge(Nat(0), Nat(2));
+  auto proof = cc_.Explain(Nat(4), Nat(0));
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  std::vector<std::pair<TermId, TermId>> used;
+  proof->CollectAsserted(&used);
+  ASSERT_EQ(used.size(), 2u);
+  for (const auto& [l, r] : used) {
+    // Every asserted step is the single equation (0, 2), in either direction.
+    EXPECT_TRUE((l == Nat(0) && r == Nat(2)) || (l == Nat(2) && r == Nat(0)));
+  }
+  std::string text = proof->ToString(arena_, symbols_);
+  EXPECT_NE(text.find("[asserted]"), std::string::npos);
+  EXPECT_NE(text.find("[congruence]"), std::string::npos);
+}
+
+TEST_F(CcFixture, ExplainTransitiveChain) {
+  cc_.Merge(Nat(1), Nat(4));
+  cc_.Merge(Nat(4), Nat(7));
+  auto proof = cc_.Explain(Nat(1), Nat(7));
+  ASSERT_TRUE(proof.ok());
+  std::vector<std::pair<TermId, TermId>> used;
+  proof->CollectAsserted(&used);
+  EXPECT_EQ(used.size(), 2u);  // both equations, no detours
+  // Chain endpoints line up.
+  ASSERT_FALSE(proof->steps.empty());
+  EXPECT_EQ(proof->steps.front().lhs, Nat(1));
+  EXPECT_EQ(proof->steps.back().rhs, Nat(7));
+  for (size_t i = 0; i + 1 < proof->steps.size(); ++i) {
+    EXPECT_EQ(proof->steps[i].rhs, proof->steps[i + 1].lhs);
+  }
+}
+
+TEST_F(CcFixture, ExplainSurvivesManyMerges) {
+  // Random-ish merges; every congruent pair must be explainable with only
+  // asserted equations that were actually asserted.
+  std::vector<std::pair<TermId, TermId>> eqs = {
+      {Nat(0), Nat(3)}, {Nat(1), Nat(5)}, {Nat(2), Nat(2)}, {Nat(4), Nat(0)}};
+  for (auto [a, b] : eqs) cc_.Merge(a, b);
+  for (int i = 0; i <= 8; ++i) {
+    for (int j = 0; j <= 8; ++j) {
+      if (!cc_.AreCongruent(Nat(i), Nat(j))) continue;
+      auto proof = cc_.Explain(Nat(i), Nat(j));
+      ASSERT_TRUE(proof.ok()) << i << "," << j;
+      std::vector<std::pair<TermId, TermId>> used;
+      proof->CollectAsserted(&used);
+      for (const auto& [l, r] : used) {
+        bool found = false;
+        for (auto [a, b] : eqs) {
+          if ((l == a && r == b) || (l == b && r == a)) found = true;
+        }
+        EXPECT_TRUE(found) << "asserted step not in the equation set";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relspec

@@ -1,0 +1,464 @@
+// Unit tests for the DATALOG substrate: relations, joins, naive and
+// semi-naive evaluation.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/parser/parser.h"
+
+#include "src/datalog/database.h"
+#include "src/datalog/frontend.h"
+#include "src/datalog/evaluator.h"
+#include "src/datalog/relation.h"
+
+namespace relspec {
+namespace datalog {
+namespace {
+
+TEST(Relation, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({9, 9}));
+}
+
+TEST(Relation, ProbeByColumnSubset) {
+  Relation r(3);
+  r.Insert({1, 10, 100});
+  r.Insert({1, 20, 200});
+  r.Insert({2, 10, 300});
+  EXPECT_EQ(r.Probe({0}, {1}).size(), 2u);
+  EXPECT_EQ(r.Probe({1}, {10}).size(), 2u);
+  EXPECT_EQ(r.Probe({0, 1}, {1, 10}).size(), 1u);
+  EXPECT_TRUE(r.Probe({0}, {9}).empty());
+  // Index catches up after later inserts.
+  r.Insert({1, 30, 400});
+  EXPECT_EQ(r.Probe({0}, {1}).size(), 3u);
+}
+
+class TransitiveClosureTest : public ::testing::TestWithParam<Strategy> {
+ protected:
+  // Builds edge facts for a path graph 0 -> 1 -> ... -> n-1 plus the closure
+  // rules, and evaluates.
+  EvalStats RunPath(int n, Database* db) {
+    PredId edge = 0, reach = 1;
+    EXPECT_TRUE(db->Declare(edge, 2).ok());
+    EXPECT_TRUE(db->Declare(reach, 2).ok());
+    for (int i = 0; i + 1 < n; ++i) {
+      db->Insert(edge, {static_cast<Value>(i), static_cast<Value>(i + 1)});
+    }
+    std::vector<DRule> rules;
+    {
+      DRule r;  // Reach(x,y) <- Edge(x,y).
+      r.num_vars = 2;
+      r.head = DAtom{reach, {DTerm::Var(0), DTerm::Var(1)}};
+      r.body = {DAtom{edge, {DTerm::Var(0), DTerm::Var(1)}}};
+      rules.push_back(r);
+    }
+    {
+      DRule r;  // Reach(x,z) <- Reach(x,y), Edge(y,z).
+      r.num_vars = 3;
+      r.head = DAtom{reach, {DTerm::Var(0), DTerm::Var(2)}};
+      r.body = {DAtom{reach, {DTerm::Var(0), DTerm::Var(1)}},
+                DAtom{edge, {DTerm::Var(1), DTerm::Var(2)}}};
+      rules.push_back(r);
+    }
+    EvalOptions opts;
+    opts.strategy = GetParam();
+    auto stats = Evaluate(rules, db, opts);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  }
+};
+
+TEST_P(TransitiveClosureTest, ComputesFullClosure) {
+  Database db;
+  RunPath(8, &db);
+  const Relation& reach = db.relation(1);
+  EXPECT_EQ(reach.size(), 8u * 7u / 2u);  // all i<j pairs
+  EXPECT_TRUE(reach.Contains({0, 7}));
+  EXPECT_FALSE(reach.Contains({7, 0}));
+}
+
+TEST_P(TransitiveClosureTest, EmptyEdgesFixpointImmediately) {
+  Database db;
+  RunPath(0, &db);
+  EXPECT_EQ(db.relation(1).size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, TransitiveClosureTest,
+                         ::testing::Values(Strategy::kNaive,
+                                           Strategy::kSemiNaive),
+                         [](const auto& info) {
+                           return info.param == Strategy::kNaive ? "Naive"
+                                                                 : "SemiNaive";
+                         });
+
+TEST(Evaluator, SemiNaiveAndNaiveAgreeOnCyclicGraph) {
+  for (Strategy strategy : {Strategy::kNaive, Strategy::kSemiNaive}) {
+    Database db;
+    PredId edge = 0, reach = 1;
+    ASSERT_TRUE(db.Declare(edge, 2).ok());
+    ASSERT_TRUE(db.Declare(reach, 2).ok());
+    // Two 3-cycles joined at node 0.
+    for (auto [a, b] : std::vector<std::pair<Value, Value>>{
+             {0, 1}, {1, 2}, {2, 0}, {0, 3}, {3, 4}, {4, 0}}) {
+      db.Insert(edge, {a, b});
+    }
+    std::vector<DRule> rules;
+    DRule base;
+    base.num_vars = 2;
+    base.head = DAtom{reach, {DTerm::Var(0), DTerm::Var(1)}};
+    base.body = {DAtom{edge, {DTerm::Var(0), DTerm::Var(1)}}};
+    DRule step;
+    step.num_vars = 3;
+    step.head = DAtom{reach, {DTerm::Var(0), DTerm::Var(2)}};
+    step.body = {DAtom{reach, {DTerm::Var(0), DTerm::Var(1)}},
+                 DAtom{reach, {DTerm::Var(1), DTerm::Var(2)}}};
+    rules = {base, step};
+    EvalOptions opts;
+    opts.strategy = strategy;
+    auto stats = Evaluate(rules, &db, opts);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(db.relation(reach).size(), 25u);  // all 5x5 pairs reachable
+  }
+}
+
+TEST(Evaluator, SemiNaiveDoesLessWorkThanNaive) {
+  Database naive_db, semi_db;
+  auto run = [](Strategy strategy, Database* db) {
+    PredId edge = 0, reach = 1;
+    EXPECT_TRUE(db->Declare(edge, 2).ok());
+    EXPECT_TRUE(db->Declare(reach, 2).ok());
+    for (int i = 0; i + 1 < 30; ++i) {
+      db->Insert(edge, {static_cast<Value>(i), static_cast<Value>(i + 1)});
+    }
+    DRule base;
+    base.num_vars = 2;
+    base.head = DAtom{1, {DTerm::Var(0), DTerm::Var(1)}};
+    base.body = {DAtom{0, {DTerm::Var(0), DTerm::Var(1)}}};
+    DRule step;
+    step.num_vars = 3;
+    step.head = DAtom{1, {DTerm::Var(0), DTerm::Var(2)}};
+    step.body = {DAtom{1, {DTerm::Var(0), DTerm::Var(1)}},
+                 DAtom{0, {DTerm::Var(1), DTerm::Var(2)}}};
+    EvalOptions opts;
+    opts.strategy = strategy;
+    auto stats = Evaluate({base, step}, db, opts);
+    EXPECT_TRUE(stats.ok());
+    return stats->rule_firings;
+  };
+  size_t naive_firings = run(Strategy::kNaive, &naive_db);
+  size_t semi_firings = run(Strategy::kSemiNaive, &semi_db);
+  EXPECT_EQ(naive_db.relation(1).size(), semi_db.relation(1).size());
+  // Naive re-derives everything each round; semi-naive only touches deltas.
+  EXPECT_GT(naive_firings, 2 * semi_firings);
+}
+
+TEST(Evaluator, BodilessRuleInsertsFact) {
+  for (Strategy strategy : {Strategy::kNaive, Strategy::kSemiNaive}) {
+    Database db;
+    ASSERT_TRUE(db.Declare(0, 1).ok());
+    DRule fact;
+    fact.num_vars = 0;
+    fact.head = DAtom{0, {DTerm::Val(7)}};
+    EvalOptions opts;
+    opts.strategy = strategy;
+    ASSERT_TRUE(Evaluate({fact}, &db, opts).ok());
+    EXPECT_TRUE(db.Contains(0, {7}));
+  }
+}
+
+TEST(Evaluator, RepeatedVariablesInAtom) {
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 2).ok());
+  ASSERT_TRUE(db.Declare(1, 1).ok());
+  db.Insert(0, {1, 1});
+  db.Insert(0, {1, 2});
+  DRule r;  // Diag(x) <- R(x,x).
+  r.num_vars = 1;
+  r.head = DAtom{1, {DTerm::Var(0)}};
+  r.body = {DAtom{0, {DTerm::Var(0), DTerm::Var(0)}}};
+  ASSERT_TRUE(Evaluate({r}, &db).ok());
+  EXPECT_EQ(db.relation(1).size(), 1u);
+  EXPECT_TRUE(db.Contains(1, {1}));
+}
+
+TEST(Evaluator, ConstantsInHeadAndBody) {
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 2).ok());
+  ASSERT_TRUE(db.Declare(1, 2).ok());
+  db.Insert(0, {5, 6});
+  db.Insert(0, {7, 8});
+  DRule r;  // Out(9, y) <- In(5, y).
+  r.num_vars = 1;
+  r.head = DAtom{1, {DTerm::Val(9), DTerm::Var(0)}};
+  r.body = {DAtom{0, {DTerm::Val(5), DTerm::Var(0)}}};
+  ASSERT_TRUE(Evaluate({r}, &db).ok());
+  EXPECT_EQ(db.relation(1).size(), 1u);
+  EXPECT_TRUE(db.Contains(1, {9, 6}));
+}
+
+TEST(Evaluator, RejectsNonRangeRestrictedRules) {
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 1).ok());
+  ASSERT_TRUE(db.Declare(1, 1).ok());
+  DRule r;
+  r.num_vars = 2;
+  r.head = DAtom{1, {DTerm::Var(1)}};  // var 1 not in body
+  r.body = {DAtom{0, {DTerm::Var(0)}}};
+  EXPECT_TRUE(Evaluate({r}, &db).status().IsInvalidArgument());
+}
+
+TEST(Evaluator, RejectsUndeclaredPredicates) {
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 1).ok());
+  DRule r;
+  r.num_vars = 1;
+  r.head = DAtom{5, {DTerm::Var(0)}};
+  r.body = {DAtom{0, {DTerm::Var(0)}}};
+  EXPECT_TRUE(Evaluate({r}, &db).status().IsFailedPrecondition());
+}
+
+TEST(Evaluator, TupleLimitEnforced) {
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 2).ok());
+  ASSERT_TRUE(db.Declare(1, 2).ok());
+  for (Value i = 0; i < 50; ++i) db.Insert(0, {i, i + 1});
+  DRule base;
+  base.num_vars = 2;
+  base.head = DAtom{1, {DTerm::Var(0), DTerm::Var(1)}};
+  base.body = {DAtom{0, {DTerm::Var(0), DTerm::Var(1)}}};
+  DRule step;
+  step.num_vars = 3;
+  step.head = DAtom{1, {DTerm::Var(0), DTerm::Var(2)}};
+  step.body = {DAtom{1, {DTerm::Var(0), DTerm::Var(1)}},
+               DAtom{0, {DTerm::Var(1), DTerm::Var(2)}}};
+  EvalOptions opts;
+  opts.max_tuples = 100;
+  EXPECT_TRUE(Evaluate({base, step}, &db, opts).status().IsResourceExhausted());
+}
+
+TEST(JoinProject, ProjectsAndDeduplicates) {
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 2).ok());
+  ASSERT_TRUE(db.Declare(1, 2).ok());
+  db.Insert(0, {1, 2});
+  db.Insert(0, {1, 3});
+  db.Insert(1, {2, 9});
+  db.Insert(1, {3, 9});
+  // ans(x) :- A(x,y), B(y, 9): both y's work, one x.
+  std::vector<DAtom> body = {DAtom{0, {DTerm::Var(0), DTerm::Var(1)}},
+                             DAtom{1, {DTerm::Var(1), DTerm::Val(9)}}};
+  auto result = JoinProject(db, body, 2, {0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], Tuple{1});
+}
+
+// ---------- stratified negation ----------
+
+TEST(Negation, WinMoveGame) {
+  // The classic: Win(x) <- Move(x, y), not Win(y), on a path 0->1->2->3.
+  // Positions with no move lose; 3 loses, 2 wins, 1 loses, 0 wins... wait:
+  // Win(2) via Move(2,3), not Win(3); Win(0) via Move(0,1), not Win(1)?
+  // Win(1) would need not Win(2) — false. So Win = {0, 2}.
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 2).ok());  // Move
+  ASSERT_TRUE(db.Declare(1, 1).ok());  // Win
+  for (Value i = 0; i < 3; ++i) db.Insert(0, {i, i + 1});
+  DRule r;
+  r.num_vars = 2;
+  r.head = DAtom{1, {DTerm::Var(0)}};
+  DAtom move{0, {DTerm::Var(0), DTerm::Var(1)}, false};
+  DAtom notwin{1, {DTerm::Var(1)}, true};
+  r.body = {move, notwin};
+  auto stats = Evaluate({r}, &db);
+  // Win is recursive through negation: not stratifiable.
+  EXPECT_TRUE(stats.status().IsInvalidArgument());
+}
+
+TEST(Negation, ComplementOfReachability) {
+  // Unreach(x, y) <- Node(x), Node(y), not Reach(x, y).
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 2).ok());  // Edge
+  ASSERT_TRUE(db.Declare(1, 2).ok());  // Reach
+  ASSERT_TRUE(db.Declare(2, 1).ok());  // Node
+  ASSERT_TRUE(db.Declare(3, 2).ok());  // Unreach
+  db.Insert(0, {0, 1});
+  db.Insert(0, {1, 2});
+  for (Value v = 0; v < 4; ++v) db.Insert(2, {v});  // node 3 is isolated
+  DRule base;
+  base.num_vars = 2;
+  base.head = DAtom{1, {DTerm::Var(0), DTerm::Var(1)}};
+  base.body = {DAtom{0, {DTerm::Var(0), DTerm::Var(1)}}};
+  DRule step;
+  step.num_vars = 3;
+  step.head = DAtom{1, {DTerm::Var(0), DTerm::Var(2)}};
+  step.body = {DAtom{1, {DTerm::Var(0), DTerm::Var(1)}},
+               DAtom{0, {DTerm::Var(1), DTerm::Var(2)}}};
+  DRule comp;
+  comp.num_vars = 2;
+  comp.head = DAtom{3, {DTerm::Var(0), DTerm::Var(1)}};
+  comp.body = {DAtom{2, {DTerm::Var(0)}}, DAtom{2, {DTerm::Var(1)}},
+               DAtom{1, {DTerm::Var(0), DTerm::Var(1)}, true}};
+  auto stats = Evaluate({base, step, comp}, &db);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Reach = {(0,1),(0,2),(1,2)}; Unreach = 16 - 3 = 13 pairs.
+  EXPECT_EQ(db.relation(1).size(), 3u);
+  EXPECT_EQ(db.relation(3).size(), 13u);
+  EXPECT_TRUE(db.Contains(3, {3, 0}));
+  EXPECT_TRUE(db.Contains(3, {0, 0}));   // reflexive pairs unreachable here
+  EXPECT_FALSE(db.Contains(3, {0, 2}));
+}
+
+TEST(Negation, StratifyRulesOrdersLayers) {
+  // p <- e; q <- p, not r; r <- e: r and p in stratum 0, q above both.
+  DRule p;
+  p.num_vars = 1;
+  p.head = DAtom{1, {DTerm::Var(0)}};
+  p.body = {DAtom{0, {DTerm::Var(0)}}};
+  DRule r;
+  r.num_vars = 1;
+  r.head = DAtom{2, {DTerm::Var(0)}};
+  r.body = {DAtom{0, {DTerm::Var(0)}}};
+  DRule q;
+  q.num_vars = 1;
+  q.head = DAtom{3, {DTerm::Var(0)}};
+  q.body = {DAtom{1, {DTerm::Var(0)}}, DAtom{2, {DTerm::Var(0)}, true}};
+  auto strata = StratifyRules({p, q, r});
+  ASSERT_TRUE(strata.ok()) << strata.status().ToString();
+  ASSERT_EQ(strata->size(), 2u);
+  EXPECT_EQ((*strata)[0].size(), 2u);
+  EXPECT_EQ((*strata)[1].size(), 1u);
+  EXPECT_EQ((*strata)[1][0].head.pred, 3u);
+}
+
+TEST(Negation, UnboundNegatedVariableRejected) {
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 1).ok());
+  ASSERT_TRUE(db.Declare(1, 1).ok());
+  ASSERT_TRUE(db.Declare(2, 1).ok());
+  DRule r;  // P(x) <- E(x), not Q(y): y unbound.
+  r.num_vars = 2;
+  r.head = DAtom{2, {DTerm::Var(0)}};
+  r.body = {DAtom{0, {DTerm::Var(0)}}, DAtom{1, {DTerm::Var(1)}, true}};
+  EXPECT_TRUE(Evaluate({r}, &db).status().IsInvalidArgument());
+}
+
+TEST(Negation, NegatedAtomAnywhereInBody) {
+  // The matcher reorders: a leading negated atom still works.
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 1).ok());  // E
+  ASSERT_TRUE(db.Declare(1, 1).ok());  // Block
+  ASSERT_TRUE(db.Declare(2, 1).ok());  // Out
+  db.Insert(0, {1});
+  db.Insert(0, {2});
+  db.Insert(1, {2});
+  DRule r;
+  r.num_vars = 1;
+  r.head = DAtom{2, {DTerm::Var(0)}};
+  r.body = {DAtom{1, {DTerm::Var(0)}, true}, DAtom{0, {DTerm::Var(0)}}};
+  auto stats = Evaluate({r}, &db);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(db.Contains(2, {1}));
+  EXPECT_FALSE(db.Contains(2, {2}));
+}
+
+TEST(Negation, JoinProjectWithNegation) {
+  Database db;
+  ASSERT_TRUE(db.Declare(0, 1).ok());
+  ASSERT_TRUE(db.Declare(1, 1).ok());
+  db.Insert(0, {1});
+  db.Insert(0, {2});
+  db.Insert(1, {2});
+  std::vector<DAtom> body = {DAtom{1, {DTerm::Var(0)}, true},
+                             DAtom{0, {DTerm::Var(0)}}};
+  auto result = JoinProject(db, body, 1, {0});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], Tuple{1});
+}
+
+// ---------- frontend: text -> relational engine ----------
+
+TEST(Frontend, TransitiveClosureFromText) {
+  auto p = ParseProgram(R"(
+    Edge(a, b).
+    Edge(b, c).
+    Edge(c, d).
+    Edge(x, y) -> Reach(x, y).
+    Reach(x, y), Edge(y, z) -> Reach(x, z).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  auto db = EvaluateDatalogProgram(*p);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  PredId reach = *p->symbols.FindPredicate("Reach");
+  EXPECT_EQ(db->relation(reach).size(), 6u);
+  Atom probe;
+  probe.pred = reach;
+  probe.args = {NfArg::Constant(*p->symbols.FindConstant("a")),
+                NfArg::Constant(*p->symbols.FindConstant("d"))};
+  auto holds = DatalogHolds(*db, probe);
+  ASSERT_TRUE(holds.ok());
+  EXPECT_TRUE(*holds);
+}
+
+TEST(Frontend, RejectsFunctionalPrograms) {
+  auto p = ParseProgram("P(0).\nP(t) -> P(t+1).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(CompileDatalog(*p).status().IsFailedPrecondition());
+}
+
+TEST(Frontend, AgreesWithFunctionalPipelineOnPureDatalog) {
+  // The grounding-based path (FunctionalDatabase) and the relational path
+  // must produce the same answers on function-free programs.
+  constexpr const char* kSource = R"(
+    Edge(a, b).
+    Edge(b, c).
+    Edge(c, a).
+    Edge(c, d).
+    Edge(x, y) -> Reach(x, y).
+    Reach(x, y), Edge(y, z) -> Reach(x, z).
+  )";
+  auto p = ParseProgram(kSource);
+  ASSERT_TRUE(p.ok());
+  auto rel = EvaluateDatalogProgram(*p);
+  ASSERT_TRUE(rel.ok());
+  auto db = relspec::FunctionalDatabase::FromSource(kSource);
+  ASSERT_TRUE(db.ok());
+  PredId reach = *p->symbols.FindPredicate("Reach");
+  std::vector<ConstId> domain = p->ActiveDomain();
+  for (ConstId x : domain) {
+    for (ConstId y : domain) {
+      Atom probe;
+      probe.pred = reach;
+      probe.args = {NfArg::Constant(x), NfArg::Constant(y)};
+      auto a = DatalogHolds(*rel, probe);
+      auto b = (*db)->HoldsFact(probe);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b);
+    }
+  }
+}
+
+TEST(Frontend, FactsOnlyProgram) {
+  auto p = ParseProgram("Likes(a, b).\nLikes(b, a).");
+  ASSERT_TRUE(p.ok());
+  auto db = EvaluateDatalogProgram(*p);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->TotalTuples(), 2u);
+}
+
+TEST(JoinProject, EmptyBodyYieldsOneEmptyMatch) {
+  Database db;
+  auto result = JoinProject(db, {}, 0, {});
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0].empty());
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace relspec

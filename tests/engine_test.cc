@@ -1,0 +1,187 @@
+// Unit tests for the FunctionalDatabase facade: pipeline wiring, error
+// paths, resource limits, and edge-case programs.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/query.h"
+#include "src/parser/parser.h"
+
+namespace relspec {
+namespace {
+
+TEST(Engine, RejectsSourceWithQueries) {
+  auto db = FunctionalDatabase::FromSource("P(0).\n? P(s).");
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(Engine, RejectsDomainDependentPrograms) {
+  auto db = FunctionalDatabase::FromSource("P(0).\nP(s) -> Q(s, y).\nQ(0, a).");
+  EXPECT_TRUE(db.status().IsInvalidArgument());
+}
+
+TEST(Engine, EmptyProgramWorks) {
+  auto db = FunctionalDatabase::FromSource("");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->label_graph().num_clusters(), 1u);  // just the term 0
+  EXPECT_TRUE((*db)->Verify().ok());
+}
+
+TEST(Engine, FactsOnlyProgram) {
+  auto db = FunctionalDatabase::FromSource(R"(
+    Meets(2, Tony).
+    Next(Tony, Jan).
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(*(*db)->HoldsFactText("Meets(2, Tony)"));
+  EXPECT_FALSE(*(*db)->HoldsFactText("Meets(1, Tony)"));
+  EXPECT_FALSE(*(*db)->HoldsFactText("Meets(3, Tony)"));
+  EXPECT_TRUE(*(*db)->HoldsFactText("Next(Tony, Jan)"));
+}
+
+TEST(Engine, PureDatalogProgram) {
+  auto db = FunctionalDatabase::FromSource(R"(
+    Edge(a, b).
+    Edge(b, c).
+    Edge(x, y) -> Reach(x, y).
+    Reach(x, y), Edge(y, z) -> Reach(x, z).
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(*(*db)->HoldsFactText("Reach(a, c)"));
+  EXPECT_FALSE(*(*db)->HoldsFactText("Reach(c, a)"));
+  EXPECT_TRUE((*db)->Verify().ok());
+  // Queries over a function-free program are finite.
+  auto q = ParseQuery("?(x) Reach(a, x).", (*db)->mutable_program());
+  ASSERT_TRUE(q.ok());
+  auto ans = AnswerQuery(db->get(), *q);
+  ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+  EXPECT_FALSE(ans->has_functional_answer());
+  auto list = ans->Enumerate(0, 10);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);  // b and c
+}
+
+TEST(Engine, HoldsFactErrors) {
+  auto db = FunctionalDatabase::FromSource("Meets(0, Tony).");
+  ASSERT_TRUE(db.ok());
+  // Open atoms are rejected.
+  EXPECT_FALSE((*db)->HoldsFactText("Meets(t, Tony)").ok());
+  // Unknown predicates are rejected at parse time.
+  EXPECT_FALSE((*db)->HoldsFactText("Unknown(0)").ok());
+  // Unknown constants are simply false (they are outside the universe).
+  auto unknown_const = (*db)->HoldsFactText("Meets(0, Nobody)");
+  ASSERT_TRUE(unknown_const.ok());
+  EXPECT_FALSE(*unknown_const);
+}
+
+TEST(Engine, FactsWithUnknownSymbolsAreFalse) {
+  auto db = FunctionalDatabase::FromSource("Meets(0, Tony).\nMeets(t, x) -> Meets(t+1, x).");
+  ASSERT_TRUE(db.ok());
+  // A ground term using a function symbol the program never mentions.
+  EXPECT_FALSE(*(*db)->HoldsFactText("Meets(ghost(0), Tony)"));
+  EXPECT_TRUE(*(*db)->HoldsFactText("Meets(1, Tony)"));
+}
+
+TEST(Engine, InfoAndStatsPopulated) {
+  auto db = FunctionalDatabase::FromSource(R"(
+    Even(0).
+    Even(t) -> Even(t+2).
+  )");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE((*db)->info().is_normal);  // post-transformation
+  EXPECT_GT((*db)->normalize_stats().aux_predicates, 0);
+  EXPECT_EQ((*db)->purify_stats().new_symbols, 0);
+  EXPECT_FALSE((*db)->original_program().rules.empty());
+  EXPECT_GE((*db)->program().rules.size(),
+            (*db)->original_program().rules.size());
+}
+
+TEST(Engine, GroundRuleCapPropagates) {
+  EngineOptions options;
+  options.ground.max_rules = 1;
+  auto db = FunctionalDatabase::FromSource(R"(
+    OnCall(0, a).
+    Rotate(a, b).
+    Rotate(b, a).
+    OnCall(t, x), Rotate(x, y) -> OnCall(t+1, y).
+  )", options);
+  EXPECT_TRUE(db.status().IsResourceExhausted());
+}
+
+TEST(Engine, TrunkCapPropagates) {
+  EngineOptions options;
+  options.fixpoint.max_trunk_nodes = 2;
+  // c = 3 with two symbols would need 15 trunk nodes.
+  auto db = FunctionalDatabase::FromSource(R"(
+    P(f(f(f(0)))).
+    P(t) -> P(g(t)).
+  )", options);
+  EXPECT_TRUE(db.status().IsResourceExhausted());
+}
+
+TEST(Engine, PathOfGroundTermPurifies) {
+  auto db = FunctionalDatabase::FromSource(R"(
+    At(0, p0).
+    Connected(p0, p1).
+    At(s, x), Connected(x, y) -> At(move(s, x, y), y).
+  )");
+  ASSERT_TRUE(db.ok());
+  FuncId mv = *(*db)->program().symbols.FindFunction("move");
+  ConstId p0 = *(*db)->program().symbols.FindConstant("p0");
+  ConstId p1 = *(*db)->program().symbols.FindConstant("p1");
+  FuncTerm t = FuncTerm::Zero().Apply(mv, {NfArg::Constant(p0),
+                                           NfArg::Constant(p1)});
+  auto path = (*db)->PathOfGroundTerm(t);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->depth(), 1);
+  VarId x = (*db)->mutable_symbols()->InternVariable("x");
+  FuncTerm open = FuncTerm::Var(x);
+  EXPECT_TRUE((*db)->PathOfGroundTerm(open).status().IsInvalidArgument());
+}
+
+TEST(Engine, SelfLoopRule) {
+  // A rule deriving its own body atom: the fixpoint must not diverge.
+  auto db = FunctionalDatabase::FromSource(R"(
+    P(0).
+    P(t) -> P(t).
+    P(t) -> P(t+1).
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(*(*db)->HoldsFactText("P(5)"));
+  EXPECT_TRUE((*db)->Verify().ok());
+}
+
+TEST(Engine, TwoSymbolCrossPropagation) {
+  // Facts hop between branches in both directions.
+  auto db = FunctionalDatabase::FromSource(R"(
+    P(0).
+    P(t) -> Q(f(t)).
+    Q(f(t)) -> R(g(t)).
+    R(g(t)) -> S(t).
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_TRUE(*(*db)->HoldsFactText("Q(f(0))"));
+  EXPECT_TRUE(*(*db)->HoldsFactText("R(g(0))"));
+  EXPECT_TRUE(*(*db)->HoldsFactText("S(0)"));
+  EXPECT_FALSE(*(*db)->HoldsFactText("S(f(0))"));
+  EXPECT_TRUE((*db)->Verify().ok());
+}
+
+TEST(Engine, DeepGroundFactTrunk) {
+  // A fact at depth 6 forces a deep trunk; everything still works.
+  auto db = FunctionalDatabase::FromSource(R"(
+    P(6).
+    P(t) -> P(t+1).
+    P(t+1) -> Q(t).
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ((*db)->ground().trunk_depth(), 6);
+  EXPECT_FALSE(*(*db)->HoldsFactText("P(5)"));
+  EXPECT_TRUE(*(*db)->HoldsFactText("P(9)"));
+  EXPECT_TRUE(*(*db)->HoldsFactText("Q(5)"));   // down from P(6)
+  EXPECT_FALSE(*(*db)->HoldsFactText("Q(4)"));  // no P(5)
+  EXPECT_TRUE((*db)->Verify().ok());
+}
+
+}  // namespace
+}  // namespace relspec

@@ -1,0 +1,153 @@
+// Unit tests for provenance (derivation trees).
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/explain.h"
+
+namespace relspec {
+namespace {
+
+constexpr const char* kMeets = R"(
+  Meets(0, Tony).
+  Next(Tony, Jan).
+  Next(Jan, Tony).
+  Meets(t, x), Next(x, y) -> Meets(t+1, y).
+)";
+
+struct Built {
+  std::unique_ptr<FunctionalDatabase> db;
+  Path NatPath(int n) const {
+    FuncId succ = *db->program().symbols.FindFunction("+1");
+    std::vector<FuncId> syms(static_cast<size_t>(n), succ);
+    return Path(std::move(syms));
+  }
+  SliceAtom Atom(const std::string& pred,
+                 const std::vector<std::string>& consts) const {
+    SliceAtom a;
+    a.pred = *db->program().symbols.FindPredicate(pred);
+    for (const auto& c : consts) {
+      a.args.push_back(*db->program().symbols.FindConstant(c));
+    }
+    return a;
+  }
+};
+
+Built Build(const char* source) {
+  auto db = FunctionalDatabase::FromSource(source);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return Built{std::move(*db)};
+}
+
+TEST(Explain, DatabaseFactIsAnAxiom) {
+  Built b = Build(kMeets);
+  auto d = ExplainFact(b.db->ground(), b.NatPath(0), b.Atom("Meets", {"Tony"}));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->kind, Derivation::Kind::kDatabaseFact);
+  EXPECT_EQ(d->NumSteps(), 0u);
+  EXPECT_TRUE(d->premises.empty());
+}
+
+TEST(Explain, ChainDerivationHasOneStepPerDay) {
+  Built b = Build(kMeets);
+  auto d = ExplainFact(b.db->ground(), b.NatPath(4), b.Atom("Meets", {"Tony"}));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->kind, Derivation::Kind::kLocalRule);
+  // Four rule steps, each consuming the previous day plus a Next fact.
+  EXPECT_EQ(d->NumSteps(), 4u);
+  // The rendering mentions the database fact at the leaf.
+  std::string text = d->ToString(b.db->ground(), b.db->program().symbols);
+  EXPECT_NE(text.find("[database fact]"), std::string::npos);
+  EXPECT_NE(text.find("Meets(0,Tony)"), std::string::npos);
+}
+
+TEST(Explain, UnderivableFactIsNotFound) {
+  Built b = Build(kMeets);
+  auto d = ExplainFact(b.db->ground(), b.NatPath(3), b.Atom("Meets", {"Tony"}));
+  EXPECT_TRUE(d.status().IsNotFound());  // day 3 is Jan's
+  // Unknown constant -> outside the universe.
+  SliceAtom bogus;
+  bogus.pred = b.Atom("Meets", {"Tony"}).pred;
+  bogus.args = {9999};
+  EXPECT_TRUE(
+      ExplainFact(b.db->ground(), b.NatPath(0), bogus).status().IsNotFound());
+}
+
+TEST(Explain, GlobalFactExplanation) {
+  Built b = Build(R"(
+    P(0).
+    P(t) -> P(t+1).
+    Marker(3).
+    P(t), Marker(t) -> Witness(a).
+  )");
+  PredId witness = *b.db->program().symbols.FindPredicate("Witness");
+  ConstId a = *b.db->program().symbols.FindConstant("a");
+  auto d = ExplainGlobal(b.db->ground(), witness, {a});
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->kind, Derivation::Kind::kLocalRule);
+  // The witness rule fired at depth 3; its P premise has a 3-step chain.
+  EXPECT_EQ(d->at.depth(), 3);
+  EXPECT_GE(d->NumSteps(), 4u);
+}
+
+TEST(Explain, DownPropagationDerivation) {
+  Built b = Build(R"(
+    Q(3).
+    Q(t+1) -> Q(t).
+  )");
+  auto d = ExplainFact(b.db->ground(), Path::Zero(), b.Atom("Q", {}));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  // Three downward steps from the database fact at depth 3.
+  EXPECT_EQ(d->NumSteps(), 3u);
+}
+
+TEST(Explain, AgreesWithMembershipOnRandomDays) {
+  Built b = Build(kMeets);
+  for (int n = 0; n <= 9; ++n) {
+    for (const char* who : {"Tony", "Jan"}) {
+      auto holds = b.db->HoldsFactText("Meets(" + std::to_string(n) + ", " +
+                                       who + ")");
+      ASSERT_TRUE(holds.ok());
+      auto d = ExplainFact(b.db->ground(), b.NatPath(n), b.Atom("Meets", {who}));
+      EXPECT_EQ(d.ok(), *holds) << n << " " << who;
+      if (d.ok()) {
+        EXPECT_EQ(d->NumSteps(), static_cast<size_t>(n));
+      }
+    }
+  }
+}
+
+TEST(Explain, MixedProgramPlans) {
+  Built b = Build(R"(
+    At(0, p0).
+    Connected(p0, p1).
+    Connected(p1, p0).
+    At(s, x), Connected(x, y) -> At(move(s, x, y), y).
+  )");
+  // Explain At(move(move(0,p0,p1),p1,p0), p0): two rule steps.
+  FuncId m01 = *b.db->program().symbols.FindFunction("move{p0,p1}");
+  FuncId m10 = *b.db->program().symbols.FindFunction("move{p1,p0}");
+  Path plan({m01, m10});
+  auto d = ExplainFact(b.db->ground(), plan, b.Atom("At", {"p0"}));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->NumSteps(), 2u);
+  // The leaf is the initial situation. (The Connected premises were folded
+  // into the ground rule instances by EDB pruning, so they do not appear.)
+  std::string text = d->ToString(b.db->ground(), b.db->program().symbols);
+  EXPECT_NE(text.find("At(0,p0)"), std::string::npos);
+  EXPECT_NE(text.find("[database fact]"), std::string::npos);
+}
+
+TEST(Explain, BoundCapGivesNotFound) {
+  Built b = Build("P(0).\nP(t) -> P(t+1).");
+  ExplainOptions options;
+  options.max_bound = 4;
+  auto d = ExplainFact(b.db->ground(), b.NatPath(10), b.Atom("P", {}), options);
+  EXPECT_TRUE(d.status().IsNotFound());
+  // Default bound reaches it.
+  auto ok = ExplainFact(b.db->ground(), b.NatPath(10), b.Atom("P", {}));
+  EXPECT_TRUE(ok.ok());
+}
+
+}  // namespace
+}  // namespace relspec

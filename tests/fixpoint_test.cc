@@ -1,0 +1,256 @@
+// Unit tests for the least-fixpoint machinery: trunk labels, the chi table,
+// context propagation, bounded brute-force evaluation.
+
+#include <gtest/gtest.h>
+
+#include "src/core/fixpoint.h"
+#include "src/core/ground.h"
+#include "src/core/mixed_to_pure.h"
+#include "src/core/normalize.h"
+#include "src/parser/parser.h"
+
+namespace relspec {
+namespace {
+
+struct Built {
+  Program program;
+  GroundProgram ground;
+};
+
+StatusOr<Built> Build(std::string_view source) {
+  RELSPEC_ASSIGN_OR_RETURN(Program p, ParseProgram(source));
+  RELSPEC_ASSIGN_OR_RETURN(NormalizeStats ns, NormalizeProgram(&p));
+  (void)ns;
+  RELSPEC_ASSIGN_OR_RETURN(MixedToPureStats ms, MixedToPure(&p));
+  (void)ms;
+  RELSPEC_ASSIGN_OR_RETURN(GroundProgram g, Ground(p));
+  return Built{std::move(p), std::move(g)};
+}
+
+// Looks up a slice atom id by predicate name + constant names.
+SliceAtom AtomOf(const Built& b, const std::string& pred,
+                 const std::vector<std::string>& consts) {
+  SliceAtom a;
+  a.pred = *b.program.symbols.FindPredicate(pred);
+  for (const auto& c : consts) a.args.push_back(*b.program.symbols.FindConstant(c));
+  return a;
+}
+
+Path NatPath(const Built& b, int n) {
+  FuncId succ = *b.program.symbols.FindFunction("+1");
+  std::vector<FuncId> syms(static_cast<size_t>(n), succ);
+  return Path(std::move(syms));
+}
+
+TEST(Fixpoint, ForwardChainLabels) {
+  auto b = Build("P(0).\nP(t) -> P(t+1).");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  SliceAtom p = AtomOf(*b, "P", {});
+  for (int n = 0; n <= 10; ++n) {
+    EXPECT_TRUE(l->Holds(NatPath(*b, n), p)) << n;
+  }
+}
+
+TEST(Fixpoint, DownPropagation) {
+  // Q flows downward: Q(t+1) -> Q(t); seeded at depth 4 via P-chain.
+  auto b = Build(R"(
+    P(0).
+    P(t) -> P(t+1).
+    P(4), P(t) -> Q(t+4).
+    Q(t+1) -> Q(t).
+  )");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  SliceAtom q = AtomOf(*b, "Q", {});
+  // Q holds at t+4 for every t, and propagates down to everything.
+  for (int n = 0; n <= 10; ++n) {
+    EXPECT_TRUE(l->Holds(NatPath(*b, n), q)) << n;
+  }
+}
+
+TEST(Fixpoint, DownPropagationBounded) {
+  // Q seeded only at the pinned position 3, flows down but not up.
+  auto b = Build(R"(
+    Q(3).
+    Q(t+1) -> Q(t).
+  )");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  SliceAtom q = AtomOf(*b, "Q", {});
+  for (int n = 0; n <= 8; ++n) {
+    EXPECT_EQ(l->Holds(NatPath(*b, n), q), n <= 3) << n;
+  }
+}
+
+TEST(Fixpoint, ExistentialGlobalFromDeepNode) {
+  // Witness(a) becomes true because SOME node (depth 5) satisfies P&Marker.
+  auto b = Build(R"(
+    P(0).
+    P(t) -> P(t+1).
+    Marker(5).
+    P(t), Marker(t) -> Witness(a).
+  )");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  ConstId a = *b->program.symbols.FindConstant("a");
+  PredId witness = *b->program.symbols.FindPredicate("Witness");
+  EXPECT_TRUE(l->HoldsGlobal(witness, {a}));
+}
+
+TEST(Fixpoint, GlobalFeedsBackIntoChain) {
+  // The chain only advances once Go(a) is derived, which requires reaching
+  // depth 2 first: tests the context feedback loop.
+  auto b = Build(R"(
+    P(0).
+    P(t) -> P(t+1).
+    P(2) -> Go(a).
+    P(t), Go(x) -> R(t).
+  )");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  SliceAtom r = AtomOf(*b, "R", {});
+  EXPECT_TRUE(l->Holds(NatPath(*b, 0), r));
+  EXPECT_TRUE(l->Holds(NatPath(*b, 7), r));
+}
+
+TEST(Fixpoint, SiblingPropagationAcrossSymbols) {
+  // Facts jump between sibling branches: P at f-child implies Q at g-child.
+  auto b = Build(R"(
+    P(0).
+    P(t) -> P(f(t)).
+    P(f(t)) -> Q(g(t)).
+  )");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  FuncId f = *b->program.symbols.FindFunction("f");
+  FuncId g = *b->program.symbols.FindFunction("g");
+  SliceAtom q = AtomOf(*b, "Q", {});
+  SliceAtom p = AtomOf(*b, "P", {});
+  EXPECT_TRUE(l->Holds(Path({g}), q));
+  EXPECT_TRUE(l->Holds(Path({f, g}), q));
+  EXPECT_FALSE(l->Holds(Path({g, g}), q));  // no P below g-branches
+  EXPECT_FALSE(l->Holds(Path({g}), p));
+}
+
+TEST(Fixpoint, UnknownSymbolsHaveEmptyLabels) {
+  auto b = Build("P(0).\nP(t) -> P(f(t)).");
+  ASSERT_TRUE(b.ok());
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok());
+  SliceAtom p = AtomOf(*b, "P", {});
+  // A path through a symbol absent from the program: nothing holds there.
+  FuncId ghost = *b->program.symbols.InternFunction("ghost", 1);
+  EXPECT_FALSE(l->Holds(Path({ghost}), p));
+  FuncId f = *b->program.symbols.FindFunction("f");
+  EXPECT_FALSE(l->Holds(Path({ghost, f}), p));
+  EXPECT_TRUE(l->Holds(Path({f}), p));
+}
+
+TEST(Fixpoint, StatesRepeatAndChiTableStaysSmall) {
+  auto b = Build("P(0).\nP(t) -> P(t+1).");
+  ASSERT_TRUE(b.ok());
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok());
+  // Deep labels resolve through the finite chi table.
+  SliceAtom p = AtomOf(*b, "P", {});
+  EXPECT_TRUE(l->Holds(NatPath(*b, 200), p));
+  EXPECT_LT(l->chi().num_entries(), 10u);
+}
+
+TEST(Fixpoint, ChiEntryCapEnforced) {
+  auto b = Build(R"(
+    P(0, a).
+    P(0, b).
+    P(t, x) -> P(t+1, x).
+  )");
+  ASSERT_TRUE(b.ok());
+  FixpointOptions options;
+  options.max_chi_entries = 0;
+  auto l = ComputeFixpoint(b->ground, options);
+  EXPECT_TRUE(l.status().IsResourceExhausted());
+}
+
+// ---------- bounded brute force ----------
+
+TEST(BoundedFixpoint, MatchesExactEngineOnRegion) {
+  auto b = Build(R"(
+    Meets(0, Tony).
+    Next(Tony, Jan).
+    Next(Jan, Tony).
+    Meets(t, x), Next(x, y) -> Meets(t+1, y).
+  )");
+  ASSERT_TRUE(b.ok());
+  auto exact = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(exact.ok());
+  auto bounded = ComputeBoundedFixpoint(b->ground, 12);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  SliceAtom tony = AtomOf(*b, "Meets", {"Tony"});
+  SliceAtom jan = AtomOf(*b, "Meets", {"Jan"});
+  for (int n = 0; n <= 12; ++n) {
+    EXPECT_EQ(bounded->Holds(NatPath(*b, n), tony),
+              exact->Holds(NatPath(*b, n), tony))
+        << n;
+    EXPECT_EQ(bounded->Holds(NatPath(*b, n), jan),
+              exact->Holds(NatPath(*b, n), jan))
+        << n;
+  }
+  EXPECT_GT(bounded->TotalFacts(), 0u);
+  EXPECT_EQ(bounded->num_nodes(), 13u);
+}
+
+TEST(BoundedFixpoint, UnderApproximatesWithDownPropagation) {
+  // With down-propagation, facts near the bound need derivations that
+  // excursion above the bound; the bounded fixpoint soundly misses them.
+  auto b = Build(R"(
+    P(0).
+    P(t) -> P(t+1).
+    P(4), P(t) -> Q(t+4).
+    Q(t+1) -> Q(t).
+  )");
+  ASSERT_TRUE(b.ok());
+  auto exact = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(exact.ok());
+  auto bounded = ComputeBoundedFixpoint(b->ground, 6);
+  ASSERT_TRUE(bounded.ok());
+  SliceAtom q = AtomOf(*b, "Q", {});
+  // Soundness: everything the bounded engine derives is in the fixpoint.
+  for (int n = 0; n <= 6; ++n) {
+    if (bounded->Holds(NatPath(*b, n), q)) {
+      EXPECT_TRUE(exact->Holds(NatPath(*b, n), q)) << n;
+    }
+  }
+}
+
+TEST(BoundedFixpoint, BoundSmallerThanTrunkRejected) {
+  auto b = Build("P(5).\nP(t) -> P(t+1).");
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(ComputeBoundedFixpoint(b->ground, 2).ok());
+}
+
+TEST(Fixpoint, TrunkDeeperThanZero) {
+  // Facts at several depths; the trunk covers them all.
+  auto b = Build(R"(
+    P(3, a).
+    P(1, b).
+    P(t, x) -> P(t+1, x).
+  )");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->ground.trunk_depth(), 3);
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(l->Holds(NatPath(*b, 3), AtomOf(*b, "P", {"a"})));
+  EXPECT_FALSE(l->Holds(NatPath(*b, 2), AtomOf(*b, "P", {"a"})));
+  EXPECT_TRUE(l->Holds(NatPath(*b, 2), AtomOf(*b, "P", {"b"})));
+  EXPECT_TRUE(l->Holds(NatPath(*b, 9), AtomOf(*b, "P", {"a"})));
+  EXPECT_TRUE(l->Holds(NatPath(*b, 9), AtomOf(*b, "P", {"b"})));
+}
+
+}  // namespace
+}  // namespace relspec

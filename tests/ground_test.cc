@@ -1,0 +1,200 @@
+// Unit tests for grounding: atom universes, positional rules, context
+// propositions, EDB pruning.
+
+#include <gtest/gtest.h>
+
+#include "src/core/ground.h"
+#include "src/core/mixed_to_pure.h"
+#include "src/core/normalize.h"
+#include "src/parser/parser.h"
+
+namespace relspec {
+namespace {
+
+StatusOr<GroundProgram> GroundSource(std::string_view source,
+                                     GroundOptions options = {}) {
+  RELSPEC_ASSIGN_OR_RETURN(Program p, ParseProgram(source));
+  RELSPEC_ASSIGN_OR_RETURN(NormalizeStats ns, NormalizeProgram(&p));
+  (void)ns;
+  RELSPEC_ASSIGN_OR_RETURN(MixedToPureStats ms, MixedToPure(&p));
+  (void)ms;
+  return Ground(p, options);
+}
+
+TEST(Ground, MeetsProgramStructure) {
+  auto g = GroundSource(R"(
+    Meets(0, Tony).
+    Next(Tony, Jan).
+    Next(Jan, Tony).
+    Meets(t, x), Next(x, y) -> Meets(t+1, y).
+  )");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_symbols(), 1u);
+  EXPECT_EQ(g->trunk_depth(), 0);
+  // Universe: Meets@Tony, Meets@Jan.
+  EXPECT_EQ(g->num_atoms(), 2u);
+  // The rule grounds over (x,y) in {Tony,Jan}^2, but EDB pruning against
+  // Next keeps only the two real pairs.
+  EXPECT_EQ(g->local_rules().size(), 2u);
+  EXPECT_TRUE(g->global_rules().empty());
+  EXPECT_EQ(g->pinned_facts().size(), 1u);
+  EXPECT_EQ(g->pinned_facts()[0].first.depth(), 0);
+  EXPECT_EQ(g->global_facts().size(), 2u);
+  // Each local rule: body at s, head at +1(s).
+  for (const GroundRule& r : g->local_rules()) {
+    EXPECT_EQ(r.body_eps.size(), 1u);
+    EXPECT_TRUE(r.body_child.empty());
+    EXPECT_EQ(r.head_kind, GroundRule::HeadKind::kChild);
+    EXPECT_TRUE(r.IsLocal());
+  }
+}
+
+TEST(Ground, WithoutEdbPruningEnumeratesAllPairs) {
+  GroundOptions options;
+  options.edb_pruning = false;
+  auto g = GroundSource(R"(
+    Meets(0, Tony).
+    Next(Tony, Jan).
+    Next(Jan, Tony).
+    Meets(t, x), Next(x, y) -> Meets(t+1, y).
+  )", options);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  // 2 constants -> 4 (x,y) instances, each carrying the Next ctx atom.
+  EXPECT_EQ(g->local_rules().size(), 4u);
+  for (const GroundRule& r : g->local_rules()) {
+    EXPECT_EQ(r.body_ctx.size(), 1u);
+  }
+}
+
+TEST(Ground, PinnedAtomsForGroundTerms) {
+  auto g = GroundSource(R"(
+    P(2).
+    P(t) -> Q(t+1).
+    Q(3) -> Win(a).
+  )");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->trunk_depth(), 3);  // the ground term 3 in the last rule
+  // The last rule has a pinned body atom and a global head: non-local.
+  ASSERT_EQ(g->global_rules().size(), 1u);
+  const GroundRule& r = g->global_rules()[0];
+  EXPECT_EQ(r.head_kind, GroundRule::HeadKind::kCtx);
+  ASSERT_EQ(r.body_ctx.size(), 1u);
+  EXPECT_EQ(g->ctx_prop(r.body_ctx[0]).kind, CtxProp::Kind::kPinned);
+  EXPECT_EQ(g->ctx_prop(r.body_ctx[0]).path.depth(), 3);
+}
+
+TEST(Ground, GlobalHeadFromFunctionalBodyIsLocalExistential) {
+  auto g = GroundSource(R"(
+    P(0).
+    P(t) -> P(t+1).
+    P(s) -> Nonempty(a).
+  )");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  // P(s) -> Nonempty(a): positional body, ctx head -> local existential.
+  bool found = false;
+  for (const GroundRule& r : g->local_rules()) {
+    if (r.head_kind == GroundRule::HeadKind::kCtx) {
+      EXPECT_EQ(r.body_eps.size(), 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Ground, RequiresNormalProgram) {
+  auto p = ParseProgram("Even(0).\nEven(t) -> Even(t+2).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(Ground(*p).status().IsFailedPrecondition());
+}
+
+TEST(Ground, RequiresPureProgram) {
+  auto p = ParseProgram(R"(
+    P(a).
+    P(x) -> Member(ext(0, x), x).
+  )");
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(NormalizeProgram(&*p).ok());
+  EXPECT_TRUE(Ground(*p).status().IsFailedPrecondition());
+}
+
+TEST(Ground, RuleCapEnforced) {
+  GroundOptions options;
+  options.max_rules = 2;
+  options.edb_pruning = false;
+  auto g = GroundSource(R"(
+    P(0, a).
+    P(0, b).
+    P(0, c).
+    P(t, x), P(t, y) -> P(t+1, x).
+  )", options);
+  EXPECT_TRUE(g.status().IsResourceExhausted());
+}
+
+TEST(Ground, DeduplicatesRuleInstances) {
+  // x does not occur in the head; distinct x bindings give the same ground
+  // rule after EDB pruning of P... here Q is IDB so instances differ only
+  // in the ctx atom. Use a genuinely duplicating shape:
+  auto g = GroundSource(R"(
+    Base(a).
+    Base(b).
+    R(0).
+    R(t), Base(x) -> R(t+1).
+  )");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  // Base is EDB-pruned and dropped; both x=a and x=b collapse to the same
+  // positional rule.
+  EXPECT_EQ(g->local_rules().size(), 1u);
+}
+
+TEST(Ground, FindAtomAndFindGlobal) {
+  auto g = GroundSource(R"(
+    Meets(0, Tony).
+    Next(Tony, Jan).
+    Meets(t, x), Next(x, y) -> Meets(t+1, y).
+  )");
+  ASSERT_TRUE(g.ok());
+  // Probe by reconstructing keys (ids are internal; scan the dictionary).
+  bool found_meets_jan = false;
+  for (AtomIdx i = 0; i < g->num_atoms(); ++i) {
+    if (g->atom(i).args.size() == 1) found_meets_jan = true;
+    EXPECT_EQ(g->FindAtom(g->atom(i)), i);
+  }
+  EXPECT_TRUE(found_meets_jan);
+  SliceAtom missing;
+  missing.pred = 999;
+  EXPECT_EQ(g->FindAtom(missing), kInvalidId);
+  EXPECT_EQ(g->FindGlobal(999, {}), kInvalidId);
+}
+
+TEST(Ground, RendersRulesForHumans) {
+  auto p = ParseProgram(R"(
+    Meets(0, Tony).
+    Next(Tony, Jan).
+    Meets(t, x), Next(x, y) -> Meets(t+1, y).
+  )");
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(NormalizeProgram(&*p).ok());
+  ASSERT_TRUE(MixedToPure(&*p).ok());
+  auto g = Ground(*p);
+  ASSERT_TRUE(g.ok());
+  ASSERT_FALSE(g->local_rules().empty());
+  std::string text = g->RuleToString(g->local_rules()[0], p->symbols);
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_NE(text.find("Meets"), std::string::npos);
+}
+
+TEST(Ground, PureDatalogProgramHasNoLocalRules) {
+  auto g = GroundSource(R"(
+    Edge(a, b).
+    Edge(b, c).
+    Edge(x, y) -> Reach(x, y).
+    Reach(x, y), Edge(y, z) -> Reach(x, z).
+  )");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(g->local_rules().empty());
+  EXPECT_FALSE(g->global_rules().empty());
+  EXPECT_EQ(g->num_symbols(), 0u);
+}
+
+}  // namespace
+}  // namespace relspec

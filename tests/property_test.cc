@@ -1,0 +1,322 @@
+// Property-based tests: randomly generated functional programs are run
+// through the whole pipeline and checked against
+//   (a) the quotient-model certificate (completeness: L ⊆ spec),
+//   (b) the bounded brute-force fixpoint (soundness: bounded ⊆ spec, and
+//       equality on stabilized regions),
+//   (c) agreement between the graph and equational specifications,
+//   (d) serialization round trips,
+//   (e) incremental vs recompute query answers (Theorem 5.1),
+//   (f) bounded CONGR evaluation (Section 3.6).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "src/core/congr.h"
+#include "src/core/engine.h"
+#include "src/core/query.h"
+#include "src/core/spec_io.h"
+#include "src/parser/parser.h"
+
+namespace relspec {
+namespace {
+
+// Generates a random functional program over predicates P0..P{np-1}
+// (functional, arity 1 or 2), symbols f/g, constants a/b.
+std::string RandomProgram(std::mt19937* rng) {
+  auto pick = [rng](int n) { return static_cast<int>((*rng)() % n); };
+  int num_preds = 1 + pick(3);
+  int num_syms = 1 + pick(2);
+  std::vector<int> arity(num_preds);
+  for (int& a : arity) a = 1 + pick(2);
+  auto pred_atom = [&](int p, const std::string& term,
+                       const std::string& cst) {
+    std::string s = "P" + std::to_string(p) + "(" + term;
+    if (arity[p] == 2) s += ", " + cst;
+    return s + ")";
+  };
+  auto rand_const = [&]() { return pick(2) == 0 ? "a" : "b"; };
+  auto rand_sym = [&]() { return num_syms == 1 || pick(2) == 0 ? "f" : "g"; };
+
+  std::string out;
+  // 1-2 facts at depth <= 2.
+  int num_facts = 1 + pick(2);
+  for (int i = 0; i < num_facts; ++i) {
+    int depth = pick(3);
+    std::string term = "0";
+    for (int d = 0; d < depth; ++d) term = std::string(rand_sym()) + "(" + term + ")";
+    out += pred_atom(pick(num_preds), term, rand_const()) + ".\n";
+  }
+  // 2-5 rules.
+  int num_rules = 2 + pick(4);
+  for (int i = 0; i < num_rules; ++i) {
+    // Body: 1-2 atoms at offsets s or sym(s).
+    int body_atoms = 1 + pick(2);
+    std::vector<std::string> body;
+    for (int b = 0; b < body_atoms; ++b) {
+      std::string term = pick(2) == 0 ? "s" : std::string(rand_sym()) + "(s)";
+      body.push_back(pred_atom(pick(num_preds), term, rand_const()));
+    }
+    // Head: at s or sym(s).
+    std::string hterm = pick(2) == 0 ? "s" : std::string(rand_sym()) + "(s)";
+    std::string head = pred_atom(pick(num_preds), hterm, rand_const());
+    std::string rule;
+    for (size_t b = 0; b < body.size(); ++b) {
+      if (b > 0) rule += ", ";
+      rule += body[b];
+    }
+    out += rule + " -> " + head + ".\n";
+  }
+  return out;
+}
+
+// All paths over the program's alphabet up to `depth`, shortlex.
+std::vector<Path> UniverseUpTo(const GroundProgram& ground, int depth) {
+  std::vector<Path> out = {Path::Zero()};
+  std::vector<Path> layer = {Path::Zero()};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<Path> next;
+    for (const Path& p : layer) {
+      for (FuncId f : ground.alphabet()) next.push_back(p.Extend(f));
+    }
+    out.insert(out.end(), next.begin(), next.end());
+    layer = std::move(next);
+  }
+  return out;
+}
+
+// A richer generator with a fixed predicate signature — P0/2 and P1/1
+// functional, R/1 non-functional — drawing rules from templates that cover
+// non-functional-variable joins, down-propagation, pinned body atoms,
+// existential global heads, and globals feeding back into the chain.
+std::string RandomProgramRich(std::mt19937* rng) {
+  auto pick = [rng](int n) { return static_cast<int>((*rng)() % n); };
+  int num_syms = 1 + pick(2);
+  auto rand_sym = [&]() {
+    return std::string(num_syms == 1 || pick(2) == 0 ? "f" : "g");
+  };
+  auto rand_const = [&]() { return std::string(pick(2) == 0 ? "a" : "b"); };
+
+  std::string out = "R(a).\n";
+  if (pick(2) == 0) out += "R(b).\n";
+  // Seed facts.
+  {
+    int depth = pick(3);
+    std::string term = "0";
+    for (int d = 0; d < depth; ++d) term = rand_sym() + "(" + term + ")";
+    out += "P0(" + term + ", " + rand_const() + ").\n";
+  }
+  if (pick(2) == 0) out += "P1(" + rand_sym() + "(0)).\n";
+
+  int num_rules = 3 + pick(3);
+  for (int i = 0; i < num_rules; ++i) {
+    switch (pick(7)) {
+      case 0:  // join through a non-functional variable
+        out += "P0(t, x), R(x) -> P0(" + rand_sym() + "(t), x).\n";
+        break;
+      case 1:  // cross-predicate step
+        out += "P0(t, " + rand_const() + ") -> P1(" + rand_sym() + "(t)).\n";
+        break;
+      case 2:  // constant introduction
+        out += "P1(t) -> P0(t, " + rand_const() + ").\n";
+        break;
+      case 3:  // down-propagation
+        out += "P0(" + rand_sym() + "(t), x) -> P1(t).\n";
+        break;
+      case 4:  // existential global head
+        out += "P0(t, x) -> Seen(x).\n";
+        break;
+      case 5:  // pinned body atom gating a step
+        out += "P1(" + rand_sym() + "(0)), P0(t, x) -> P0(" + rand_sym() +
+               "(t), x).\n";
+        break;
+      case 6:  // a derived global feeding back into the chain
+        out += "Seen(x), P1(t) -> P0(t, x).\n";
+        break;
+    }
+  }
+  return out;
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<int> {};
+
+void RunPipelineInvariants(const std::string& source) {
+  auto db = FunctionalDatabase::FromSource(source);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  // (a) Certificate: the quotient structure is a model, so together with
+  // the constructive lower bound the spec equals LFP(Z, D).
+  ASSERT_TRUE((*db)->Verify().ok());
+
+  auto gspec = (*db)->BuildGraphSpec();
+  auto espec = (*db)->BuildEquationalSpec();
+  ASSERT_TRUE(gspec.ok());
+  ASSERT_TRUE(espec.ok());
+
+  // (b) Brute force at depth 10 is sound; when two consecutive bounds agree
+  // on the inner region, they match the engine exactly there.
+  constexpr int kBound = 10;
+  constexpr int kInner = 6;
+  auto b1 = ComputeBoundedFixpoint((*db)->ground(), kBound);
+  auto b2 = ComputeBoundedFixpoint((*db)->ground(), kBound + 2);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  const GroundProgram& ground = (*db)->ground();
+  std::vector<Path> inner = UniverseUpTo(ground, kInner);
+  for (const Path& p : inner) {
+    const DynamicBitset& exact = (*db)->labeling().LabelOf(p);
+    const DynamicBitset& approx1 = b1->LabelOf(p);
+    const DynamicBitset& approx2 = b2->LabelOf(p);
+    ASSERT_TRUE(approx1.IsSubsetOf(exact)) << p.depth();  // soundness
+    if (approx1 == approx2) {
+      EXPECT_EQ(approx1, exact)
+          << "stabilized bounded fixpoint disagrees with the engine";
+    }
+  }
+
+  // (c) Graph and equational specifications agree on every atom over the
+  // inner universe.
+  for (const Path& p : inner) {
+    for (AtomIdx i = 0; i < ground.num_atoms(); ++i) {
+      const SliceAtom& atom = ground.atom(i);
+      bool g = gspec->Holds(p, atom.pred, atom.args);
+      bool e = espec->Holds(p, atom.pred, atom.args);
+      bool l = (*db)->labeling().LabelOf(p).Test(i);
+      EXPECT_EQ(g, l) << "graph spec vs labeling";
+      EXPECT_EQ(e, l) << "equational spec vs labeling";
+    }
+  }
+
+  // (d) Serialization round trips preserve membership.
+  auto greload = SpecIo::ParseGraphSpec(SpecIo::Serialize(*gspec));
+  ASSERT_TRUE(greload.ok()) << greload.status().ToString();
+  auto ereload = SpecIo::ParseEquationalSpec(SpecIo::Serialize(*espec));
+  ASSERT_TRUE(ereload.ok()) << ereload.status().ToString();
+  for (const Path& p : inner) {
+    for (AtomIdx i = 0; i < ground.num_atoms(); ++i) {
+      const SliceAtom& atom = ground.atom(i);
+      EXPECT_EQ(greload->Holds(p, atom.pred, atom.args),
+                gspec->Holds(p, atom.pred, atom.args));
+      EXPECT_EQ(ereload->Holds(p, atom.pred, atom.args),
+                espec->Holds(p, atom.pred, atom.args));
+    }
+  }
+}
+
+TEST_P(RandomProgramTest, PipelineInvariants) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::string source = RandomProgram(&rng);
+  SCOPED_TRACE(source);
+  RunPipelineInvariants(source);
+}
+
+TEST_P(RandomProgramTest, RichPipelineInvariants) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 2654435761u + 99u);
+  std::string source = RandomProgramRich(&rng);
+  SCOPED_TRACE(source);
+  RunPipelineInvariants(source);
+}
+
+TEST_P(RandomProgramTest, UniformQueriesIncrementalEqualsRecompute) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919u + 13u);
+  std::string source = RandomProgram(&rng);
+  SCOPED_TRACE(source);
+  auto db = FunctionalDatabase::FromSource(source);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+
+  // Query each predicate uniformly.
+  for (PredId p = 0; p < (*db)->program().symbols.num_predicates(); ++p) {
+    const PredicateInfo& info = (*db)->program().symbols.predicate(p);
+    if (!info.functional || info.name[0] == '$') continue;
+    std::string qtext = "?(s" + std::string(info.arity == 2 ? ", x" : "") +
+                        ") " + info.name + "(s" +
+                        (info.arity == 2 ? ", x" : "") + ").";
+    auto q = ParseQuery(qtext, (*db)->mutable_program());
+    ASSERT_TRUE(q.ok()) << qtext;
+    auto inc = AnswerQueryIncremental(db->get(), *q);
+    auto rec = AnswerQueryRecompute(db->get(), *q);
+    ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    auto e1 = inc->Enumerate(5, 100000);
+    auto e2 = rec->Enumerate(5, 100000);
+    ASSERT_TRUE(e1.ok());
+    ASSERT_TRUE(e2.ok());
+    auto render = [](const QueryAnswer& ans,
+                     std::vector<ConcreteAnswer> list) {
+      std::vector<std::string> out;
+      for (const ConcreteAnswer& a : list) {
+        std::string s = a.term->ToWord(ans.symbols()) + "|";
+        for (ConstId c : a.tuple) s += ans.symbols().constant_name(c) + ",";
+        out.push_back(std::move(s));
+      }
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(render(*inc, *e1), render(*rec, *e2)) << qtext;
+  }
+}
+
+TEST_P(RandomProgramTest, CongrBoundedAgreement) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 104729u + 7u);
+  std::string source = RandomProgram(&rng);
+  SCOPED_TRACE(source);
+  auto db = FunctionalDatabase::FromSource(source);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto espec = (*db)->BuildEquationalSpec();
+  ASSERT_TRUE(espec.ok());
+
+  // The bound must cover B and R; representative depth is small for these
+  // programs. Keep the universe tight: the eq relation is quadratic in it.
+  auto congr = EvaluateCongrBounded(*espec, 6);
+  if (!congr.ok()) {
+    GTEST_SKIP() << "universe too deep for the bounded CONGR check";
+  }
+  const GroundProgram& ground = (*db)->ground();
+  for (const Path& p : UniverseUpTo(ground, 4)) {
+    for (AtomIdx i = 0; i < ground.num_atoms(); ++i) {
+      const SliceAtom& atom = ground.atom(i);
+      EXPECT_EQ(congr->Holds(p, atom.pred, atom.args),
+                espec->Holds(p, atom.pred, atom.args))
+          << p.depth();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest, ::testing::Range(0, 25));
+
+// The footnote-3 (merged frontier) variant must agree with the default on
+// every membership question.
+class MergedFrontierTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergedFrontierTest, AgreesWithDefaultTraversal) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31u + 5u);
+  std::string source = RandomProgram(&rng);
+  SCOPED_TRACE(source);
+  auto db1 = FunctionalDatabase::FromSource(source);
+  EngineOptions merged;
+  merged.graph.merge_trunk_frontier = true;
+  auto db2 = FunctionalDatabase::FromSource(source, merged);
+  ASSERT_TRUE(db1.ok());
+  ASSERT_TRUE(db2.ok());
+  ASSERT_TRUE((*db2)->Verify().ok());
+  auto s1 = (*db1)->BuildGraphSpec();
+  auto s2 = (*db2)->BuildGraphSpec();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  // The merged graph is never larger.
+  EXPECT_LE(s2->num_clusters(), s1->num_clusters());
+  const GroundProgram& ground = (*db1)->ground();
+  for (const Path& p : UniverseUpTo(ground, 6)) {
+    for (AtomIdx i = 0; i < ground.num_atoms(); ++i) {
+      const SliceAtom& atom = ground.atom(i);
+      EXPECT_EQ(s1->Holds(p, atom.pred, atom.args),
+                s2->Holds(p, atom.pred, atom.args));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergedFrontierTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace relspec

@@ -1,0 +1,136 @@
+// Unit tests for specification serialization: round trips preserve
+// queryability, and parsing rejects malformed inputs.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/spec_io.h"
+
+namespace relspec {
+namespace {
+
+constexpr const char* kMeets = R"(
+  Meets(0, Tony).
+  Next(Tony, Jan).
+  Next(Jan, Tony).
+  Meets(t, x), Next(x, y) -> Meets(t+1, y).
+)";
+
+constexpr const char* kList = R"(
+  P(a).
+  P(b).
+  P(x) -> Member(ext(0, x), x).
+  P(y), Member(s, x) -> Member(ext(s, y), y).
+  P(y), Member(s, x) -> Member(ext(s, y), x).
+)";
+
+Path NatPath(const SymbolTable& symbols, int n) {
+  FuncId succ = *symbols.FindFunction("+1");
+  std::vector<FuncId> syms(static_cast<size_t>(n), succ);
+  return Path(std::move(syms));
+}
+
+TEST(SpecIo, GraphSpecRoundTripMeets) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok());
+  std::string text = SpecIo::Serialize(*spec);
+  auto back = SpecIo::ParseGraphSpec(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+
+  // The parsed spec answers membership identically — the rules have been
+  // "forgotten".
+  PredId meets = *back->symbols().FindPredicate("Meets");
+  ConstId tony = *back->symbols().FindConstant("Tony");
+  ConstId jan = *back->symbols().FindConstant("Jan");
+  for (int n = 0; n <= 15; ++n) {
+    Path p = NatPath(back->symbols(), n);
+    EXPECT_EQ(back->Holds(p, meets, {tony}), n % 2 == 0) << n;
+    EXPECT_EQ(back->Holds(p, meets, {jan}), n % 2 == 1) << n;
+  }
+  PredId next = *back->symbols().FindPredicate("Next");
+  EXPECT_TRUE(back->HoldsGlobal(next, {tony, jan}));
+
+  // Serialization is stable (idempotent round trip).
+  EXPECT_EQ(SpecIo::Serialize(*back), text);
+}
+
+TEST(SpecIo, GraphSpecRoundTripListWithTwoSymbols) {
+  auto db = FunctionalDatabase::FromSource(kList);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok());
+  auto back = SpecIo::ParseGraphSpec(SpecIo::Serialize(*spec));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  PredId member = *back->symbols().FindPredicate("Member");
+  ConstId a = *back->symbols().FindConstant("a");
+  ConstId b = *back->symbols().FindConstant("b");
+  FuncId fa = *back->symbols().FindFunction("ext{a}");
+  FuncId fb = *back->symbols().FindFunction("ext{b}");
+  Path ab = Path({fa, fb});
+  EXPECT_TRUE(back->Holds(ab, member, {a}));
+  EXPECT_TRUE(back->Holds(ab, member, {b}));
+  Path aa = Path({fa, fa});
+  EXPECT_TRUE(back->Holds(aa, member, {a}));
+  EXPECT_FALSE(back->Holds(aa, member, {b}));
+}
+
+TEST(SpecIo, EquationalSpecRoundTrip) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildEquationalSpec();
+  ASSERT_TRUE(spec.ok());
+  std::string text = SpecIo::Serialize(*spec);
+  auto back = SpecIo::ParseEquationalSpec(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  EXPECT_EQ(back->num_equations(), spec->num_equations());
+  PredId meets = *back->symbols().FindPredicate("Meets");
+  ConstId tony = *back->symbols().FindConstant("Tony");
+  for (int n = 0; n <= 15; ++n) {
+    Path p = NatPath(back->symbols(), n);
+    EXPECT_EQ(back->Holds(p, meets, {tony}), n % 2 == 0) << n;
+  }
+  EXPECT_EQ(SpecIo::Serialize(*back), text);
+}
+
+TEST(SpecIo, RejectsWrongMagic) {
+  EXPECT_FALSE(SpecIo::ParseGraphSpec("not a spec\n").ok());
+  EXPECT_FALSE(SpecIo::ParseEquationalSpec("relspec-graph-spec v1\n").ok());
+}
+
+TEST(SpecIo, RejectsTruncatedInput) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok());
+  std::string text = SpecIo::Serialize(*spec);
+  // Drop the trailing "end" and some clusters.
+  std::string truncated = text.substr(0, text.size() * 2 / 3);
+  EXPECT_FALSE(SpecIo::ParseGraphSpec(truncated).ok());
+}
+
+TEST(SpecIo, RejectsUnknownSymbolsInBody) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok());
+  std::string text = SpecIo::Serialize(*spec);
+  size_t pos = text.find("Meets");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "Meats");  // atom refers to an undeclared predicate
+  EXPECT_FALSE(SpecIo::ParseGraphSpec(text).ok());
+}
+
+TEST(SpecIo, CommentsAndBlankLinesIgnored) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok());
+  std::string text = SpecIo::Serialize(*spec);
+  std::string commented = "# a comment\n\n" + text;
+  EXPECT_TRUE(SpecIo::ParseGraphSpec(commented).ok());
+}
+
+}  // namespace
+}  // namespace relspec

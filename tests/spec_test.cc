@@ -1,0 +1,215 @@
+// Unit tests for specifications: Algorithm Q's label graph, the graph
+// specification (B, F), the equational specification (B, R), and the
+// quotient-model certificate.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/verify.h"
+
+namespace relspec {
+namespace {
+
+constexpr const char* kMeets = R"(
+  Meets(0, Tony).
+  Next(Tony, Jan).
+  Next(Jan, Tony).
+  Meets(t, x), Next(x, y) -> Meets(t+1, y).
+)";
+
+Path NatPath(const FunctionalDatabase& db, int n) {
+  FuncId succ = *db.program().symbols.FindFunction("+1");
+  std::vector<FuncId> syms(static_cast<size_t>(n), succ);
+  return Path(std::move(syms));
+}
+
+TEST(LabelGraph, ClusterWalkAgreesWithLabeling) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const LabelGraph& graph = (*db)->label_graph();
+  for (int n = 0; n <= 30; ++n) {
+    Path p = NatPath(**db, n);
+    uint32_t cl = graph.ClusterOf(p);
+    ASSERT_NE(cl, kInvalidId);
+    EXPECT_EQ(graph.cluster(cl).label, (*db)->labeling().LabelOf(p)) << n;
+  }
+}
+
+TEST(LabelGraph, ScopesSatisfyLemmas) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  const LabelGraph& graph = (*db)->label_graph();
+  // Lemma 3.1: scope_~ <= 2^gsize; here gsize-ish = 2 atoms -> <= 4.
+  EXPECT_LE(graph.EquivalenceScope(), 4u);
+  // Lemma 3.2: the congruence scope is finite and >= the equivalence scope.
+  EXPECT_GE(graph.CongruenceScope(), graph.EquivalenceScope());
+  EXPECT_GT(graph.num_potential(), 0u);
+}
+
+TEST(LabelGraph, ClusterCapEnforced) {
+  EngineOptions options;
+  options.graph.max_clusters = 1;
+  auto db = FunctionalDatabase::FromSource(kMeets, options);
+  EXPECT_TRUE(db.status().IsResourceExhausted());
+}
+
+TEST(GraphSpec, SelfContainedMembership) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  PredId meets = *spec->symbols().FindPredicate("Meets");
+  ConstId tony = *spec->symbols().FindConstant("Tony");
+  ConstId jan = *spec->symbols().FindConstant("Jan");
+  for (int n = 0; n <= 20; ++n) {
+    EXPECT_EQ(spec->Holds(NatPath(**db, n), meets, {tony}), n % 2 == 0) << n;
+    EXPECT_EQ(spec->Holds(NatPath(**db, n), meets, {jan}), n % 2 == 1) << n;
+  }
+  // Non-functional relations are part of B.
+  PredId next = *spec->symbols().FindPredicate("Next");
+  EXPECT_TRUE(spec->HoldsGlobal(next, {tony, jan}));
+  EXPECT_FALSE(spec->HoldsGlobal(next, {tony, tony}));
+}
+
+TEST(GraphSpec, SlicesMatchPaperExample) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok());
+  // Slice of day 0: {Meets(.,Tony)}; day 1: {Meets(.,Jan)}.
+  auto slice0 = spec->SliceOf(NatPath(**db, 0));
+  auto slice1 = spec->SliceOf(NatPath(**db, 1));
+  ASSERT_EQ(slice0.size(), 1u);
+  ASSERT_EQ(slice1.size(), 1u);
+  EXPECT_EQ(spec->symbols().constant_name(slice0[0].args[0]), "Tony");
+  EXPECT_EQ(spec->symbols().constant_name(slice1[0].args[0]), "Jan");
+  EXPECT_GT(spec->num_slice_tuples(), 0u);
+  EXPECT_GT(spec->num_edges(), 0u);
+  EXPECT_FALSE(spec->ToString().empty());
+}
+
+TEST(GraphSpec, UnknownTermsAndAtomsAreFalse) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto spec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok());
+  PredId meets = *spec->symbols().FindPredicate("Meets");
+  // A constant the program never mentions.
+  EXPECT_FALSE(spec->Holds(NatPath(**db, 0), meets, {9999}));
+  // A path through an unknown symbol.
+  SymbolTable copy = spec->symbols();
+  (void)copy;
+  EXPECT_TRUE(spec->SliceOf(Path({kInvalidId - 1})).empty());
+}
+
+// ---------- equational specification ----------
+
+TEST(EquationalSpec, AgreesWithGraphSpecEverywhere) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto gspec = (*db)->BuildGraphSpec();
+  auto espec = (*db)->BuildEquationalSpec();
+  ASSERT_TRUE(gspec.ok());
+  ASSERT_TRUE(espec.ok());
+  PredId meets = *gspec->symbols().FindPredicate("Meets");
+  ConstId tony = *gspec->symbols().FindConstant("Tony");
+  for (int n = 0; n <= 25; ++n) {
+    Path p = NatPath(**db, n);
+    EXPECT_EQ(espec->Holds(p, meets, {tony}), gspec->Holds(p, meets, {tony}))
+        << n;
+  }
+}
+
+TEST(EquationalSpec, EquationsRelateEqualStateTerms) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto espec = (*db)->BuildEquationalSpec();
+  ASSERT_TRUE(espec.ok());
+  EXPECT_GT(espec->num_equations(), 0u);
+  // Every equation's two sides must be state-equivalent in the labeling.
+  for (const auto& [t1, t2] : espec->equations()) {
+    EXPECT_EQ((*db)->labeling().LabelOf(t1), (*db)->labeling().LabelOf(t2));
+  }
+  EXPECT_FALSE(espec->ToString().empty());
+}
+
+TEST(EquationalSpec, CongruentRespectsParity) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto espec = (*db)->BuildEquationalSpec();
+  ASSERT_TRUE(espec.ok());
+  // All even days >= frontier are congruent; even vs odd never.
+  EXPECT_TRUE(espec->Congruent(NatPath(**db, 1), NatPath(**db, 3)));
+  EXPECT_TRUE(espec->Congruent(NatPath(**db, 2), NatPath(**db, 8)));
+  EXPECT_FALSE(espec->Congruent(NatPath(**db, 1), NatPath(**db, 2)));
+}
+
+TEST(EquationalSpec, GraphSpecMoreEconomicalOnWideStates) {
+  // Section 4's remark: when B is large, the graph spec's successor table is
+  // a more economical encoding than R. We check both exist and report sizes.
+  auto db = FunctionalDatabase::FromSource(R"(
+    P(0, a). P(0, b). P(0, c). P(0, d).
+    P(t, x) -> P(t+1, x).
+  )");
+  ASSERT_TRUE(db.ok());
+  auto gspec = (*db)->BuildGraphSpec();
+  auto espec = (*db)->BuildEquationalSpec();
+  ASSERT_TRUE(gspec.ok());
+  ASSERT_TRUE(espec.ok());
+  EXPECT_GT(gspec->num_slice_tuples(), 0u);
+  EXPECT_GT(espec->num_equations(), 0u);
+}
+
+TEST(EquationalSpec, ExplainCongruenceUsesR) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto espec = (*db)->BuildEquationalSpec();
+  ASSERT_TRUE(espec.ok());
+  // Day 8 ~ day 2: the proof uses only equations of R (lifted).
+  auto proof = espec->ExplainCongruence(NatPath(**db, 8), NatPath(**db, 2));
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  EXPECT_GT(proof->NumSteps(), 0u);
+  auto text = espec->ExplainCongruenceText(NatPath(**db, 8), NatPath(**db, 2));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("[asserted]"), std::string::npos);
+  // Non-congruent terms: NotFound.
+  EXPECT_TRUE(espec->ExplainCongruence(NatPath(**db, 1), NatPath(**db, 2))
+                  .status()
+                  .IsNotFound());
+}
+
+// ---------- certificates ----------
+
+TEST(Verify, AcceptsAllWorkedExamples) {
+  for (const char* source : {
+           kMeets,
+           "Even(0).\nEven(t) -> Even(t+2).",
+           "P(a).\nP(b).\nP(x) -> Member(ext(0,x), x).\n"
+           "P(y), Member(s,x) -> Member(ext(s,y), y).\n"
+           "P(y), Member(s,x) -> Member(ext(s,y), x).",
+       }) {
+    auto db = FunctionalDatabase::FromSource(source);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_TRUE((*db)->Verify().ok()) << source;
+  }
+}
+
+TEST(Verify, DetectsTamperedGraph) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  // Corrupt a copy of the label graph: clear a label bit.
+  LabelGraph graph = (*db)->label_graph();
+  bool corrupted = false;
+  for (uint32_t c = 0; c < graph.num_clusters() && !corrupted; ++c) {
+    Cluster& cl = const_cast<Cluster&>(graph.cluster(c));
+    if (cl.label.Any()) {
+      cl.label.Clear();
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  EXPECT_FALSE(VerifyQuotientModel(graph, &(*db)->labeling()).ok());
+}
+
+}  // namespace
+}  // namespace relspec

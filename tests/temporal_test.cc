@@ -1,0 +1,310 @@
+// Unit tests for the [CI88] temporal baseline: periodic sets, lasso
+// detection, fragment gating, and agreement with the full engine.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/parser/parser.h"
+#include "src/temporal/periodic_set.h"
+#include "src/temporal/periodic_answers.h"
+#include "src/temporal/temporal_engine.h"
+
+namespace relspec {
+namespace {
+
+// ---------- PeriodicSet ----------
+
+TEST(PeriodicSet, PointsAndProgressions) {
+  PeriodicSet s;
+  EXPECT_TRUE(s.IsEmpty());
+  s.AddPoint(3);
+  s.AddProgression(10, 4);
+  EXPECT_FALSE(s.IsEmpty());
+  EXPECT_FALSE(s.IsFinite());
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(14));
+  EXPECT_TRUE(s.Contains(998));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(11));
+  EXPECT_FALSE(s.Contains(9));
+}
+
+TEST(PeriodicSet, ProgressionAbsorbsCoveredPoints) {
+  PeriodicSet s;
+  s.AddPoint(5);
+  s.AddPoint(6);
+  s.AddProgression(1, 2);  // odd numbers
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(6));
+  EXPECT_EQ(s.points().size(), 1u);  // 5 absorbed, 6 kept
+}
+
+TEST(PeriodicSet, ZeroPeriodActsAsPoint) {
+  PeriodicSet s;
+  s.AddProgression(7, 0);
+  EXPECT_TRUE(s.IsFinite());
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(8));
+}
+
+TEST(PeriodicSet, UnionAndEnumerate) {
+  PeriodicSet a, b;
+  a.AddProgression(0, 3);
+  b.AddPoint(1);
+  b.AddProgression(2, 6);
+  a.UnionWith(b);
+  EXPECT_EQ(a.Enumerate(12),
+            (std::vector<uint64_t>{0, 1, 2, 3, 6, 8, 9, 12}));
+}
+
+TEST(PeriodicSet, ToStringIsReadable) {
+  PeriodicSet s;
+  s.AddPoint(1);
+  s.AddProgression(5, 4);
+  EXPECT_EQ(s.ToString(), "{1, 5+4i}");
+}
+
+// ---------- TemporalEngine ----------
+
+constexpr const char* kMeets = R"(
+  Meets(0, Tony).
+  Next(Tony, Jan).
+  Next(Jan, Tony).
+  Meets(t, x), Next(x, y) -> Meets(t+1, y).
+)";
+
+TEST(TemporalEngine, MeetsLasso) {
+  auto p = ParseProgram(kMeets);
+  ASSERT_TRUE(p.ok());
+  auto engine = TemporalEngine::Build(*p);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto spec = (*engine)->ComputeSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->period(), 2u);  // the flip-flop
+
+  const SymbolTable& symbols = (*engine)->program().symbols;
+  PredId meets = *symbols.FindPredicate("Meets");
+  ConstId tony = *symbols.FindConstant("Tony");
+  ConstId jan = *symbols.FindConstant("Jan");
+  for (uint64_t n = 0; n <= 40; ++n) {
+    EXPECT_EQ(spec->Holds(n, meets, {tony}), n % 2 == 0) << n;
+    EXPECT_EQ(spec->Holds(n, meets, {jan}), n % 2 == 1) << n;
+  }
+  // The [CI88]-style infinite-object answer.
+  PeriodicSet tony_days = spec->AnswersFor(meets, {tony});
+  EXPECT_FALSE(tony_days.IsFinite());
+  EXPECT_EQ(tony_days.Enumerate(8), (std::vector<uint64_t>{0, 2, 4, 6, 8}));
+  PredId next = *symbols.FindPredicate("Next");
+  EXPECT_TRUE(spec->HoldsGlobal(next, {tony, jan}));
+}
+
+TEST(TemporalEngine, AgreesWithFullEngine) {
+  auto p = ParseProgram(kMeets);
+  ASSERT_TRUE(p.ok());
+  auto temporal = TemporalEngine::Build(*p);
+  ASSERT_TRUE(temporal.ok());
+  auto tspec = (*temporal)->ComputeSpec();
+  ASSERT_TRUE(tspec.ok());
+
+  auto full = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(full.ok());
+  for (int n = 0; n <= 25; ++n) {
+    auto holds = (*full)->HoldsFactText("Meets(" + std::to_string(n) +
+                                        ", Tony)");
+    ASSERT_TRUE(holds.ok());
+    PredId meets = *(*temporal)->program().symbols.FindPredicate("Meets");
+    ConstId tony = *(*temporal)->program().symbols.FindConstant("Tony");
+    EXPECT_EQ(tspec->Holds(static_cast<uint64_t>(n), meets, {tony}), *holds)
+        << n;
+  }
+}
+
+TEST(TemporalEngine, PrefixBeforePeriodicity) {
+  // A startup transient: P dies out, Q cycles.
+  auto p = ParseProgram(R"(
+    P(0).
+    Q(3).
+    Q(t) -> Q(t+2).
+  )");
+  ASSERT_TRUE(p.ok());
+  auto engine = TemporalEngine::Build(*p);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto spec = (*engine)->ComputeSpec();
+  ASSERT_TRUE(spec.ok());
+  const SymbolTable& symbols = (*engine)->program().symbols;
+  PredId pp = *symbols.FindPredicate("P");
+  PredId qq = *symbols.FindPredicate("Q");
+  EXPECT_TRUE(spec->Holds(0, pp, {}));
+  EXPECT_FALSE(spec->Holds(1, pp, {}));
+  for (uint64_t n = 0; n <= 20; ++n) {
+    EXPECT_EQ(spec->Holds(n, qq, {}), n >= 3 && (n - 3) % 2 == 0) << n;
+  }
+  PeriodicSet pdays = spec->AnswersFor(pp, {});
+  EXPECT_TRUE(pdays.IsFinite());
+  EXPECT_EQ(pdays.Enumerate(10), std::vector<uint64_t>{0});
+}
+
+TEST(TemporalEngine, RejectsMultipleSymbols) {
+  auto p = ParseProgram("P(0).\nP(t) -> P(f(t)).\nP(t) -> P(g(t)).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(TemporalEngine::Build(*p).status().IsFailedPrecondition());
+}
+
+TEST(TemporalEngine, RejectsBackwardRules) {
+  // Reading at t+1 (down-propagation) is outside the forward fragment —
+  // exactly the generality gap of [CI88] the paper points out.
+  auto p = ParseProgram("Q(3).\nQ(t+1) -> Q(t).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(TemporalEngine::Build(*p).status().IsFailedPrecondition());
+}
+
+TEST(TemporalEngine, FullEngineHandlesWhatCI88Cannot) {
+  // The same backward program is in scope for the 1989 construction.
+  auto db = FunctionalDatabase::FromSource("Q(3).\nQ(t+1) -> Q(t).");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (int n = 0; n <= 6; ++n) {
+    auto holds = (*db)->HoldsFactText("Q(" + std::to_string(n) + ")");
+    ASSERT_TRUE(holds.ok());
+    EXPECT_EQ(*holds, n <= 3) << n;
+  }
+}
+
+TEST(TemporalEngine, GlobalFeedback) {
+  auto p = ParseProgram(R"(
+    P(0).
+    P(t) -> P(t+1).
+    P(2) -> Go(a).
+    P(t), Go(x) -> R(t).
+  )");
+  ASSERT_TRUE(p.ok());
+  auto engine = TemporalEngine::Build(*p);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto spec = (*engine)->ComputeSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const SymbolTable& symbols = (*engine)->program().symbols;
+  PredId r = *symbols.FindPredicate("R");
+  EXPECT_TRUE(spec->Holds(0, r, {}));
+  EXPECT_TRUE(spec->Holds(11, r, {}));
+}
+
+TEST(TemporalEngine, StateCountBoundedByDistinctStates) {
+  auto p = ParseProgram(kMeets);
+  ASSERT_TRUE(p.ok());
+  auto engine = TemporalEngine::Build(*p);
+  ASSERT_TRUE(engine.ok());
+  auto spec = (*engine)->ComputeSpec();
+  ASSERT_TRUE(spec.ok());
+  EXPECT_LE(spec->num_states(), 4u);
+}
+
+TEST(TemporalEngine, BinaryCounterHasExponentialPeriod) {
+  // 3-bit counter: period 8; Bit2 is set during the second half of each
+  // cycle (counter values 4..7 at times 4..7, 12..15, ...).
+  std::string source;
+  int n = 3;
+  for (int i = 0; i < n; ++i) source += "Nobit" + std::to_string(i) + "(0).\n";
+  for (int i = 0; i < n; ++i) {
+    std::string bit = "Bit" + std::to_string(i);
+    std::string nobit = "Nobit" + std::to_string(i);
+    std::string lower;
+    for (int j = 0; j < i; ++j) lower += ", Bit" + std::to_string(j) + "(t)";
+    source += nobit + "(t)" + lower + " -> " + bit + "(t+1).\n";
+    source += bit + "(t)" + lower + " -> " + nobit + "(t+1).\n";
+    for (int j = 0; j < i; ++j) {
+      source += bit + "(t), Nobit" + std::to_string(j) + "(t) -> " + bit +
+                "(t+1).\n";
+      source += nobit + "(t), Nobit" + std::to_string(j) + "(t) -> " + nobit +
+                "(t+1).\n";
+    }
+  }
+  auto p = ParseProgram(source);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  auto engine = TemporalEngine::Build(*p);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto spec = (*engine)->ComputeSpec();
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->period(), 8u);
+  const SymbolTable& symbols = (*engine)->program().symbols;
+  for (int bit = 0; bit < n; ++bit) {
+    PredId pred = *symbols.FindPredicate("Bit" + std::to_string(bit));
+    for (uint64_t time = 0; time < 32; ++time) {
+      EXPECT_EQ(spec->Holds(time, pred, {}), ((time >> bit) & 1) == 1)
+          << "bit " << bit << " at time " << time;
+    }
+  }
+  // The full engine agrees (cross-engine check on a nontrivial program).
+  auto db = FunctionalDatabase::FromSource(source);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  for (uint64_t time = 0; time < 16; ++time) {
+    auto holds = (*db)->HoldsFactText("Bit1(" + std::to_string(time) + ")");
+    ASSERT_TRUE(holds.ok());
+    EXPECT_EQ(*holds, ((time >> 1) & 1) == 1) << time;
+  }
+  EXPECT_TRUE((*db)->Verify().ok());
+}
+
+// ---------- periodic answers from graph specifications ----------
+
+TEST(PeriodicAnswers, MatchesTemporalEngineOnForwardPrograms) {
+  auto p = ParseProgram(kMeets);
+  ASSERT_TRUE(p.ok());
+  auto temporal = TemporalEngine::Build(*p);
+  ASSERT_TRUE(temporal.ok());
+  auto tspec = (*temporal)->ComputeSpec();
+  ASSERT_TRUE(tspec.ok());
+
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto gspec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(gspec.ok());
+
+  PredId meets = *gspec->symbols().FindPredicate("Meets");
+  for (const char* who : {"Tony", "Jan"}) {
+    ConstId c = *gspec->symbols().FindConstant(who);
+    auto days = PeriodicAnswers(*gspec, meets, {c});
+    ASSERT_TRUE(days.ok()) << days.status().ToString();
+    PredId tmeets = *(*temporal)->program().symbols.FindPredicate("Meets");
+    ConstId tc = *(*temporal)->program().symbols.FindConstant(who);
+    PeriodicSet expected = tspec->AnswersFor(tmeets, {tc});
+    EXPECT_EQ(days->Enumerate(40), expected.Enumerate(40)) << who;
+  }
+}
+
+TEST(PeriodicAnswers, HandlesBackwardProgramsBeyondCI88) {
+  // Due(t+1) -> Due(t): outside the [CI88] fragment, but the graph spec
+  // covers it, so the periodic-set answer is extractable anyway.
+  auto db = FunctionalDatabase::FromSource("Due(5).\nDue(t+1) -> Due(t).");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto gspec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(gspec.ok());
+  PredId due = *gspec->symbols().FindPredicate("Due");
+  auto days = PeriodicAnswers(*gspec, due, {});
+  ASSERT_TRUE(days.ok()) << days.status().ToString();
+  EXPECT_TRUE(days->IsFinite());
+  EXPECT_EQ(days->Enumerate(20), (std::vector<uint64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(PeriodicAnswers, RejectsMultiSymbolSpecs) {
+  auto db = FunctionalDatabase::FromSource(
+      "P(0).\nP(t) -> P(f(t)).\nP(t) -> P(g(t)).");
+  ASSERT_TRUE(db.ok());
+  auto gspec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(gspec.ok());
+  PredId pp = *gspec->symbols().FindPredicate("P");
+  EXPECT_TRUE(PeriodicAnswers(*gspec, pp, {}).status().IsFailedPrecondition());
+}
+
+TEST(PeriodicAnswers, EmptyAnswerForAbsentTuples) {
+  auto db = FunctionalDatabase::FromSource(kMeets);
+  ASSERT_TRUE(db.ok());
+  auto gspec = (*db)->BuildGraphSpec();
+  ASSERT_TRUE(gspec.ok());
+  PredId meets = *gspec->symbols().FindPredicate("Meets");
+  auto days = PeriodicAnswers(*gspec, meets, {12345});
+  ASSERT_TRUE(days.ok());
+  EXPECT_TRUE(days->IsEmpty());
+}
+
+}  // namespace
+}  // namespace relspec

@@ -1,0 +1,310 @@
+// relspec_cli: run functional deductive databases from the command line.
+//
+//   relspec_cli PROGRAM.rsp [flags]
+//
+//   Queries contained in the program file ("? atoms." statements) are
+//   answered automatically. Additional flags:
+//
+//     --fact "Meets(4, Tony)"   membership test against LFP(Z, D)
+//     --query "?(t,x) Meets(t, x)."  answer an ad-hoc query
+//     --explain "Meets(4, Tony)"     print a derivation tree
+//     --spec graph|eq           print the relational specification
+//     --save-spec FILE          serialize the graph specification
+//     --load-spec FILE          answer --fact from a saved spec (no rules!)
+//     --enumerate DEPTH         horizon for printing query answers (default 6)
+//     --prove "T1" "T2"         prove two ground terms congruent (Cl(R))
+//     --periodic "OnCall(t, a)" the [CI88] periodic-set answer (one symbol)
+//     --merged-frontier         footnote-3 traversal start (depth c)
+//     --info                    program parameters (Section 2.5)
+//     --verify                  quotient-model certificate
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/str_util.h"
+#include "src/core/engine.h"
+#include "src/core/explain.h"
+#include "src/core/query.h"
+#include "src/core/spec_io.h"
+#include "src/temporal/periodic_answers.h"
+#include "src/parser/parser.h"
+
+namespace {
+
+using namespace relspec;
+
+int Fail(const Status& status) {
+  fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void PrintAnswer(const QueryAnswer& answer, int horizon) {
+  printf("answer(%s):", relspec::Join(answer.columns(), ",").c_str());
+  if (answer.has_functional_answer()) {
+    printf(" infinite; finite specification with %zu clusters, %zu tuples\n",
+           answer.graph().num_clusters(), answer.NumSpecTuples());
+  } else {
+    printf(" finite\n");
+  }
+  auto concrete = answer.Enumerate(horizon, 64);
+  if (!concrete.ok()) return;
+  for (const ConcreteAnswer& a : *concrete) {
+    printf("  ");
+    bool first = true;
+    if (a.term.has_value()) {
+      printf("%s", a.term->ToString(answer.symbols()).c_str());
+      first = false;
+    }
+    for (ConstId c : a.tuple) {
+      printf("%s%s", first ? "" : ", ",
+             answer.symbols().constant_name(c).c_str());
+      first = false;
+    }
+    printf("\n");
+  }
+  if (answer.has_functional_answer()) {
+    printf("  ... (answers up to term depth %d shown)\n", horizon);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    fprintf(stderr, "usage: %s PROGRAM.rsp [flags]  (see file header)\n",
+            argv[0]);
+    return 2;
+  }
+
+  std::string program_path = argv[1];
+  std::vector<std::string> facts, queries, explains, periodics;
+  std::vector<std::pair<std::string, std::string>> proofs;
+  std::string spec_kind, save_spec, load_spec;
+  bool want_info = false, want_verify = false;
+  int horizon = 6;
+  EngineOptions options;
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--fact") {
+      facts.push_back(next());
+    } else if (flag == "--query") {
+      queries.push_back(next());
+    } else if (flag == "--explain") {
+      explains.push_back(next());
+    } else if (flag == "--prove") {
+      std::string t1 = next();
+      proofs.emplace_back(t1, next());
+    } else if (flag == "--periodic") {
+      periodics.push_back(next());
+    } else if (flag == "--spec") {
+      spec_kind = next();
+    } else if (flag == "--save-spec") {
+      save_spec = next();
+    } else if (flag == "--load-spec") {
+      load_spec = next();
+    } else if (flag == "--enumerate") {
+      horizon = atoi(next());
+    } else if (flag == "--merged-frontier") {
+      options.graph.merge_trunk_frontier = true;
+    } else if (flag == "--info") {
+      want_info = true;
+    } else if (flag == "--verify") {
+      want_verify = true;
+    } else {
+      fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  // Spec-only mode: answer membership from a serialized specification.
+  if (!load_spec.empty()) {
+    auto text = ReadFile(load_spec);
+    if (!text.ok()) return Fail(text.status());
+    auto spec = SpecIo::ParseGraphSpec(*text);
+    if (!spec.ok()) return Fail(spec.status());
+    printf("loaded specification: %zu clusters, %zu tuples (no rules)\n",
+           spec->num_clusters(), spec->num_slice_tuples());
+    // Membership via a throwaway program sharing the spec's symbols.
+    for (const std::string& fact : facts) {
+      Program scratch;
+      scratch.symbols = spec->symbols();
+      auto q = ParseQuery("? " + fact + ".", &scratch);
+      if (!q.ok() || q->atoms.size() != 1 || !q->atoms[0].IsGround() ||
+          !q->atoms[0].fterm.has_value()) {
+        fprintf(stderr, "bad --fact %s\n", fact.c_str());
+        continue;
+      }
+      auto purified = PurifyGroundTerm(*q->atoms[0].fterm, &scratch.symbols);
+      if (!purified.ok()) return Fail(purified.status());
+      std::vector<FuncId> syms;
+      for (const FuncApply& a : purified->apps) syms.push_back(a.fn);
+      std::vector<ConstId> args;
+      for (const NfArg& a : q->atoms[0].args) args.push_back(a.id);
+      bool holds = spec->Holds(Path(std::move(syms)), q->atoms[0].pred, args);
+      printf("%s -> %s\n", fact.c_str(), holds ? "true" : "false");
+    }
+    return 0;
+  }
+
+  auto source = ReadFile(program_path);
+  if (!source.ok()) return Fail(source.status());
+  auto parsed = Parse(*source);
+  if (!parsed.ok()) return Fail(parsed.status());
+  std::vector<Query> file_queries = parsed->queries;
+
+  auto db = FunctionalDatabase::FromProgram(std::move(parsed->program), options);
+  if (!db.ok()) return Fail(db.status());
+
+  if (want_info) {
+    printf("info: %s\n", (*db)->info().ToString().c_str());
+    printf("clusters: %zu  (equivalence scope %zu)\n",
+           (*db)->label_graph().num_clusters(),
+           (*db)->label_graph().EquivalenceScope());
+  }
+  if (want_verify) {
+    Status cert = (*db)->Verify();
+    printf("certificate: %s\n", cert.ToString().c_str());
+    if (!cert.ok()) return 1;
+  }
+
+  for (const std::string& fact : facts) {
+    auto holds = (*db)->HoldsFactText(fact);
+    if (!holds.ok()) return Fail(holds.status());
+    printf("%s -> %s\n", fact.c_str(), *holds ? "true" : "false");
+  }
+
+  for (const Query& q : file_queries) {
+    auto answer = AnswerQuery(db->get(), q);
+    if (!answer.ok()) return Fail(answer.status());
+    PrintAnswer(*answer, horizon);
+  }
+  for (const std::string& qtext : queries) {
+    auto q = ParseQuery(qtext, (*db)->mutable_program());
+    if (!q.ok()) return Fail(q.status());
+    auto answer = AnswerQuery(db->get(), *q);
+    if (!answer.ok()) return Fail(answer.status());
+    PrintAnswer(*answer, horizon);
+  }
+
+  for (const std::string& fact : explains) {
+    auto q = ParseQuery("? " + fact + ".", (*db)->mutable_program());
+    if (!q.ok()) return Fail(q.status());
+    if (q->atoms.size() != 1 || !q->atoms[0].IsGround()) {
+      fprintf(stderr, "--explain expects a single ground fact\n");
+      return 2;
+    }
+    const Atom& atom = q->atoms[0];
+    std::vector<ConstId> args;
+    for (const NfArg& a : atom.args) args.push_back(a.id);
+    StatusOr<Derivation> d = Status::NotFound("no functional term");
+    if (atom.fterm.has_value()) {
+      auto path = (*db)->PathOfGroundTerm(*atom.fterm);
+      if (!path.ok()) return Fail(path.status());
+      d = ExplainFact((*db)->ground(), *path, SliceAtom{atom.pred, args});
+    } else {
+      d = ExplainGlobal((*db)->ground(), atom.pred, args);
+    }
+    if (!d.ok()) {
+      printf("%s: %s\n", fact.c_str(), d.status().ToString().c_str());
+      continue;
+    }
+    printf("derivation of %s (%zu steps):\n%s", fact.c_str(), d->NumSteps(),
+           d->ToString((*db)->ground(), (*db)->program().symbols).c_str());
+  }
+
+  if (!proofs.empty()) {
+    auto espec = (*db)->BuildEquationalSpec();
+    if (!espec.ok()) return Fail(espec.status());
+    for (const auto& [t1, t2] : proofs) {
+      // Terms are given as dot-words or numerals, e.g. "4" or "f.g".
+      auto to_path = [&](const std::string& text) -> StatusOr<Path> {
+        if (!text.empty() && isdigit(static_cast<unsigned char>(text[0]))) {
+          auto succ = (*db)->program().symbols.FindFunction("+1");
+          if (!succ.ok()) return succ.status();
+          std::vector<FuncId> syms(static_cast<size_t>(atoi(text.c_str())),
+                                   *succ);
+          return Path(std::move(syms));
+        }
+        if (text == "0") return Path::Zero();
+        std::vector<FuncId> syms;
+        for (const std::string& name : Split(text, '.')) {
+          auto f = (*db)->program().symbols.FindFunction(name);
+          if (!f.ok()) return f.status();
+          syms.push_back(*f);
+        }
+        return Path(std::move(syms));
+      };
+      auto p1 = to_path(t1);
+      auto p2 = to_path(t2);
+      if (!p1.ok() || !p2.ok()) {
+        fprintf(stderr, "bad --prove terms %s %s\n", t1.c_str(), t2.c_str());
+        return 2;
+      }
+      auto proof = espec->ExplainCongruenceText(*p1, *p2);
+      if (!proof.ok()) {
+        printf("(%s, %s): %s\n", t1.c_str(), t2.c_str(),
+               proof.status().ToString().c_str());
+      } else {
+        printf("proof that %s == %s in Cl(R):\n%s", t1.c_str(), t2.c_str(),
+               proof->c_str());
+      }
+    }
+  }
+
+  for (const std::string& ptext : periodics) {
+    auto q = ParseQuery("? " + ptext + ".", (*db)->mutable_program());
+    if (!q.ok()) return Fail(q.status());
+    if (q->atoms.size() != 1 || !q->atoms[0].fterm.has_value()) {
+      fprintf(stderr, "--periodic expects one functional atom\n");
+      return 2;
+    }
+    auto spec = (*db)->BuildGraphSpec();
+    if (!spec.ok()) return Fail(spec.status());
+    std::vector<ConstId> args;
+    for (const NfArg& a : q->atoms[0].args) {
+      if (!a.IsConstant()) {
+        fprintf(stderr, "--periodic arguments must be constants\n");
+        return 2;
+      }
+      args.push_back(a.id);
+    }
+    auto days = PeriodicAnswers(*spec, q->atoms[0].pred, args);
+    if (!days.ok()) return Fail(days.status());
+    printf("%s holds at times %s\n", ptext.c_str(),
+           days->ToString().c_str());
+  }
+
+  if (spec_kind == "graph") {
+    auto spec = (*db)->BuildGraphSpec();
+    if (!spec.ok()) return Fail(spec.status());
+    printf("%s", spec->ToString().c_str());
+  } else if (spec_kind == "eq") {
+    auto spec = (*db)->BuildEquationalSpec();
+    if (!spec.ok()) return Fail(spec.status());
+    printf("%s", spec->ToString().c_str());
+  }
+
+  if (!save_spec.empty()) {
+    auto spec = (*db)->BuildGraphSpec();
+    if (!spec.ok()) return Fail(spec.status());
+    std::ofstream out(save_spec);
+    out << SpecIo::Serialize(*spec);
+    printf("specification saved to %s\n", save_spec.c_str());
+  }
+  return 0;
+}
