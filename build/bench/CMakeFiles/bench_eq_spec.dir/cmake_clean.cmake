@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq_spec.dir/bench_eq_spec.cc.o"
+  "CMakeFiles/bench_eq_spec.dir/bench_eq_spec.cc.o.d"
+  "bench_eq_spec"
+  "bench_eq_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_spec.dir/bench_graph_spec.cc.o"
+  "CMakeFiles/bench_graph_spec.dir/bench_graph_spec.cc.o.d"
+  "bench_graph_spec"
+  "bench_graph_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ground.dir/bench_ground.cc.o"
+  "CMakeFiles/bench_ground.dir/bench_ground.cc.o.d"
+  "bench_ground"
+  "bench_ground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

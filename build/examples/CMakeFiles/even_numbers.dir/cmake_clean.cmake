@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/even_numbers.dir/even_numbers.cpp.o"
+  "CMakeFiles/even_numbers.dir/even_numbers.cpp.o.d"
+  "even_numbers"
+  "even_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/even_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

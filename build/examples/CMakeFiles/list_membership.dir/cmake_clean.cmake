@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_membership.dir/list_membership.cpp.o"
+  "CMakeFiles/list_membership.dir/list_membership.cpp.o.d"
+  "list_membership"
+  "list_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_scheduling.dir/periodic_scheduling.cpp.o"
+  "CMakeFiles/periodic_scheduling.dir/periodic_scheduling.cpp.o.d"
+  "periodic_scheduling"
+  "periodic_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

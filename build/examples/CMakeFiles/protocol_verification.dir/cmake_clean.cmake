@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_verification.dir/protocol_verification.cpp.o"
+  "CMakeFiles/protocol_verification.dir/protocol_verification.cpp.o.d"
+  "protocol_verification"
+  "protocol_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_planning.dir/robot_planning.cpp.o"
+  "CMakeFiles/robot_planning.dir/robot_planning.cpp.o.d"
+  "robot_planning"
+  "robot_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

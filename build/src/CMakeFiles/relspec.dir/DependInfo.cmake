@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cc" "src/CMakeFiles/relspec.dir/ast/ast.cc.o" "gcc" "src/CMakeFiles/relspec.dir/ast/ast.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/relspec.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/relspec.dir/ast/printer.cc.o.d"
+  "/root/repo/src/ast/validate.cc" "src/CMakeFiles/relspec.dir/ast/validate.cc.o" "gcc" "src/CMakeFiles/relspec.dir/ast/validate.cc.o.d"
+  "/root/repo/src/base/bitset.cc" "src/CMakeFiles/relspec.dir/base/bitset.cc.o" "gcc" "src/CMakeFiles/relspec.dir/base/bitset.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/relspec.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/relspec.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/relspec.dir/base/status.cc.o" "gcc" "src/CMakeFiles/relspec.dir/base/status.cc.o.d"
+  "/root/repo/src/base/str_util.cc" "src/CMakeFiles/relspec.dir/base/str_util.cc.o" "gcc" "src/CMakeFiles/relspec.dir/base/str_util.cc.o.d"
+  "/root/repo/src/cc/congruence_closure.cc" "src/CMakeFiles/relspec.dir/cc/congruence_closure.cc.o" "gcc" "src/CMakeFiles/relspec.dir/cc/congruence_closure.cc.o.d"
+  "/root/repo/src/cc/union_find.cc" "src/CMakeFiles/relspec.dir/cc/union_find.cc.o" "gcc" "src/CMakeFiles/relspec.dir/cc/union_find.cc.o.d"
+  "/root/repo/src/core/analysis.cc" "src/CMakeFiles/relspec.dir/core/analysis.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/analysis.cc.o.d"
+  "/root/repo/src/core/congr.cc" "src/CMakeFiles/relspec.dir/core/congr.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/congr.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/relspec.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/equational_spec.cc" "src/CMakeFiles/relspec.dir/core/equational_spec.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/equational_spec.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/relspec.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/fixpoint.cc" "src/CMakeFiles/relspec.dir/core/fixpoint.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/fixpoint.cc.o.d"
+  "/root/repo/src/core/graph_spec.cc" "src/CMakeFiles/relspec.dir/core/graph_spec.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/graph_spec.cc.o.d"
+  "/root/repo/src/core/ground.cc" "src/CMakeFiles/relspec.dir/core/ground.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/ground.cc.o.d"
+  "/root/repo/src/core/label_graph.cc" "src/CMakeFiles/relspec.dir/core/label_graph.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/label_graph.cc.o.d"
+  "/root/repo/src/core/mixed_to_pure.cc" "src/CMakeFiles/relspec.dir/core/mixed_to_pure.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/mixed_to_pure.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/CMakeFiles/relspec.dir/core/normalize.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/normalize.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/relspec.dir/core/query.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/query.cc.o.d"
+  "/root/repo/src/core/spec_io.cc" "src/CMakeFiles/relspec.dir/core/spec_io.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/spec_io.cc.o.d"
+  "/root/repo/src/core/subtree_closure.cc" "src/CMakeFiles/relspec.dir/core/subtree_closure.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/subtree_closure.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/CMakeFiles/relspec.dir/core/verify.cc.o" "gcc" "src/CMakeFiles/relspec.dir/core/verify.cc.o.d"
+  "/root/repo/src/datalog/database.cc" "src/CMakeFiles/relspec.dir/datalog/database.cc.o" "gcc" "src/CMakeFiles/relspec.dir/datalog/database.cc.o.d"
+  "/root/repo/src/datalog/evaluator.cc" "src/CMakeFiles/relspec.dir/datalog/evaluator.cc.o" "gcc" "src/CMakeFiles/relspec.dir/datalog/evaluator.cc.o.d"
+  "/root/repo/src/datalog/frontend.cc" "src/CMakeFiles/relspec.dir/datalog/frontend.cc.o" "gcc" "src/CMakeFiles/relspec.dir/datalog/frontend.cc.o.d"
+  "/root/repo/src/datalog/relation.cc" "src/CMakeFiles/relspec.dir/datalog/relation.cc.o" "gcc" "src/CMakeFiles/relspec.dir/datalog/relation.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/relspec.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/relspec.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/relspec.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/relspec.dir/parser/parser.cc.o.d"
+  "/root/repo/src/safety/safety.cc" "src/CMakeFiles/relspec.dir/safety/safety.cc.o" "gcc" "src/CMakeFiles/relspec.dir/safety/safety.cc.o.d"
+  "/root/repo/src/temporal/periodic_answers.cc" "src/CMakeFiles/relspec.dir/temporal/periodic_answers.cc.o" "gcc" "src/CMakeFiles/relspec.dir/temporal/periodic_answers.cc.o.d"
+  "/root/repo/src/temporal/periodic_set.cc" "src/CMakeFiles/relspec.dir/temporal/periodic_set.cc.o" "gcc" "src/CMakeFiles/relspec.dir/temporal/periodic_set.cc.o.d"
+  "/root/repo/src/temporal/temporal_engine.cc" "src/CMakeFiles/relspec.dir/temporal/temporal_engine.cc.o" "gcc" "src/CMakeFiles/relspec.dir/temporal/temporal_engine.cc.o.d"
+  "/root/repo/src/term/path.cc" "src/CMakeFiles/relspec.dir/term/path.cc.o" "gcc" "src/CMakeFiles/relspec.dir/term/path.cc.o.d"
+  "/root/repo/src/term/symbol_table.cc" "src/CMakeFiles/relspec.dir/term/symbol_table.cc.o" "gcc" "src/CMakeFiles/relspec.dir/term/symbol_table.cc.o.d"
+  "/root/repo/src/term/term.cc" "src/CMakeFiles/relspec.dir/term/term.cc.o" "gcc" "src/CMakeFiles/relspec.dir/term/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congr_test.dir/congr_test.cc.o"
+  "CMakeFiles/congr_test.dir/congr_test.cc.o.d"
+  "congr_test"
+  "congr_test.pdb"
+  "congr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relspec_cli.dir/relspec_cli.cc.o"
+  "CMakeFiles/relspec_cli.dir/relspec_cli.cc.o.d"
+  "relspec_cli"
+  "relspec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relspec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
