@@ -6,15 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/cc/congruence_closure.h"
 #include "src/term/symbol_table.h"
 
 namespace {
 
 using namespace relspec;
+using relspec_bench::ScopedBenchMetrics;
 
 // Merge n independent pairs along one chain: f^i(0) == f^{i+n}(0).
 void BM_Cc_ChainMerges(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
   int n = static_cast<int>(state.range(0));
   SymbolTable symbols;
   FuncId f = *symbols.InternFunction("f", 1);
@@ -37,6 +40,7 @@ BENCHMARK(BM_Cc_ChainMerges)->RangeMultiplier(4)->Range(64, 16384);
 // One merge at the base of an n-deep chain cascades congruence upward
 // through every application: the DST80 propagation path.
 void BM_Cc_CascadeFromBase(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
   int n = static_cast<int>(state.range(0));
   SymbolTable symbols;
   FuncId f = *symbols.InternFunction("f", 1);

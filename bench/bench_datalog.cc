@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/core/engine.h"
 #include "src/datalog/database.h"
 #include "src/datalog/frontend.h"
@@ -18,6 +19,7 @@ using namespace relspec::datalog;
 
 // Transitive closure of a path graph with n nodes.
 void RunClosure(benchmark::State& state, Strategy strategy) {
+  relspec_bench::ScopedBenchMetrics bench_metrics(__func__);
   int n = static_cast<int>(state.range(0));
   size_t firings = 0, tuples = 0;
   for (auto _ : state) {

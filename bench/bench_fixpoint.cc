@@ -18,6 +18,7 @@ using namespace relspec;
 using namespace relspec_bench;
 
 void BM_Fixpoint_ChiEntries_Rotation(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
   int k = static_cast<int>(state.range(0));
   std::string source = RotationProgram(k);
   size_t entries = 0, rounds = 0;
@@ -38,6 +39,7 @@ void BM_Fixpoint_ChiEntries_Rotation(benchmark::State& state) {
 BENCHMARK(BM_Fixpoint_ChiEntries_Rotation)->DenseRange(2, 12, 2);
 
 void BM_Fixpoint_ChiEntries_Subset(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
   int n = static_cast<int>(state.range(0));
   std::string source = SubsetProgram(n);
   size_t entries = 0, rounds = 0;
@@ -62,6 +64,7 @@ BENCHMARK(BM_Fixpoint_ChiEntries_Subset)
 // Trunk growth with the depth c of the deepest ground fact: linear for one
 // symbol, 2^(c+1)-1 for two — the exponential-size remark of Section 4.
 void BM_Fixpoint_TrunkGrowth(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
   int c = static_cast<int>(state.range(0));
   int syms = static_cast<int>(state.range(1));
   std::string term = "0";

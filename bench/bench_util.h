@@ -15,9 +15,45 @@
 #ifndef RELSPEC_BENCH_BENCH_UTIL_H_
 #define RELSPEC_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "src/base/metrics.h"
+
 namespace relspec_bench {
+
+/// Opt-in per-benchmark metrics dump: when the RELSPEC_BENCH_METRICS
+/// environment variable is set (to anything), enables the metrics registry
+/// for the benchmark's lifetime and emits one machine-readable line
+///   {"bench": "<name>", "metrics": {...}}
+/// to stderr on destruction. Without the variable the registry stays
+/// disabled, so the timed loops measure the disabled-path overhead.
+class ScopedBenchMetrics {
+ public:
+  explicit ScopedBenchMetrics(std::string name) : name_(std::move(name)) {
+    enabled_ = std::getenv("RELSPEC_BENCH_METRICS") != nullptr;
+    if (!enabled_) return;
+    relspec::MetricsRegistry::Global().Reset();
+    relspec::EnableMetrics(true);
+  }
+
+  ~ScopedBenchMetrics() {
+    if (!enabled_) return;
+    relspec::EnableMetrics(false);
+    std::string json =
+        relspec::MetricsRegistry::Global().Snapshot().ToJson(/*pretty=*/false);
+    fprintf(stderr, "{\"bench\": \"%s\", \"metrics\": %s}\n", name_.c_str(),
+            json.c_str());
+  }
+
+  ScopedBenchMetrics(const ScopedBenchMetrics&) = delete;
+  ScopedBenchMetrics& operator=(const ScopedBenchMetrics&) = delete;
+
+ private:
+  std::string name_;
+  bool enabled_ = false;
+};
 
 /// k-team rotation: OnCall(t, team_i) cycles with period k.
 inline std::string RotationProgram(int k) {

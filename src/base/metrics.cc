@@ -1,0 +1,513 @@
+#include "src/base/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/base/logging.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace
+
+void EnableMetrics(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void EnableTracing(bool on) {
+  g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+void Histogram::Record(uint64_t v) {
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // std::map: sorted iteration for stable snapshots; unique_ptr: instrument
+  // addresses survive rehashing/rebalancing, so call sites can cache them.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<PhaseStat>, std::less<>> phases;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments must outlive every static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+template <typename T>
+T* GetOrCreate(std::mutex& mu,
+               std::map<std::string, std::unique_ptr<T>, std::less<>>& map,
+               std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(impl_->mu, impl_->counters, name);
+}
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(impl_->mu, impl_->gauges, name);
+}
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(impl_->mu, impl_->histograms, name);
+}
+PhaseStat* MetricsRegistry::GetPhase(std::string_view name) {
+  return GetOrCreate(impl_->mu, impl_->phases, name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : impl_->counters) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t n = h->bucket(i);
+      if (n > 0) hs.buckets.emplace_back(i, n);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  for (const auto& [name, p] : impl_->phases) {
+    snap.phases.push_back(PhaseSnapshot{name, p->count(), p->total_ns()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c->Reset();
+  for (auto& [name, g] : impl_->gauges) g->Reset();
+  for (auto& [name, h] : impl_->histograms) h->Reset();
+  for (auto& [name, p] : impl_->phases) p->Reset();
+}
+
+size_t MetricsRegistry::NumInstruments() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->counters.size() + impl_->gauges.size() +
+         impl_->histograms.size() + impl_->phases.size();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot accessors
+// ---------------------------------------------------------------------------
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const PhaseSnapshot* MetricsSnapshot::phase(std::string_view name) const {
+  for (const PhaseSnapshot& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char ch : s) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          *out += StrFormat("\\u%04x", ch);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson(bool pretty) const {
+  const std::string item_first = pretty ? "\n    " : "";
+  const std::string item_next = pretty ? ",\n    " : ", ";
+  const std::string section_close = pretty ? "\n  }" : "}";
+  const std::string section_sep = pretty ? ",\n  " : ", ";
+  std::string out = pretty ? "{\n  \"counters\": {" : "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? item_first : item_next;
+    first = false;
+    AppendJsonString(name, &out);
+    out += StrFormat(": %llu", static_cast<unsigned long long>(v));
+  }
+  out += first ? "}" : section_close;
+  out += section_sep + "\"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? item_first : item_next;
+    first = false;
+    AppendJsonString(name, &out);
+    out += StrFormat(": %lld", static_cast<long long>(v));
+  }
+  out += first ? "}" : section_close;
+  out += section_sep + "\"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    out += first ? item_first : item_next;
+    first = false;
+    AppendJsonString(h.name, &out);
+    out += StrFormat(
+        ": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, \"max\": %llu, "
+        "\"buckets\": [",
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.min),
+        static_cast<unsigned long long>(h.max));
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StrFormat("[%d, %llu]", h.buckets[i].first,
+                       static_cast<unsigned long long>(h.buckets[i].second));
+    }
+    out += "]}";
+  }
+  out += first ? "}" : section_close;
+  out += section_sep + "\"phases\": {";
+  first = true;
+  for (const PhaseSnapshot& p : phases) {
+    out += first ? item_first : item_next;
+    first = false;
+    AppendJsonString(p.name, &out);
+    out += StrFormat(": {\"count\": %llu, \"total_ns\": %llu}",
+                     static_cast<unsigned long long>(p.count),
+                     static_cast<unsigned long long>(p.total_ns));
+  }
+  out += first ? "}" : section_close;
+  out += pretty ? "\n}\n" : "}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing (the subset ToJson emits: objects, arrays, strings with
+// simple escapes, unsigned/signed integers)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("metrics JSON parse error at offset %zu: %s", pos_,
+                  what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Eat('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          out.push_back(static_cast<char>(code));  // ASCII control chars only
+          break;
+        }
+        default: return Error("unknown escape");
+      }
+    }
+    if (!Eat('"')) return Error("unterminated string");
+    return out;
+  }
+
+  StatusOr<int64_t> ParseInt() {
+    SkipWs();
+    bool neg = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected digit");
+    }
+    uint64_t v = 0;
+    while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<uint64_t>(text_[pos_++] - '0');
+    }
+    return neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+  }
+
+  StatusOr<uint64_t> ParseUint() {
+    RELSPEC_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+    if (v < 0) return Error("expected non-negative integer");
+    return static_cast<uint64_t>(v);
+  }
+
+  /// Parses {"key": value, ...}, invoking `on_member(key)` with the cursor
+  /// positioned at the value.
+  template <typename F>
+  Status ParseObject(F&& on_member) {
+    if (!Eat('{')) return Error("expected '{'");
+    while (!Peek('}')) {
+      RELSPEC_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Eat(':')) return Error("expected ':'");
+      RELSPEC_RETURN_NOT_OK(on_member(key));
+    }
+    if (!Eat('}')) return Error("expected '}'");
+    return Status::OK();
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<MetricsSnapshot> MetricsSnapshot::FromJson(std::string_view json) {
+  MetricsSnapshot snap;
+  JsonParser p(json);
+  Status status = p.ParseObject([&](const std::string& section) -> Status {
+    if (section == "counters") {
+      return p.ParseObject([&](const std::string& name) -> Status {
+        RELSPEC_ASSIGN_OR_RETURN(uint64_t v, p.ParseUint());
+        snap.counters.emplace_back(name, v);
+        return Status::OK();
+      });
+    }
+    if (section == "gauges") {
+      return p.ParseObject([&](const std::string& name) -> Status {
+        RELSPEC_ASSIGN_OR_RETURN(int64_t v, p.ParseInt());
+        snap.gauges.emplace_back(name, v);
+        return Status::OK();
+      });
+    }
+    if (section == "histograms") {
+      return p.ParseObject([&](const std::string& name) -> Status {
+        HistogramSnapshot hs;
+        hs.name = name;
+        RELSPEC_RETURN_NOT_OK(
+            p.ParseObject([&](const std::string& field) -> Status {
+              if (field == "buckets") {
+                if (!p.Eat('[')) return p.Error("expected '['");
+                while (!p.Peek(']')) {
+                  if (!p.Eat('[')) return p.Error("expected '['");
+                  RELSPEC_ASSIGN_OR_RETURN(int64_t exp, p.ParseInt());
+                  RELSPEC_ASSIGN_OR_RETURN(uint64_t n, p.ParseUint());
+                  if (!p.Eat(']')) return p.Error("expected ']'");
+                  hs.buckets.emplace_back(static_cast<int>(exp), n);
+                }
+                if (!p.Eat(']')) return p.Error("expected ']'");
+                return Status::OK();
+              }
+              RELSPEC_ASSIGN_OR_RETURN(uint64_t v, p.ParseUint());
+              if (field == "count") hs.count = v;
+              else if (field == "sum") hs.sum = v;
+              else if (field == "min") hs.min = v;
+              else if (field == "max") hs.max = v;
+              else return p.Error("unknown histogram field " + field);
+              return Status::OK();
+            }));
+        snap.histograms.push_back(std::move(hs));
+        return Status::OK();
+      });
+    }
+    if (section == "phases") {
+      return p.ParseObject([&](const std::string& name) -> Status {
+        PhaseSnapshot ps;
+        ps.name = name;
+        RELSPEC_RETURN_NOT_OK(
+            p.ParseObject([&](const std::string& field) -> Status {
+              RELSPEC_ASSIGN_OR_RETURN(uint64_t v, p.ParseUint());
+              if (field == "count") ps.count = v;
+              else if (field == "total_ns") ps.total_ns = v;
+              else return p.Error("unknown phase field " + field);
+              return Status::OK();
+            }));
+        snap.phases.push_back(std::move(ps));
+        return Status::OK();
+      });
+    }
+    return p.Error("unknown section " + section);
+  });
+  RELSPEC_RETURN_NOT_OK(status);
+  if (!p.AtEnd()) return Status::InvalidArgument("trailing JSON content");
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// PhaseSpan
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+namespace {
+// Nesting depth for trace indentation; per thread so concurrent phases from
+// different threads don't garble each other's indent.
+thread_local int g_phase_depth = 0;
+}  // namespace
+
+PhaseSpan::PhaseSpan(const char* name)
+    : name_(name),
+      metrics_on_(MetricsEnabled()),
+      tracing_on_(TracingEnabled()) {
+  if (!metrics_on_ && !tracing_on_) return;
+  if (tracing_on_) {
+    RELSPEC_LOG(kInfo) << "trace: " << std::string(static_cast<size_t>(g_phase_depth) * 2, ' ')
+                       << ">> " << name_;
+    ++g_phase_depth;
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (!metrics_on_ && !tracing_on_) return;
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+  if (metrics_on_) {
+    MetricsRegistry::Global().GetPhase(name_)->Record(
+        static_cast<uint64_t>(ns));
+  }
+  if (tracing_on_) {
+    --g_phase_depth;
+    RELSPEC_LOG(kInfo) << "trace: " << std::string(static_cast<size_t>(g_phase_depth) * 2, ' ')
+                       << "<< " << name_ << " ("
+                       << StrFormat("%.3f ms", static_cast<double>(ns) / 1e6)
+                       << ")";
+  }
+}
+
+}  // namespace internal
+}  // namespace relspec

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -19,6 +20,7 @@ void CongruenceClosure::AddTerm(TermId t) {
     if (cur == kZeroTerm) break;
     cur = arena_->node(cur).child;
   }
+  RELSPEC_COUNTER_ADD("cc.terms_added", chain.size());
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     TermId u = *it;
     if (known_bits_.size() <= u) known_bits_.resize(u + 1, false);
@@ -44,6 +46,7 @@ CongruenceClosure::Signature CongruenceClosure::SignatureOf(TermId t) {
 }
 
 void CongruenceClosure::Merge(TermId a, TermId b) {
+  RELSPEC_COUNTER("cc.merges");
   AddTerm(a);
   AddTerm(b);
   pending_.push_back(Pending{a, b, /*congruence=*/false});
@@ -51,6 +54,7 @@ void CongruenceClosure::Merge(TermId a, TermId b) {
 }
 
 bool CongruenceClosure::AreCongruent(TermId a, TermId b) {
+  RELSPEC_COUNTER("cc.congruence_checks");
   AddTerm(a);
   AddTerm(b);
   return uf_.Same(a, b);
@@ -70,7 +74,9 @@ size_t CongruenceClosure::NumClasses() {
 }
 
 void CongruenceClosure::DrainPending() {
+  RELSPEC_GAUGE_MAX("cc.pending_peak", pending_.size());
   while (!pending_.empty()) {
+    RELSPEC_COUNTER("cc.pending_processed");
     Pending p = pending_.back();
     TermId a = p.a;
     TermId b = p.b;
@@ -86,6 +92,7 @@ void CongruenceClosure::DrainPending() {
     // merged class; collisions detected there queue further merges.
     PropagateFrom(absorbed);
     parents_.erase(absorbed);
+    RELSPEC_GAUGE_MAX("cc.pending_peak", pending_.size());
   }
 }
 

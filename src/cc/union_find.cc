@@ -1,5 +1,7 @@
 #include "src/cc/union_find.h"
 
+#include "src/base/metrics.h"
+
 namespace relspec {
 
 void UnionFind::EnsureSize(size_t n) {
@@ -11,13 +13,17 @@ void UnionFind::EnsureSize(size_t n) {
 }
 
 uint32_t UnionFind::Find(uint32_t x) {
+  RELSPEC_COUNTER("uf.finds");
   uint32_t root = x;
   while (parent_[root] != root) root = parent_[root];
+  uint32_t compressed = 0;
   while (parent_[x] != root) {
     uint32_t next = parent_[x];
     parent_[x] = root;
+    ++compressed;
     x = next;
   }
+  if (compressed > 0) RELSPEC_COUNTER_ADD("uf.path_compressions", compressed);
   return root;
 }
 
@@ -25,6 +31,7 @@ uint32_t UnionFind::Union(uint32_t a, uint32_t b) {
   uint32_t ra = Find(a);
   uint32_t rb = Find(b);
   if (ra == rb) return ra;
+  RELSPEC_COUNTER("uf.unions");
   if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
   parent_[rb] = ra;
   if (rank_[ra] == rank_[rb]) ++rank_[ra];

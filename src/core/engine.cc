@@ -2,6 +2,7 @@
 
 #include "src/ast/printer.h"
 #include "src/ast/validate.h"
+#include "src/base/metrics.h"
 #include "src/core/verify.h"
 #include "src/parser/parser.h"
 
@@ -9,7 +10,11 @@ namespace relspec {
 
 StatusOr<std::unique_ptr<FunctionalDatabase>> FunctionalDatabase::FromSource(
     std::string_view source, const EngineOptions& options) {
-  RELSPEC_ASSIGN_OR_RETURN(ParseResult parsed, Parse(source));
+  ParseResult parsed;
+  {
+    RELSPEC_PHASE("parse");
+    RELSPEC_ASSIGN_OR_RETURN(parsed, Parse(source));
+  }
   if (!parsed.queries.empty()) {
     return Status::InvalidArgument(
         "FromSource expects facts and rules only; answer queries through "
@@ -20,18 +25,25 @@ StatusOr<std::unique_ptr<FunctionalDatabase>> FunctionalDatabase::FromSource(
 
 StatusOr<std::unique_ptr<FunctionalDatabase>> FunctionalDatabase::FromProgram(
     Program program, const EngineOptions& options) {
+  RELSPEC_PHASE("engine.build");
   auto db = std::unique_ptr<FunctionalDatabase>(new FunctionalDatabase());
-  RELSPEC_RETURN_NOT_OK(ValidateProgram(program));
-  RELSPEC_RETURN_NOT_OK(CheckDomainIndependence(program));
+  {
+    RELSPEC_PHASE("validate");
+    RELSPEC_RETURN_NOT_OK(ValidateProgram(program));
+    RELSPEC_RETURN_NOT_OK(CheckDomainIndependence(program));
+  }
   db->original_ = program;
   db->program_ = std::move(program);
   RELSPEC_ASSIGN_OR_RETURN(db->normalize_stats_,
                            NormalizeProgram(&db->program_));
   RELSPEC_ASSIGN_OR_RETURN(db->purify_stats_, MixedToPure(&db->program_));
   db->info_ = Analyze(db->program_);
-  RELSPEC_ASSIGN_OR_RETURN(GroundProgram ground,
-                           Ground(db->program_, options.ground));
-  db->ground_ = std::make_unique<GroundProgram>(std::move(ground));
+  {
+    RELSPEC_PHASE("ground");
+    RELSPEC_ASSIGN_OR_RETURN(GroundProgram ground,
+                             Ground(db->program_, options.ground));
+    db->ground_ = std::make_unique<GroundProgram>(std::move(ground));
+  }
   RELSPEC_ASSIGN_OR_RETURN(db->labeling_,
                            ComputeFixpoint(*db->ground_, options.fixpoint));
   RELSPEC_ASSIGN_OR_RETURN(db->graph_,

@@ -1,11 +1,13 @@
 #include "src/core/equational_spec.h"
 
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
 
 void EquationalSpecification::EnsureClosure() {
   if (closure_ != nullptr) return;
+  RELSPEC_PHASE("eqspec.close_r");
   arena_ = std::make_unique<TermArena>();
   closure_ = std::make_unique<CongruenceClosure>(arena_.get());
   for (const auto& [t1, t2] : equations_) {
@@ -14,12 +16,15 @@ void EquationalSpecification::EnsureClosure() {
 }
 
 bool EquationalSpecification::Congruent(const Path& a, const Path& b) {
+  RELSPEC_COUNTER("eqspec.congruent_tests");
+  RELSPEC_SCOPED_TIMER("eqspec.congruent_ns");
   EnsureClosure();
   return closure_->AreCongruent(a.ToTerm(arena_.get()), b.ToTerm(arena_.get()));
 }
 
 StatusOr<EqProof> EquationalSpecification::ExplainCongruence(const Path& a,
                                                              const Path& b) {
+  RELSPEC_COUNTER("eqspec.cl_proofs");
   EnsureClosure();
   return closure_->Explain(a.ToTerm(arena_.get()), b.ToTerm(arena_.get()));
 }
@@ -32,6 +37,8 @@ StatusOr<std::string> EquationalSpecification::ExplainCongruenceText(
 
 bool EquationalSpecification::Holds(const Path& path, PredId pred,
                                     const std::vector<ConstId>& args) {
+  RELSPEC_COUNTER("eqspec.membership_checks");
+  RELSPEC_SCOPED_TIMER("eqspec.holds_ns");
   auto it = atom_index_.find(SliceAtom{pred, args});
   if (it == atom_index_.end()) return false;
   AtomIdx atom = it->second;
@@ -74,6 +81,7 @@ std::string EquationalSpecification::ToString() const {
 
 StatusOr<EquationalSpecification> BuildEquationalSpecification(
     const LabelGraph& graph, Labeling* labeling, const SymbolTable& symbols) {
+  RELSPEC_PHASE("eqspec.build");
   EquationalSpecification out;
   out.symbols_ = symbols;
   out.trunk_depth_ = graph.trunk_depth();
@@ -110,6 +118,7 @@ StatusOr<EquationalSpecification> BuildEquationalSpecification(
       if (!(rep == child)) out.equations_.emplace_back(child, rep);
     }
   }
+  RELSPEC_GAUGE_SET("eqspec.equations", out.equations_.size());
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -48,7 +49,11 @@ const DynamicBitset& Labeling::LabelOf(const Path& path) {
     return chi_->Value(chi_->EntryFor(boundary_seeds_.at(path)));
   }
   auto it = deep_cache_.find(path);
-  if (it != deep_cache_.end()) return it->second;
+  if (it != deep_cache_.end()) {
+    RELSPEC_COUNTER("fixpoint.deep_cache_hits");
+    return it->second;
+  }
+  RELSPEC_COUNTER("fixpoint.deep_expansions");
   // Walk down from the boundary, one Expand per symbol.
   DynamicBitset label = LabelOf(path.Prefix(c + 1));
   for (int i = c + 1; i < path.depth(); ++i) {
@@ -75,6 +80,7 @@ bool Labeling::HoldsGlobal(PredId pred, const std::vector<ConstId>& args) const 
 
 StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
                                    const FixpointOptions& options) {
+  RELSPEC_PHASE("fixpoint");
   Labeling out;
   out.ground_ = &ground;
   out.shared_ = std::make_unique<Labeling::ChiShared>();
@@ -93,6 +99,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
   for (const Path& p : out.trunk_paths_) {
     out.trunk_labels_.emplace(p, DynamicBitset(num_atoms));
   }
+  RELSPEC_GAUGE_SET("fixpoint.trunk_nodes", out.trunk_paths_.size());
   // Boundary seeds: children of depth-c trunk nodes.
   for (const Path& p : out.trunk_paths_) {
     if (p.depth() != c) continue;
@@ -120,6 +127,8 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
   while (changed) {
     changed = false;
     ++out.rounds_;
+    RELSPEC_COUNTER("fixpoint.rounds");
+    RELSPEC_SCOPED_TIMER("fixpoint.round_ns");
     if (options.max_rounds > 0 && out.rounds_ > options.max_rounds) {
       return Status::ResourceExhausted("fixpoint round limit exceeded");
     }
@@ -139,6 +148,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
         }
         if (sat) {
           ctx.Set(rule.head_id);
+          RELSPEC_COUNTER("fixpoint.global_rule_firings");
           gchanged = true;
           changed = true;
         }
@@ -152,6 +162,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
       DynamicBitset& label = out.trunk_labels_.at(prop.path);
       if (!label.Test(prop.atom)) {
         label.Set(prop.atom);
+        RELSPEC_COUNTER("fixpoint.pinned_syncs");
         changed = true;
       }
     }
@@ -171,6 +182,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
           case GroundRule::HeadKind::kEps:
             if (!label.Test(rule.head_id)) {
               label.Set(rule.head_id);
+              RELSPEC_COUNTER("fixpoint.trunk_rule_firings");
               changed = true;
             }
             break;
@@ -181,6 +193,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
                                         : out.trunk_labels_.at(child);
             if (!target.Test(rule.head_id)) {
               target.Set(rule.head_id);
+              RELSPEC_COUNTER("fixpoint.trunk_rule_firings");
               changed = true;
             }
             break;
@@ -188,6 +201,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
           case GroundRule::HeadKind::kCtx:
             if (!ctx.Test(rule.head_id)) {
               ctx.Set(rule.head_id);
+              RELSPEC_COUNTER("fixpoint.trunk_rule_firings");
               changed = true;
             }
             break;
@@ -217,6 +231,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
     RELSPEC_ASSIGN_OR_RETURN(bool chi_changed, chi.ProcessAllOnce());
     changed |= chi_changed || out.shared_->ctx_changed;
   }
+  RELSPEC_GAUGE_SET("fixpoint.chi_entries", chi.num_entries());
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -28,6 +29,7 @@ size_t LabelGraph::EquivalenceScope() const {
 
 StatusOr<LabelGraph> BuildLabelGraph(Labeling* labeling,
                                      const LabelGraphOptions& options) {
+  RELSPEC_PHASE("algorithm_q");
   LabelGraph out;
   const GroundProgram& ground = labeling->ground();
   const int c = ground.trunk_depth();
@@ -114,6 +116,9 @@ StatusOr<LabelGraph> BuildLabelGraph(Labeling* labeling,
       }
     }
   }
+  RELSPEC_GAUGE_SET("labelgraph.clusters", out.clusters_.size());
+  RELSPEC_GAUGE_SET("labelgraph.active", out.num_active_);
+  RELSPEC_GAUGE_SET("labelgraph.potential", out.num_potential_);
   return out;
 }
 

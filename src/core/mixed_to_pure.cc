@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -104,6 +105,7 @@ StatusOr<FuncTerm> PurifyGroundTerm(const FuncTerm& term, SymbolTable* symbols) 
 }
 
 StatusOr<MixedToPureStats> MixedToPure(Program* program) {
+  RELSPEC_PHASE("purify");
   MixedToPureStats stats;
   stats.rules_in = static_cast<int>(program->rules.size());
 
@@ -172,6 +174,9 @@ StatusOr<MixedToPureStats> MixedToPure(Program* program) {
   }
   program->rules = std::move(out_rules);
   stats.rules_out = static_cast<int>(program->rules.size());
+  RELSPEC_GAUGE_SET("purify.rules_in", stats.rules_in);
+  RELSPEC_GAUGE_SET("purify.rules_out", stats.rules_out);
+  RELSPEC_GAUGE_SET("purify.new_symbols", stats.new_symbols);
   return stats;
 }
 

@@ -7,6 +7,7 @@
 
 #include "src/ast/validate.h"
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -219,6 +220,7 @@ StatusOr<Rule> SplitFunctionalVariables(const Rule& rule, FreshNames* fresh,
 }  // namespace
 
 StatusOr<NormalizeStats> NormalizeProgram(Program* program) {
+  RELSPEC_PHASE("normalize");
   NormalizeStats stats;
   stats.rules_in = static_cast<int>(program->rules.size());
 
@@ -267,6 +269,9 @@ StatusOr<NormalizeStats> NormalizeProgram(Program* program) {
   if (!IsNormalProgram(*program)) {
     return Status::Internal("normalization did not produce a normal program");
   }
+  RELSPEC_GAUGE_SET("normalize.rules_in", stats.rules_in);
+  RELSPEC_GAUGE_SET("normalize.rules_out", stats.rules_out);
+  RELSPEC_GAUGE_SET("normalize.aux_predicates", stats.aux_predicates);
   return stats;
 }
 

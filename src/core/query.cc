@@ -8,6 +8,7 @@
 
 #include "src/ast/printer.h"
 #include "src/ast/validate.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 #include "src/datalog/evaluator.h"
 
@@ -120,6 +121,8 @@ std::string QueryAnswer::ToString() const {
 
 StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase* db,
                                              const Query& query) {
+  RELSPEC_PHASE("query.incremental");
+  RELSPEC_COUNTER("query.incremental_answers");
   RELSPEC_RETURN_NOT_OK(ValidateQuery(query, db->program().symbols));
   if (!IsUniformQuery(query)) {
     return Status::InvalidArgument(
@@ -256,6 +259,8 @@ StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase* db,
 
 StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase* db,
                                            const Query& query) {
+  RELSPEC_PHASE("query.recompute");
+  RELSPEC_COUNTER("query.recompute_answers");
   RELSPEC_RETURN_NOT_OK(ValidateQuery(query, db->program().symbols));
   static std::atomic<int> counter{0};
   std::string pred_name = StrFormat("$query%d", counter++);
@@ -330,6 +335,8 @@ StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query) {
 }
 
 StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query) {
+  RELSPEC_PHASE("query.yesno");
+  RELSPEC_COUNTER("query.yesno_checks");
   RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerQuery(db, query));
   return !answer.IsEmpty();
 }

@@ -1,13 +1,19 @@
 #include "src/core/subtree_closure.h"
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
 
 uint32_t ChiEngine::EntryFor(const DynamicBitset& seed) {
+  RELSPEC_COUNTER("chi.lookups");
   auto it = index_.find(seed);
-  if (it != index_.end()) return it->second;
+  if (it != index_.end()) {
+    RELSPEC_COUNTER("chi.hits");
+    return it->second;
+  }
+  RELSPEC_COUNTER("chi.misses");
   uint32_t id = static_cast<uint32_t>(entries_.size());
   entries_.push_back(Entry{seed, seed});
   index_.emplace(seed, id);
@@ -16,6 +22,7 @@ uint32_t ChiEngine::EntryFor(const DynamicBitset& seed) {
 
 bool ChiEngine::CloseNode(DynamicBitset* T,
                           std::vector<DynamicBitset>* child_labels) {
+  RELSPEC_COUNTER("chi.close_node_calls");
   const size_t num_syms = ground_->num_symbols();
   const size_t num_atoms = ground_->num_atoms();
   bool changed = false;
@@ -71,8 +78,11 @@ bool ChiEngine::CloseNode(DynamicBitset* T,
 }
 
 StatusOr<bool> ChiEngine::ProcessAllOnce() {
+  RELSPEC_COUNTER("chi.passes");
+  RELSPEC_SCOPED_TIMER("chi.pass_ns");
   bool changed = false;
   for (size_t i = 0; i < entries_.size(); ++i) {
+    RELSPEC_COUNTER("chi.entries_processed");
     if (entries_.size() > max_entries_) {
       return Status::ResourceExhausted(
           StrFormat("chi table exceeded max_entries=%zu", max_entries_));
@@ -94,7 +104,11 @@ StatusOr<bool> ChiEngine::ProcessAllOnce() {
 const std::vector<DynamicBitset>& ChiEngine::Expand(
     const DynamicBitset& label) {
   auto it = expand_cache_.find(label);
-  if (it != expand_cache_.end()) return it->second;
+  if (it != expand_cache_.end()) {
+    RELSPEC_COUNTER("chi.expand_cache_hits");
+    return it->second;
+  }
+  RELSPEC_COUNTER("chi.expansions");
   DynamicBitset T = label;
   std::vector<DynamicBitset> child_labels;
   CloseNode(&T, &child_labels);

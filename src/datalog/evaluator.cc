@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -203,10 +204,16 @@ bool HasNegation(const std::vector<DRule>& rules) {
 
 namespace {
 
-// One stratum (or a negation-free rule set) to fixpoint.
+// One stratum (or a negation-free rule set) to fixpoint. `rule_index[i]` is
+// the position of `rules[i]` in the original rule list passed to Evaluate;
+// per-rule stats are recorded at those positions (vectors of `total_rules`).
 StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
-                                    Database* db, const EvalOptions& options) {
+                                    const std::vector<size_t>& rule_index,
+                                    size_t total_rules, Database* db,
+                                    const EvalOptions& options) {
   EvalStats stats;
+  stats.per_rule_firings.assign(total_rules, 0);
+  stats.per_rule_derived.assign(total_rules, 0);
 
   // Predicates derivable by some rule (IDB); others never get deltas.
   std::unordered_set<PredId> idb;
@@ -232,7 +239,9 @@ StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
     std::unordered_map<PredId, size_t> snapshot;
     for (PredId p : db->Predicates()) snapshot[p] = db->relation(p).size();
 
-    for (const DRule& rule : rules) {
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      const DRule& rule = rules[ri];
+      const size_t oi = rule_index[ri];
       if (options.strategy == Strategy::kNaive) {
         Matcher m(*db, rule.body, rule.num_vars);
         for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -240,8 +249,10 @@ StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
         }
         m.Match([&](const std::vector<uint32_t>& bindings) {
           ++stats.rule_firings;
+          ++stats.per_rule_firings[oi];
           if (db->Insert(rule.head.pred, InstantiateHead(rule.head, bindings))) {
             ++stats.tuples_derived;
+            ++stats.per_rule_derived[oi];
             changed = true;
           }
         });
@@ -249,8 +260,10 @@ StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
         // A bodiless rule is a fact; it fires exactly once.
         if (stats.iterations == 1) {
           ++stats.rule_firings;
+          ++stats.per_rule_firings[oi];
           if (db->Insert(rule.head.pred, InstantiateHead(rule.head, {}))) {
             ++stats.tuples_derived;
+            ++stats.per_rule_derived[oi];
             changed = true;
           }
         }
@@ -282,9 +295,11 @@ StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
           }
           m.Match([&](const std::vector<uint32_t>& bindings) {
             ++stats.rule_firings;
+            ++stats.per_rule_firings[oi];
             if (db->Insert(rule.head.pred,
                            InstantiateHead(rule.head, bindings))) {
               ++stats.tuples_derived;
+              ++stats.per_rule_derived[oi];
               changed = true;
             }
           });
@@ -346,26 +361,73 @@ StatusOr<std::vector<std::vector<DRule>>> StratifyRules(
   return out;
 }
 
+namespace {
+
+void RecordEvalMetrics(const EvalStats& stats) {
+  RELSPEC_COUNTER_ADD("datalog.iterations", stats.iterations);
+  RELSPEC_COUNTER_ADD("datalog.rule_firings", stats.rule_firings);
+  RELSPEC_COUNTER_ADD("datalog.tuples_derived", stats.tuples_derived);
+  if (MetricsEnabled()) {
+    for (size_t i = 0; i < stats.per_rule_firings.size(); ++i) {
+      MetricsRegistry::Global()
+          .GetCounter(StrFormat("datalog.rule[%zu].firings", i))
+          ->Add(stats.per_rule_firings[i]);
+      MetricsRegistry::Global()
+          .GetCounter(StrFormat("datalog.rule[%zu].derived", i))
+          ->Add(stats.per_rule_derived[i]);
+    }
+  }
+}
+
+}  // namespace
+
 StatusOr<EvalStats> Evaluate(const std::vector<DRule>& rules, Database* db,
                              const EvalOptions& options) {
+  RELSPEC_PHASE("datalog.evaluate");
   RELSPEC_RETURN_NOT_OK(CheckRules(rules, *db));
   // Normalize bodies: negated atoms last, so the matcher binds first.
   std::vector<DRule> prepared = rules;
   for (DRule& r : prepared) r.body = NegatedLast(r.body);
 
   if (!HasNegation(prepared)) {
-    return EvaluateStratum(prepared, db, options);
+    std::vector<size_t> identity(prepared.size());
+    for (size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    RELSPEC_ASSIGN_OR_RETURN(
+        EvalStats stats,
+        EvaluateStratum(prepared, identity, prepared.size(), db, options));
+    RecordEvalMetrics(stats);
+    return stats;
   }
   RELSPEC_ASSIGN_OR_RETURN(std::vector<std::vector<DRule>> strata,
                            StratifyRules(prepared));
-  EvalStats total;
-  for (const std::vector<DRule>& stratum : strata) {
-    if (stratum.empty()) continue;
-    RELSPEC_ASSIGN_OR_RETURN(EvalStats s, EvaluateStratum(stratum, db, options));
-    total.iterations += s.iterations;
-    total.tuples_derived += s.tuples_derived;
-    total.rule_firings += s.rule_firings;
+  // Recover each stratum rule's original index: a rule's stratum depends only
+  // on its head predicate, and StratifyRules appends in input order, so
+  // walking the input once in order reproduces the per-stratum sequences.
+  std::unordered_map<PredId, size_t> stratum_of;
+  for (size_t s = 0; s < strata.size(); ++s) {
+    for (const DRule& r : strata[s]) stratum_of[r.head.pred] = s;
   }
+  std::vector<std::vector<size_t>> strata_index(strata.size());
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    strata_index[stratum_of.at(prepared[i].head.pred)].push_back(i);
+  }
+  EvalStats total;
+  total.per_rule_firings.assign(prepared.size(), 0);
+  total.per_rule_derived.assign(prepared.size(), 0);
+  for (size_t s = 0; s < strata.size(); ++s) {
+    if (strata[s].empty()) continue;
+    RELSPEC_ASSIGN_OR_RETURN(
+        EvalStats st, EvaluateStratum(strata[s], strata_index[s],
+                                      prepared.size(), db, options));
+    total.iterations += st.iterations;
+    total.tuples_derived += st.tuples_derived;
+    total.rule_firings += st.rule_firings;
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      total.per_rule_firings[i] += st.per_rule_firings[i];
+      total.per_rule_derived[i] += st.per_rule_derived[i];
+    }
+  }
+  RecordEvalMetrics(total);
   return total;
 }
 

@@ -29,6 +29,10 @@ struct EvalStats {
   size_t iterations = 0;
   size_t tuples_derived = 0;
   size_t rule_firings = 0;  // successful body matches
+  /// Aligned with the `rules` argument to Evaluate: per-rule successful body
+  /// matches and per-rule newly derived (inserted) tuples.
+  std::vector<size_t> per_rule_firings;
+  std::vector<size_t> per_rule_derived;
 };
 
 /// Runs `rules` on `db` to fixpoint. All predicates referenced by the rules

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/metrics.h"
 #include "src/core/engine.h"
 #include "src/core/query.h"
 #include "src/parser/parser.h"
@@ -181,6 +182,43 @@ TEST(Engine, DeepGroundFactTrunk) {
   EXPECT_TRUE(*(*db)->HoldsFactText("Q(5)"));   // down from P(6)
   EXPECT_FALSE(*(*db)->HoldsFactText("Q(4)"));  // no P(5)
   EXPECT_TRUE((*db)->Verify().ok());
+}
+
+TEST(Engine, MetricsCoverWholePipeline) {
+  MetricsRegistry::Global().Reset();
+  EnableMetrics(true);
+  auto db = FunctionalDatabase::FromSource(R"(
+    Even(0).
+    Even(t) -> Even(t+2).
+  )");
+  EnableMetrics(false);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  // Every pipeline stage left a phase span behind.
+  for (const char* name : {"parse", "engine.build", "validate", "normalize",
+                           "purify", "ground", "fixpoint", "algorithm_q"}) {
+    const PhaseSnapshot* p = snap.phase(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_GE(p->count, 1u) << name;
+  }
+  EXPECT_EQ(snap.gauge("fixpoint.trunk_nodes"),
+            static_cast<int64_t>((*db)->labeling().trunk_paths().size()));
+  EXPECT_GT(snap.counter("fixpoint.rounds"), 0u);
+  EXPECT_EQ(snap.counter("chi.hits") + snap.counter("chi.misses"),
+            snap.counter("chi.lookups"));
+  EXPECT_EQ(snap.gauge("labelgraph.clusters"),
+            static_cast<int64_t>((*db)->label_graph().num_clusters()));
+  MetricsRegistry::Global().Reset();
+}
+
+TEST(Engine, MetricsDisabledLeavesNoTrace) {
+  MetricsRegistry::Global().Reset();
+  ASSERT_FALSE(MetricsEnabled());
+  size_t before = MetricsRegistry::Global().NumInstruments();
+  auto db = FunctionalDatabase::FromSource("P(0).\nP(t) -> P(t+1).");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // The disabled fast path performs no registrations at all.
+  EXPECT_EQ(MetricsRegistry::Global().NumInstruments(), before);
 }
 
 }  // namespace

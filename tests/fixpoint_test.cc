@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/metrics.h"
 #include "src/core/fixpoint.h"
 #include "src/core/ground.h"
 #include "src/core/mixed_to_pure.h"
@@ -250,6 +251,73 @@ TEST(Fixpoint, TrunkDeeperThanZero) {
   EXPECT_TRUE(l->Holds(NatPath(*b, 2), AtomOf(*b, "P", {"b"})));
   EXPECT_TRUE(l->Holds(NatPath(*b, 9), AtomOf(*b, "P", {"a"})));
   EXPECT_TRUE(l->Holds(NatPath(*b, 9), AtomOf(*b, "P", {"b"})));
+}
+
+// RAII guard for tests that assert on the process-global metrics registry.
+class ScopedMetrics {
+ public:
+  ScopedMetrics() {
+    MetricsRegistry::Global().Reset();
+    EnableMetrics(true);
+  }
+  ~ScopedMetrics() {
+    EnableMetrics(false);
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST(FixpointMetrics, ChiHitsPlusMissesEqualLookups) {
+  auto b = Build(R"(
+    P(0).
+    P(t) -> P(t+1).
+    P(t+1) -> Q(t).
+  )");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ScopedMetrics metrics;
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(snap.counter("chi.lookups"), 0u);
+  EXPECT_EQ(snap.counter("chi.hits") + snap.counter("chi.misses"),
+            snap.counter("chi.lookups"));
+  // Every miss creates a chi entry, and the entry gauge reflects the table.
+  EXPECT_EQ(snap.gauge("fixpoint.chi_entries"),
+            static_cast<int64_t>(l->chi().num_entries()));
+}
+
+TEST(FixpointMetrics, RoundCounterMatchesLabeling) {
+  auto b = Build(R"(
+    P(0).
+    P(t) -> P(t+1).
+    Q(3).
+    Q(t+1) -> Q(t).
+  )");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ScopedMetrics metrics;
+  auto l = ComputeFixpoint(b->ground);
+  ASSERT_TRUE(l.ok()) << l.status().ToString();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("fixpoint.rounds"),
+            static_cast<uint64_t>(l->rounds()));
+  EXPECT_EQ(snap.gauge("fixpoint.trunk_nodes"),
+            static_cast<int64_t>(l->trunk_paths().size()));
+  const PhaseSnapshot* phase = snap.phase("fixpoint");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->count, 1u);
+}
+
+TEST(FixpointMetrics, RoundCounterCappedByMaxRounds) {
+  auto b = Build("P(0).\nP(t) -> P(t+1).");
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ScopedMetrics metrics;
+  FixpointOptions options;
+  options.max_rounds = 1;
+  auto l = ComputeFixpoint(b->ground, options);
+  EXPECT_TRUE(l.status().IsResourceExhausted());
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  // The counter tracks rounds entered, and the cap aborts in round
+  // max_rounds + 1.
+  EXPECT_EQ(snap.counter("fixpoint.rounds"), options.max_rounds + 1);
 }
 
 }  // namespace

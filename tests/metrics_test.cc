@@ -1,0 +1,208 @@
+// Tests for the metrics registry: instrument semantics, snapshot/JSON
+// round-trips, the disabled fast path, and thread safety.
+
+#include "src/base/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace relspec {
+namespace {
+
+// Every test runs against the process-global registry, so each starts from
+// a clean slate and leaves metrics disabled for the next one.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    EnableMetrics(true);
+  }
+  void TearDown() override {
+    EnableMetrics(false);
+    EnableTracing(false);
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.counter");
+  EXPECT_EQ(c->value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStablePointers) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.stable");
+  a->Add(7);
+  Counter* b = MetricsRegistry::Global().GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  // Reset zeroes values but keeps the registration and the pointer valid.
+  MetricsRegistry::Global().Reset();
+  EXPECT_EQ(a->value(), 0u);
+  EXPECT_EQ(MetricsRegistry::Global().GetCounter("test.stable"), a);
+}
+
+TEST_F(MetricsTest, GaugeSetAddAndMax) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge");
+  g->Set(10);
+  EXPECT_EQ(g->value(), 10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  g->SetMax(5);
+  EXPECT_EQ(g->value(), 7);  // not lowered
+  g->SetMax(20);
+  EXPECT_EQ(g->value(), 20);
+}
+
+TEST_F(MetricsTest, HistogramBucketsByBitWidth) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.hist");
+  h->Record(0);    // bucket 0
+  h->Record(1);    // bucket 1: [1, 2)
+  h->Record(5);    // bucket 3: [4, 8)
+  h->Record(7);    // bucket 3
+  h->Record(100);  // bucket 7: [64, 128)
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 113u);
+  EXPECT_EQ(h->min(), 0u);
+  EXPECT_EQ(h->max(), 100u);
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(3), 2u);
+  EXPECT_EQ(h->bucket(7), 1u);
+  EXPECT_EQ(h->bucket(2), 0u);
+}
+
+TEST_F(MetricsTest, MacrosRecordWhenEnabled) {
+  RELSPEC_COUNTER("test.macro_counter");
+  RELSPEC_COUNTER_ADD("test.macro_counter", 2);
+  RELSPEC_GAUGE_SET("test.macro_gauge", 9);
+  RELSPEC_GAUGE_MAX("test.macro_gauge", 4);
+  RELSPEC_HISTOGRAM("test.macro_hist", 16);
+  { RELSPEC_SCOPED_TIMER("test.macro_timer"); }
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("test.macro_counter"), 3u);
+  EXPECT_EQ(snap.gauge("test.macro_gauge"), 9);
+  ASSERT_NE(snap.histogram("test.macro_hist"), nullptr);
+  EXPECT_EQ(snap.histogram("test.macro_hist")->count, 1u);
+  ASSERT_NE(snap.histogram("test.macro_timer"), nullptr);
+  EXPECT_EQ(snap.histogram("test.macro_timer")->count, 1u);
+}
+
+TEST_F(MetricsTest, PhaseSpanAccumulatesTime) {
+  { RELSPEC_PHASE("test.phase"); }
+  { RELSPEC_PHASE("test.phase"); }
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const PhaseSnapshot* p = snap.phase("test.phase");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->count, 2u);
+}
+
+TEST_F(MetricsTest, DisabledModeRegistersNothing) {
+  EnableMetrics(false);
+  size_t before = MetricsRegistry::Global().NumInstruments();
+  RELSPEC_COUNTER("test.disabled_counter");
+  RELSPEC_GAUGE_SET("test.disabled_gauge", 1);
+  RELSPEC_HISTOGRAM("test.disabled_hist", 1);
+  { RELSPEC_SCOPED_TIMER("test.disabled_timer"); }
+  { RELSPEC_PHASE("test.disabled_phase"); }
+  EXPECT_EQ(MetricsRegistry::Global().NumInstruments(), before);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("test.disabled_counter"), 0u);
+  EXPECT_EQ(snap.phase("test.disabled_phase"), nullptr);
+}
+
+TEST_F(MetricsTest, SnapshotAccessorsDefaultWhenAbsent) {
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("no.such.counter"), 0u);
+  EXPECT_EQ(snap.gauge("no.such.gauge"), 0);
+  EXPECT_EQ(snap.phase("no.such.phase"), nullptr);
+  EXPECT_EQ(snap.histogram("no.such.hist"), nullptr);
+}
+
+TEST_F(MetricsTest, JsonRoundTrip) {
+  MetricsRegistry::Global().GetCounter("rt.counter")->Add(123);
+  MetricsRegistry::Global().GetGauge("rt.gauge")->Set(-5);
+  Histogram* h = MetricsRegistry::Global().GetHistogram("rt.hist");
+  h->Record(0);
+  h->Record(3);
+  h->Record(1000);
+  MetricsRegistry::Global().GetPhase("rt.phase")->Record(42000);
+
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::string json = snap.ToJson();
+  StatusOr<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->counters, snap.counters);
+  EXPECT_EQ(parsed->gauges, snap.gauges);
+  ASSERT_EQ(parsed->histograms.size(), snap.histograms.size());
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    EXPECT_EQ(parsed->histograms[i].name, snap.histograms[i].name);
+    EXPECT_EQ(parsed->histograms[i].count, snap.histograms[i].count);
+    EXPECT_EQ(parsed->histograms[i].sum, snap.histograms[i].sum);
+    EXPECT_EQ(parsed->histograms[i].min, snap.histograms[i].min);
+    EXPECT_EQ(parsed->histograms[i].max, snap.histograms[i].max);
+    EXPECT_EQ(parsed->histograms[i].buckets, snap.histograms[i].buckets);
+  }
+  ASSERT_EQ(parsed->phases.size(), snap.phases.size());
+  for (size_t i = 0; i < snap.phases.size(); ++i) {
+    EXPECT_EQ(parsed->phases[i].name, snap.phases[i].name);
+    EXPECT_EQ(parsed->phases[i].count, snap.phases[i].count);
+    EXPECT_EQ(parsed->phases[i].total_ns, snap.phases[i].total_ns);
+  }
+  // Re-serializing the parse reproduces the exact string (stable schema).
+  EXPECT_EQ(parsed->ToJson(), json);
+  // The compact form parses back to the same snapshot too.
+  StatusOr<MetricsSnapshot> compact =
+      MetricsSnapshot::FromJson(snap.ToJson(/*pretty=*/false));
+  ASSERT_TRUE(compact.ok()) << compact.status().ToString();
+  EXPECT_EQ(compact->ToJson(), json);
+}
+
+TEST_F(MetricsTest, JsonEscapesSpecialCharacters) {
+  MetricsRegistry::Global().GetCounter("weird\"name\\with\ncontrol")->Add(1);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::string json = snap.ToJson();
+  StatusOr<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->counter("weird\"name\\with\ncontrol"), 1u);
+}
+
+TEST_F(MetricsTest, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(MetricsSnapshot::FromJson("").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("not json").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"counters\": [1,2]}").ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"counters\": {\"a\": 1}").ok());
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreLossless) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        RELSPEC_COUNTER("test.concurrent");
+        RELSPEC_HISTOGRAM("test.concurrent_hist", i);
+        RELSPEC_GAUGE_MAX("test.concurrent_peak", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("test.concurrent"),
+            static_cast<uint64_t>(kThreads) * kIters);
+  ASSERT_NE(snap.histogram("test.concurrent_hist"), nullptr);
+  EXPECT_EQ(snap.histogram("test.concurrent_hist")->count,
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(snap.gauge("test.concurrent_peak"), kIters - 1);
+}
+
+}  // namespace
+}  // namespace relspec

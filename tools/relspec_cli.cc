@@ -17,6 +17,14 @@
 //     --merged-frontier         footnote-3 traversal start (depth c)
 //     --info                    program parameters (Section 2.5)
 //     --verify                  quotient-model certificate
+//     --stats[=FILE]            dump a JSON metrics snapshot on exit
+//                               (stdout when no FILE is given)
+//     --trace                   log per-phase begin/end lines to stderr
+//
+//   Diagnostics go to stderr through the logger; stdout carries only the
+//   requested output (and the --stats JSON when no FILE is given). Exit
+//   codes: 0 success, 2 usage error, 3 I/O error, 4 parse error, 5 engine
+//   error, 6 verification failure.
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "src/base/logging.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 #include "src/core/engine.h"
 #include "src/core/explain.h"
@@ -37,9 +47,21 @@ namespace {
 
 using namespace relspec;
 
-int Fail(const Status& status) {
-  fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitParse = 4;
+constexpr int kExitEngine = 5;
+constexpr int kExitVerify = 6;
+
+int Fail(int code, const Status& status) {
+  RELSPEC_LOG(kError) << status.ToString();
+  return code;
+}
+
+int UsageError(const std::string& message) {
+  RELSPEC_LOG(kError) << message;
+  return kExitUsage;
 }
 
 StatusOr<std::string> ReadFile(const std::string& path) {
@@ -79,13 +101,12 @@ void PrintAnswer(const QueryAnswer& answer, int horizon) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+// Runs the CLI proper. Kept separate from main so the --stats snapshot is
+// dumped on every exit path, success or failure.
+int RunCli(int argc, char** argv) {
   if (argc < 2) {
-    fprintf(stderr, "usage: %s PROGRAM.rsp [flags]  (see file header)\n",
-            argv[0]);
-    return 2;
+    return UsageError(StrFormat("usage: %s PROGRAM.rsp [flags]  (see file header)",
+                                argv[0]));
   }
 
   std::string program_path = argv[1];
@@ -125,18 +146,20 @@ int main(int argc, char** argv) {
       want_info = true;
     } else if (flag == "--verify") {
       want_verify = true;
+    } else if (flag == "--stats" || flag.rfind("--stats=", 0) == 0 ||
+               flag == "--trace") {
+      // Handled in main before RunCli starts.
     } else {
-      fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return 2;
+      return UsageError("unknown flag: " + flag);
     }
   }
 
   // Spec-only mode: answer membership from a serialized specification.
   if (!load_spec.empty()) {
     auto text = ReadFile(load_spec);
-    if (!text.ok()) return Fail(text.status());
+    if (!text.ok()) return Fail(kExitIo, text.status());
     auto spec = SpecIo::ParseGraphSpec(*text);
-    if (!spec.ok()) return Fail(spec.status());
+    if (!spec.ok()) return Fail(kExitParse, spec.status());
     printf("loaded specification: %zu clusters, %zu tuples (no rules)\n",
            spec->num_clusters(), spec->num_slice_tuples());
     // Membership via a throwaway program sharing the spec's symbols.
@@ -146,11 +169,11 @@ int main(int argc, char** argv) {
       auto q = ParseQuery("? " + fact + ".", &scratch);
       if (!q.ok() || q->atoms.size() != 1 || !q->atoms[0].IsGround() ||
           !q->atoms[0].fterm.has_value()) {
-        fprintf(stderr, "bad --fact %s\n", fact.c_str());
+        RELSPEC_LOG(kError) << "bad --fact " << fact;
         continue;
       }
       auto purified = PurifyGroundTerm(*q->atoms[0].fterm, &scratch.symbols);
-      if (!purified.ok()) return Fail(purified.status());
+      if (!purified.ok()) return Fail(kExitEngine, purified.status());
       std::vector<FuncId> syms;
       for (const FuncApply& a : purified->apps) syms.push_back(a.fn);
       std::vector<ConstId> args;
@@ -158,17 +181,17 @@ int main(int argc, char** argv) {
       bool holds = spec->Holds(Path(std::move(syms)), q->atoms[0].pred, args);
       printf("%s -> %s\n", fact.c_str(), holds ? "true" : "false");
     }
-    return 0;
+    return kExitOk;
   }
 
   auto source = ReadFile(program_path);
-  if (!source.ok()) return Fail(source.status());
+  if (!source.ok()) return Fail(kExitIo, source.status());
   auto parsed = Parse(*source);
-  if (!parsed.ok()) return Fail(parsed.status());
+  if (!parsed.ok()) return Fail(kExitParse, parsed.status());
   std::vector<Query> file_queries = parsed->queries;
 
   auto db = FunctionalDatabase::FromProgram(std::move(parsed->program), options);
-  if (!db.ok()) return Fail(db.status());
+  if (!db.ok()) return Fail(kExitEngine, db.status());
 
   if (want_info) {
     printf("info: %s\n", (*db)->info().ToString().c_str());
@@ -179,34 +202,33 @@ int main(int argc, char** argv) {
   if (want_verify) {
     Status cert = (*db)->Verify();
     printf("certificate: %s\n", cert.ToString().c_str());
-    if (!cert.ok()) return 1;
+    if (!cert.ok()) return kExitVerify;
   }
 
   for (const std::string& fact : facts) {
     auto holds = (*db)->HoldsFactText(fact);
-    if (!holds.ok()) return Fail(holds.status());
+    if (!holds.ok()) return Fail(kExitParse, holds.status());
     printf("%s -> %s\n", fact.c_str(), *holds ? "true" : "false");
   }
 
   for (const Query& q : file_queries) {
     auto answer = AnswerQuery(db->get(), q);
-    if (!answer.ok()) return Fail(answer.status());
+    if (!answer.ok()) return Fail(kExitEngine, answer.status());
     PrintAnswer(*answer, horizon);
   }
   for (const std::string& qtext : queries) {
     auto q = ParseQuery(qtext, (*db)->mutable_program());
-    if (!q.ok()) return Fail(q.status());
+    if (!q.ok()) return Fail(kExitParse, q.status());
     auto answer = AnswerQuery(db->get(), *q);
-    if (!answer.ok()) return Fail(answer.status());
+    if (!answer.ok()) return Fail(kExitEngine, answer.status());
     PrintAnswer(*answer, horizon);
   }
 
   for (const std::string& fact : explains) {
     auto q = ParseQuery("? " + fact + ".", (*db)->mutable_program());
-    if (!q.ok()) return Fail(q.status());
+    if (!q.ok()) return Fail(kExitParse, q.status());
     if (q->atoms.size() != 1 || !q->atoms[0].IsGround()) {
-      fprintf(stderr, "--explain expects a single ground fact\n");
-      return 2;
+      return UsageError("--explain expects a single ground fact");
     }
     const Atom& atom = q->atoms[0];
     std::vector<ConstId> args;
@@ -214,7 +236,7 @@ int main(int argc, char** argv) {
     StatusOr<Derivation> d = Status::NotFound("no functional term");
     if (atom.fterm.has_value()) {
       auto path = (*db)->PathOfGroundTerm(*atom.fterm);
-      if (!path.ok()) return Fail(path.status());
+      if (!path.ok()) return Fail(kExitEngine, path.status());
       d = ExplainFact((*db)->ground(), *path, SliceAtom{atom.pred, args});
     } else {
       d = ExplainGlobal((*db)->ground(), atom.pred, args);
@@ -229,7 +251,7 @@ int main(int argc, char** argv) {
 
   if (!proofs.empty()) {
     auto espec = (*db)->BuildEquationalSpec();
-    if (!espec.ok()) return Fail(espec.status());
+    if (!espec.ok()) return Fail(kExitEngine, espec.status());
     for (const auto& [t1, t2] : proofs) {
       // Terms are given as dot-words or numerals, e.g. "4" or "f.g".
       auto to_path = [&](const std::string& text) -> StatusOr<Path> {
@@ -252,8 +274,8 @@ int main(int argc, char** argv) {
       auto p1 = to_path(t1);
       auto p2 = to_path(t2);
       if (!p1.ok() || !p2.ok()) {
-        fprintf(stderr, "bad --prove terms %s %s\n", t1.c_str(), t2.c_str());
-        return 2;
+        return UsageError(
+            StrFormat("bad --prove terms %s %s", t1.c_str(), t2.c_str()));
       }
       auto proof = espec->ExplainCongruenceText(*p1, *p2);
       if (!proof.ok()) {
@@ -268,43 +290,84 @@ int main(int argc, char** argv) {
 
   for (const std::string& ptext : periodics) {
     auto q = ParseQuery("? " + ptext + ".", (*db)->mutable_program());
-    if (!q.ok()) return Fail(q.status());
+    if (!q.ok()) return Fail(kExitParse, q.status());
     if (q->atoms.size() != 1 || !q->atoms[0].fterm.has_value()) {
-      fprintf(stderr, "--periodic expects one functional atom\n");
-      return 2;
+      return UsageError("--periodic expects one functional atom");
     }
     auto spec = (*db)->BuildGraphSpec();
-    if (!spec.ok()) return Fail(spec.status());
+    if (!spec.ok()) return Fail(kExitEngine, spec.status());
     std::vector<ConstId> args;
     for (const NfArg& a : q->atoms[0].args) {
       if (!a.IsConstant()) {
-        fprintf(stderr, "--periodic arguments must be constants\n");
-        return 2;
+        return UsageError("--periodic arguments must be constants");
       }
       args.push_back(a.id);
     }
     auto days = PeriodicAnswers(*spec, q->atoms[0].pred, args);
-    if (!days.ok()) return Fail(days.status());
+    if (!days.ok()) return Fail(kExitEngine, days.status());
     printf("%s holds at times %s\n", ptext.c_str(),
            days->ToString().c_str());
   }
 
   if (spec_kind == "graph") {
     auto spec = (*db)->BuildGraphSpec();
-    if (!spec.ok()) return Fail(spec.status());
+    if (!spec.ok()) return Fail(kExitEngine, spec.status());
     printf("%s", spec->ToString().c_str());
   } else if (spec_kind == "eq") {
     auto spec = (*db)->BuildEquationalSpec();
-    if (!spec.ok()) return Fail(spec.status());
+    if (!spec.ok()) return Fail(kExitEngine, spec.status());
     printf("%s", spec->ToString().c_str());
   }
 
   if (!save_spec.empty()) {
     auto spec = (*db)->BuildGraphSpec();
-    if (!spec.ok()) return Fail(spec.status());
+    if (!spec.ok()) return Fail(kExitEngine, spec.status());
     std::ofstream out(save_spec);
+    if (!out) {
+      return Fail(kExitIo, Status::NotFound("cannot write " + save_spec));
+    }
     out << SpecIo::Serialize(*spec);
     printf("specification saved to %s\n", save_spec.c_str());
   }
-  return 0;
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --stats/--trace are pre-scanned so instrumentation is live before any
+  // work starts and the snapshot is emitted no matter how RunCli exits.
+  bool want_stats = false;
+  std::string stats_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--stats") {
+      want_stats = true;
+    } else if (flag.rfind("--stats=", 0) == 0) {
+      want_stats = true;
+      stats_file = flag.substr(strlen("--stats="));
+    } else if (flag == "--trace") {
+      EnableTracing(true);
+      if (GetLogLevel() > LogLevel::kInfo) SetLogLevel(LogLevel::kInfo);
+    }
+  }
+  if (want_stats) EnableMetrics(true);
+
+  int code = RunCli(argc, argv);
+
+  if (want_stats) {
+    std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+    if (stats_file.empty()) {
+      printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(stats_file);
+      if (!out) {
+        RELSPEC_LOG(kError) << "cannot write --stats file " << stats_file;
+        if (code == kExitOk) code = kExitIo;
+      } else {
+        out << json << "\n";
+      }
+    }
+  }
+  return code;
 }

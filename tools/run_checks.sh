@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Repo-wide check runner: configure + build, run the test suite, then
+# smoke-check the observability surface end to end:
+#   1. relspec_cli --stats=FILE emits a JSON snapshot that parses and
+#      contains the headline instrumentation (fixpoint rounds, chi
+#      hit/miss/lookup invariant, phase spans);
+#   2. one benchmark run under RELSPEC_BENCH_METRICS=1 emits a valid
+#      single-line {"bench": ..., "metrics": {...}} record on stderr.
+#
+# Usage: tools/run_checks.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+# Only pick a generator for a fresh build dir; an existing cache keeps its own.
+GENERATOR_FLAGS=()
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1; then
+  GENERATOR_FLAGS=(-G Ninja)
+fi
+
+echo "== configure + build =="
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_FLAGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== CLI --stats JSON =="
+STATS_FILE="$(mktemp)"
+BENCH_ERR_FILE="$(mktemp)"
+trap 'rm -f "$STATS_FILE" "$BENCH_ERR_FILE"' EXIT
+"$BUILD_DIR"/tools/relspec_cli examples/programs/even.rsp \
+    --fact "Even(4)" --prove 0 4 --stats="$STATS_FILE" >/dev/null
+python3 - "$STATS_FILE" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+
+for section in ("counters", "gauges", "histograms", "phases"):
+    assert isinstance(snap.get(section), dict), f"missing section {section}"
+
+c = snap["counters"]
+assert c.get("fixpoint.rounds", 0) > 0, "no fixpoint rounds recorded"
+assert c.get("chi.hits", 0) + c.get("chi.misses", 0) == c.get("chi.lookups"), \
+    "chi hit/miss/lookup invariant violated"
+assert c.get("uf.finds", 0) > 0, "no union-find activity recorded"
+for phase in ("engine.build", "fixpoint", "algorithm_q"):
+    assert snap["phases"].get(phase, {}).get("count", 0) >= 1, \
+        f"phase {phase} missing"
+print(f"stats OK: {len(c)} counters, {len(snap['phases'])} phases")
+EOF
+
+echo "== bench metrics line =="
+RELSPEC_BENCH_METRICS=1 "$BUILD_DIR"/bench/bench_fixpoint \
+    --benchmark_filter='BM_Fixpoint_ChiEntries_Rotation/8$' \
+    --benchmark_min_time=0.01 >/dev/null 2>"$BENCH_ERR_FILE"
+python3 - "$BENCH_ERR_FILE" <<'EOF'
+import json, sys
+
+records = []
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line.startswith('{"bench"'):
+            continue
+        rec = json.loads(line)
+        assert "bench" in rec and "metrics" in rec, f"bad record: {rec}"
+        assert rec["metrics"]["counters"].get("fixpoint.rounds", 0) > 0
+        records.append(rec["bench"])
+assert records, "no bench metrics line found on stderr"
+print(f"bench metrics OK: {sorted(set(records))}")
+EOF
+
+echo "== all checks passed =="
