@@ -5,6 +5,7 @@
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
+#include "src/base/task_pool.h"
 
 namespace relspec {
 
@@ -123,6 +124,12 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
     return chi.Value(chi.EntryFor(out.boundary_seeds_.at(p)));
   };
 
+  // Shared worker pool for chi-table passes; null means fully sequential.
+  std::unique_ptr<TaskPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<TaskPool>(options.num_threads);
+  }
+
   bool changed = true;
   while (changed) {
     changed = false;
@@ -228,7 +235,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
 
     // 5. One pass over the chi table.
     out.shared_->ctx_changed = false;
-    RELSPEC_ASSIGN_OR_RETURN(bool chi_changed, chi.ProcessAllOnce());
+    RELSPEC_ASSIGN_OR_RETURN(bool chi_changed, chi.ProcessAllOnce(pool.get()));
     changed |= chi_changed || out.shared_->ctx_changed;
   }
   RELSPEC_GAUGE_SET("fixpoint.chi_entries", chi.num_entries());

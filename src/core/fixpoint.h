@@ -40,6 +40,12 @@ struct FixpointOptions {
   size_t max_chi_entries = 1'000'000;
   /// Cap on chaotic-iteration rounds (safety net; 0 = unlimited).
   size_t max_rounds = 0;
+  /// Worker threads for chi-table passes (1 = fully sequential, today's
+  /// exact behavior). With N > 1 each full pass over the table is split
+  /// across a work-stealing pool with chunk-local gather and a
+  /// single-threaded merge; the converged labeling is identical either way
+  /// (see docs/ARCHITECTURE.md, "Determinism contract").
+  int num_threads = 1;
 };
 
 /// The converged least fixpoint, queryable by path.

@@ -23,6 +23,13 @@ struct EvalOptions {
   size_t max_iterations = 0;
   /// Hard cap on total stored tuples; exceeded -> ResourceExhausted.
   size_t max_tuples = 50'000'000;
+  /// Worker threads for the matching phase (1 = fully sequential, today's
+  /// exact behavior). With N > 1 each rule pass splits its outermost row
+  /// range across a work-stealing pool; derived tuples are gathered per
+  /// chunk and merged with a single-threaded deduplicating insert in chunk
+  /// order, so relation contents AND row order are byte-identical to a
+  /// 1-thread run (see docs/ARCHITECTURE.md, "Determinism contract").
+  int num_threads = 1;
 };
 
 struct EvalStats {

@@ -16,6 +16,17 @@ bool Relation::Insert(const Tuple& tuple) {
 const std::vector<uint32_t>& Relation::Probe(const std::vector<int>& columns,
                                              const Tuple& key) const {
   static const std::vector<uint32_t> kEmpty;
+  const ColumnIndex& index = BuildIndex(columns);
+  auto it = index.map.find(key);
+  return it == index.map.end() ? kEmpty : it->second;
+}
+
+void Relation::EnsureIndex(const std::vector<int>& columns) const {
+  BuildIndex(columns);
+}
+
+const Relation::ColumnIndex& Relation::BuildIndex(
+    const std::vector<int>& columns) const {
   uint64_t mask = 0;
   for (int c : columns) mask |= uint64_t{1} << c;
   ColumnIndex& index = indexes_[mask];
@@ -30,8 +41,7 @@ const std::vector<uint32_t>& Relation::Probe(const std::vector<int>& columns,
     }
     index.built_at = rows_.size();
   }
-  auto it = index.map.find(key);
-  return it == index.map.end() ? kEmpty : it->second;
+  return index;
 }
 
 void Relation::Clear() {

@@ -21,12 +21,24 @@ using Value = uint32_t;
 using Tuple = std::vector<Value>;
 
 struct TupleHash {
+  /// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  // Chained splitmix over the elements. The previous FNV-1a variant
+  // (h ^= v; h *= prime) only feeds each 32-bit value into the low half of
+  // the state and relies on two multiplies for diffusion, which clusters
+  // the low index bits for the dense, correlated ids this engine stores;
+  // Mix gives every element full avalanche and the chaining keeps the hash
+  // order-sensitive (permuted tuples hash differently — see the collision
+  // regression test in tests/datalog_test.cc).
   size_t operator()(const Tuple& t) const {
-    uint64_t h = 1469598103934665603ull;
-    for (Value v : t) {
-      h ^= v;
-      h *= 1099511628211ull;
-    }
+    uint64_t h = Mix(0x243f6a8885a308d3ull ^ t.size());
+    for (Value v : t) h = Mix(h ^ v);
     return static_cast<size_t>(h);
   }
 };
@@ -54,6 +66,12 @@ class Relation {
   const std::vector<uint32_t>& Probe(const std::vector<int>& columns,
                                      const Tuple& key) const;
 
+  /// Builds (or catches up) the hash index for `columns` now. After this,
+  /// Probe calls for the same column set are pure reads until the next
+  /// Insert — which is what makes concurrent probing from the parallel
+  /// evaluator safe (indexes are pre-built before workers fan out).
+  void EnsureIndex(const std::vector<int>& columns) const;
+
   void Clear();
 
  private:
@@ -61,6 +79,9 @@ class Relation {
     uint64_t built_at = 0;  // rows_.size() when last built
     std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map;
   };
+
+  /// Lazily (re)builds and returns the index for the column set.
+  const ColumnIndex& BuildIndex(const std::vector<int>& columns) const;
 
   int arity_;
   std::vector<Tuple> rows_;

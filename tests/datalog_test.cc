@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+#include <vector>
+
 #include "src/core/engine.h"
 #include "src/parser/parser.h"
 
@@ -37,6 +40,48 @@ TEST(Relation, ProbeByColumnSubset) {
   // Index catches up after later inserts.
   r.Insert({1, 30, 400});
   EXPECT_EQ(r.Probe({0}, {1}).size(), 3u);
+}
+
+TEST(TupleHash, OrderAndLengthSensitive) {
+  TupleHash h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+  EXPECT_NE(h({0}), h({0, 0}));
+  EXPECT_NE(h({}), h({0}));
+  // Same tuple hashes the same (sanity for the unordered containers).
+  EXPECT_EQ(h({7, 8, 9}), h({7, 8, 9}));
+}
+
+TEST(TupleHash, DensePairsDoNotCollide) {
+  // Regression: the previous FNV-1a-style fold (h ^= v; h *= prime) fed each
+  // 32-bit value into the low half of the state only, clustering the dense,
+  // correlated ids this engine stores (consecutive ConstIds/TermIds). The
+  // splitmix64 chain must keep such families collision-free in practice.
+  TupleHash h;
+  std::unordered_set<size_t> hashes;
+  size_t count = 0;
+  for (Value i = 0; i < 200; ++i) {
+    for (Value j = 0; j < 200; ++j) {
+      hashes.insert(h({i, j}));
+      ++count;
+    }
+  }
+  // 40k 64-bit hashes: any birthday collision is ~1e-11 likely; demand none.
+  EXPECT_EQ(hashes.size(), count);
+
+  // The low bits alone (what unordered_map buckets actually use) must also
+  // spread: with 16 buckets no bucket may hold more than twice its share.
+  std::vector<size_t> buckets(16, 0);
+  for (size_t v : hashes) ++buckets[v % 16];
+  for (size_t b : buckets) EXPECT_LT(b, 2 * count / 16);
+}
+
+TEST(TupleHash, ShiftedTuplesSpreadAcrossBuckets) {
+  // Tuples {i, i+1, i+2}: maximally correlated elements. Checks low-bit
+  // dispersion of the chained mix for triples as well.
+  TupleHash h;
+  std::unordered_set<size_t> hashes;
+  for (Value i = 0; i < 10'000; ++i) hashes.insert(h({i, i + 1, i + 2}));
+  EXPECT_EQ(hashes.size(), 10'000u);
 }
 
 class TransitiveClosureTest : public ::testing::TestWithParam<Strategy> {

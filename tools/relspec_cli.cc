@@ -20,6 +20,10 @@
 //     --stats[=FILE]            dump a JSON metrics snapshot on exit
 //                               (stdout when no FILE is given)
 //     --trace                   log per-phase begin/end lines to stderr
+//     --threads N               worker threads for fixpoint evaluation
+//                               (default 1; results are byte-identical for
+//                               any N — see docs/ARCHITECTURE.md)
+//     --help                    print the flag summary and exit
 //
 //   Diagnostics go to stderr through the logger; stdout carries only the
 //   requested output (and the --stats JSON when no FILE is given). Exit
@@ -64,6 +68,41 @@ int UsageError(const std::string& message) {
   return kExitUsage;
 }
 
+// The single source of truth for the flag surface. tools/run_checks.sh greps
+// this output against the flag tables in README.md and docs/ to catch drift,
+// so every user-facing flag must appear here.
+void PrintHelp(const char* argv0) {
+  printf(
+      "usage: %s PROGRAM.rsp [flags]\n"
+      "\n"
+      "Queries in the program file (\"? atoms.\" statements) are answered\n"
+      "automatically. Flags:\n"
+      "\n"
+      "  --fact \"Meets(4, Tony)\"       membership test against LFP(Z, D)\n"
+      "  --query \"?(t,x) Meets(t, x).\" answer an ad-hoc query\n"
+      "  --explain \"Meets(4, Tony)\"    print a derivation tree\n"
+      "  --spec graph|eq               print the relational specification\n"
+      "  --save-spec FILE              serialize the graph specification\n"
+      "  --load-spec FILE              answer --fact from a saved spec\n"
+      "  --enumerate DEPTH             horizon for printing query answers\n"
+      "                                (default 6)\n"
+      "  --prove \"T1\" \"T2\"             prove two ground terms congruent\n"
+      "  --periodic \"OnCall(t, a)\"     the [CI88] periodic-set answer\n"
+      "  --merged-frontier             footnote-3 traversal start (depth c)\n"
+      "  --info                        program parameters (Section 2.5)\n"
+      "  --verify                      quotient-model certificate\n"
+      "  --stats[=FILE]                dump a JSON metrics snapshot on exit\n"
+      "  --trace                       log per-phase begin/end lines to\n"
+      "                                stderr\n"
+      "  --threads N                   worker threads for fixpoint\n"
+      "                                evaluation (default 1; results are\n"
+      "                                byte-identical for any N -- see\n"
+      "                                docs/ARCHITECTURE.md and\n"
+      "                                docs/TUNING.md)\n"
+      "  --help                        print this summary and exit\n",
+      argv0);
+}
+
 StatusOr<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
@@ -104,6 +143,12 @@ void PrintAnswer(const QueryAnswer& answer, int horizon) {
 // Runs the CLI proper. Kept separate from main so the --stats snapshot is
 // dumped on every exit path, success or failure.
 int RunCli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help") {
+      PrintHelp(argv[0]);
+      return kExitOk;
+    }
+  }
   if (argc < 2) {
     return UsageError(StrFormat("usage: %s PROGRAM.rsp [flags]  (see file header)",
                                 argv[0]));
@@ -146,6 +191,16 @@ int RunCli(int argc, char** argv) {
       want_info = true;
     } else if (flag == "--verify") {
       want_verify = true;
+    } else if (flag == "--threads" || flag.rfind("--threads=", 0) == 0) {
+      std::string value = flag == "--threads"
+                              ? next()
+                              : flag.substr(strlen("--threads="));
+      int n = atoi(value.c_str());
+      if (n < 1) {
+        return UsageError("--threads expects a positive integer, got \"" +
+                          value + "\"");
+      }
+      options.fixpoint.num_threads = n;
     } else if (flag == "--stats" || flag.rfind("--stats=", 0) == 0 ||
                flag == "--trace") {
       // Handled in main before RunCli starts.

@@ -5,12 +5,39 @@
 #      contains the headline instrumentation (fixpoint rounds, chi
 #      hit/miss/lookup invariant, phase spans);
 #   2. one benchmark run under RELSPEC_BENCH_METRICS=1 emits a valid
-#      single-line {"bench": ..., "metrics": {...}} record on stderr.
+#      single-line {"bench": ..., "metrics": {...}} record on stderr;
+#   3. the flag tables in README.md and docs/ agree with the CLI's actual
+#      --help output (docs drift check).
 #
 # Usage: tools/run_checks.sh [BUILD_DIR]   (default: build)
+#        tools/run_checks.sh --tsan [BUILD_DIR]
+#
+# --tsan builds with -DRELSPEC_SANITIZE=thread (default dir: build-tsan) and
+# runs the concurrency-sensitive test binaries (task pool, evaluator,
+# fixpoint, engine) under ThreadSanitizer, then exits. See docs/TUNING.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  BUILD_DIR="${2:-build-tsan}"
+  echo "== tsan configure + build ($BUILD_DIR) =="
+  # -Werror off: gcc's -O1/-fsanitize pipeline emits known false-positive
+  # maybe-uninitialized warnings in libstdc++ headers.
+  cmake -B "$BUILD_DIR" -S . -DRELSPEC_SANITIZE=thread \
+      -DRELSPEC_BUILD_BENCHMARKS=OFF -DRELSPEC_BUILD_EXAMPLES=OFF \
+      -DRELSPEC_WERROR=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+      parallel_test datalog_test fixpoint_test engine_test
+  echo "== tsan tests =="
+  for t in parallel_test datalog_test fixpoint_test engine_test; do
+    echo "-- $t"
+    "$BUILD_DIR"/tests/"$t"
+  done
+  echo "== tsan checks passed =="
+  exit 0
+fi
+
 BUILD_DIR="${1:-build}"
 
 # Only pick a generator for a fresh build dir; an existing cache keeps its own.
@@ -71,6 +98,49 @@ with open(sys.argv[1]) as f:
         records.append(rec["bench"])
 assert records, "no bench metrics line found on stderr"
 print(f"bench metrics OK: {sorted(set(records))}")
+EOF
+
+echo "== docs drift check =="
+HELP_FILE="$(mktemp)"
+trap 'rm -f "$STATS_FILE" "$BENCH_ERR_FILE" "$HELP_FILE"' EXIT
+"$BUILD_DIR"/tools/relspec_cli --help > "$HELP_FILE"
+python3 - "$HELP_FILE" README.md docs/*.md <<'EOF'
+import re, sys
+
+help_text = open(sys.argv[1]).read()
+help_flags = set(re.findall(r"--[a-z][a-z_-]*", help_text))
+
+# Flags that legitimately appear in the docs but belong to other tools
+# (google-benchmark, ctest, cmake, this script) or are flag *prefixes*.
+WHITELIST = {
+    "--benchmark_filter", "--benchmark_min_time", "--benchmark_repetitions",
+    "--benchmark_format", "--benchmark_out", "--gtest_filter",
+    "--output-on-failure", "--test-dir", "--tsan", "--build", "--target",
+}
+
+problems = []
+doc_flags = set()
+for path in sys.argv[2:]:
+    text = open(path).read()
+    for flag in set(re.findall(r"--[a-z][a-z_-]*", text)):
+        if flag in WHITELIST:
+            continue
+        doc_flags.add(flag)
+        if flag not in help_flags:
+            problems.append(f"{path} documents {flag}, absent from --help")
+
+# Every CLI flag must be documented in README.md (the flag table).
+readme = open(sys.argv[2]).read()
+for flag in sorted(help_flags - {"--help"}):
+    if flag not in readme:
+        problems.append(f"--help lists {flag}, absent from README.md")
+
+for p in problems:
+    print("DRIFT:", p, file=sys.stderr)
+if problems:
+    sys.exit(1)
+print(f"docs drift OK: {len(help_flags)} CLI flags, "
+      f"{len(doc_flags)} doc mentions consistent")
 EOF
 
 echo "== all checks passed =="
