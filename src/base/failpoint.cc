@@ -1,0 +1,175 @@
+#include "src/base/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "src/base/logging.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+namespace failpoint {
+namespace {
+
+enum class Action { kOff, kError, kAlloc, kCancel, kDeadline, kOneInN };
+
+struct Site {
+  Action action = Action::kOff;
+  uint64_t period = 0;  // kOneInN: fire on every `period`-th hit
+  uint64_t hits = 0;
+};
+
+// The registry is mutex-guarded rather than lock-free: sites only evaluate
+// while the framework is active, which happens in tests and debugging
+// sessions where per-hit lock cost is irrelevant. The production fast path
+// is the relaxed load of g_active in Active().
+std::atomic<bool> g_active{false};
+std::mutex g_mu;
+std::map<std::string, Site, std::less<>>& Registry() {
+  static auto* m = new std::map<std::string, Site, std::less<>>();
+  return *m;
+}
+
+StatusOr<Site> ParseAction(std::string_view site, std::string_view action) {
+  Site s;
+  if (action == "off") {
+    s.action = Action::kOff;
+  } else if (action == "error") {
+    s.action = Action::kError;
+  } else if (action == "alloc") {
+    s.action = Action::kAlloc;
+  } else if (action == "cancel") {
+    s.action = Action::kCancel;
+  } else if (action == "deadline") {
+    s.action = Action::kDeadline;
+  } else if (action.size() > 3 && action.substr(0, 3) == "1in") {
+    uint64_t n = 0;
+    for (char c : action.substr(3)) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument(
+            StrFormat("failpoint '%s': bad period in action '%s'",
+                      std::string(site).c_str(), std::string(action).c_str()));
+      }
+      n = n * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (n == 0) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint '%s': period must be >= 1",
+                    std::string(site).c_str()));
+    }
+    s.action = Action::kOneInN;
+    s.period = n;
+  } else {
+    return Status::InvalidArgument(StrFormat(
+        "failpoint '%s': unknown action '%s' (want "
+        "error|alloc|cancel|deadline|1inN|off)",
+        std::string(site).c_str(), std::string(action).c_str()));
+  }
+  return s;
+}
+
+}  // namespace
+
+bool Active() { return g_active.load(std::memory_order_relaxed); }
+
+Status Configure(std::string_view spec) {
+  // Validate the whole spec before installing anything, so a typo in the
+  // third entry does not leave the first two silently armed.
+  std::vector<std::pair<std::string, Site>> parsed;
+  for (const std::string& entry : Split(spec, ',')) {
+    std::string_view stripped = StripWhitespace(entry);
+    if (stripped.empty()) continue;
+    size_t eq = stripped.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint entry '%s' is not site=action",
+                    std::string(stripped).c_str()));
+    }
+    std::string site(StripWhitespace(stripped.substr(0, eq)));
+    std::string action(StripWhitespace(stripped.substr(eq + 1)));
+    RELSPEC_ASSIGN_OR_RETURN(Site s, ParseAction(site, action));
+    parsed.emplace_back(std::move(site), s);
+  }
+  if (parsed.empty()) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (auto& [site, s] : parsed) {
+      Site& slot = Registry()[site];
+      uint64_t hits = slot.hits;  // reconfiguring keeps the hit count
+      slot = s;
+      slot.hits = hits;
+    }
+  }
+  g_active.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void InitFromEnv() {
+  const char* env = std::getenv("RELSPEC_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  Status st = Configure(env);
+  if (!st.ok()) {
+    RELSPEC_LOG(kWarning) << "ignoring RELSPEC_FAILPOINTS: " << st.ToString();
+  }
+}
+
+void Clear() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_active.store(false, std::memory_order_release);
+  Registry().clear();
+}
+
+uint64_t HitCount(std::string_view site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Registry().find(site);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> EvaluatedSites() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  std::vector<std::string> names;
+  for (const auto& [name, site] : Registry()) {
+    if (site.hits > 0) names.push_back(name);
+  }
+  return names;  // std::map iterates sorted
+}
+
+Status Evaluate(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Registry().find(std::string_view(site));
+  if (it == Registry().end()) {
+    // Unconfigured sites are tracked (hit counting) but never fire.
+    Site s;
+    s.hits = 1;
+    Registry().emplace(site, s);
+    return Status::OK();
+  }
+  Site& s = it->second;
+  ++s.hits;
+  switch (s.action) {
+    case Action::kOff:
+      return Status::OK();
+    case Action::kError:
+      return Status::Internal(StrFormat("failpoint '%s' fired", site));
+    case Action::kAlloc:
+      return Status::ResourceExhausted(
+          StrFormat("failpoint '%s': simulated allocation failure", site));
+    case Action::kCancel:
+      return Status::Cancelled(StrFormat("failpoint '%s' fired", site));
+    case Action::kDeadline:
+      return Status::DeadlineExceeded(StrFormat("failpoint '%s' fired", site));
+    case Action::kOneInN:
+      if (s.hits % s.period == 0) {
+        return Status::Internal(StrFormat(
+            "failpoint '%s' fired (hit %llu, period %llu)", site,
+            static_cast<unsigned long long>(s.hits),
+            static_cast<unsigned long long>(s.period)));
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace failpoint
+}  // namespace relspec

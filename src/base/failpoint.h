@@ -1,0 +1,94 @@
+// Failpoints: compile-in fault injection sites for robustness testing.
+//
+// A failpoint is a named site planted in library code with
+// RELSPEC_FAILPOINT("phase.step"). When the framework is inactive (the
+// default), the macro costs one relaxed atomic load and a predicted-false
+// branch — no lookup, no lock, no allocation. Tests (or an operator chasing
+// a bug) activate sites by name:
+//
+//   failpoint::Configure("fixpoint.round=error,chi.close=1in20");
+//   ... run the pipeline; the named sites now fail ...
+//   failpoint::Clear();
+//
+// or from the environment before process start:
+//
+//   RELSPEC_FAILPOINTS="datalog.match=cancel" relspec_cli ...
+//
+// Supported actions per site:
+//   error     inject Status::Internal           (invariant-violation path)
+//   alloc     inject Status::ResourceExhausted  (simulated allocation failure)
+//   cancel    inject Status::Cancelled          (cooperative-cancel path)
+//   deadline  inject Status::DeadlineExceeded   (deadline-expiry path)
+//   1inN      inject Status::Internal on every Nth hit (deterministic, not
+//             random, so failures are reproducible), e.g. "1in20"
+//   off       count hits but never fire (site tracing)
+//
+// Every evaluated site — configured or not — gets a hit counter, so tests
+// can assert a site was actually reached. Defining RELSPEC_NO_FAILPOINTS
+// compiles all sites out entirely.
+
+#ifndef RELSPEC_BASE_FAILPOINT_H_
+#define RELSPEC_BASE_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace relspec {
+namespace failpoint {
+
+/// True once any configuration is installed; the macro's fast-path guard.
+bool Active();
+
+/// Installs sites from a "site=action[,site=action...]" spec. Adds to (or
+/// overrides within) the current configuration. Returns kInvalidArgument on
+/// a malformed entry; entries before the malformed one are NOT installed
+/// (the whole spec is validated first).
+Status Configure(std::string_view spec);
+
+/// Configures from the RELSPEC_FAILPOINTS environment variable, if set.
+/// A malformed value is reported once via the logger and otherwise ignored
+/// (a bad injection spec must not take down a production binary).
+void InitFromEnv();
+
+/// Removes every site and deactivates the framework. Hit counters are
+/// discarded too: a Clear() returns the process to a pristine state so a
+/// retried computation behaves byte-identically to an uninjected run.
+void Clear();
+
+/// Hits recorded for a site since the framework became active (evaluated
+/// sites are counted whether or not they were configured to fire).
+uint64_t HitCount(std::string_view site);
+
+/// Names of all sites evaluated at least once while active (sorted).
+std::vector<std::string> EvaluatedSites();
+
+/// Called by RELSPEC_FAILPOINT when active: records the hit and returns the
+/// injected Status, or OK when the site should not fire. `site` must be a
+/// string literal (stored by pointer until copied into the registry).
+Status Evaluate(const char* site);
+
+}  // namespace failpoint
+}  // namespace relspec
+
+#ifdef RELSPEC_NO_FAILPOINTS
+#define RELSPEC_FAILPOINT(site) \
+  do {                          \
+  } while (0)
+#else
+/// Plants a failpoint site. Usable in any function returning Status or
+/// StatusOr<T> (StatusOr converts from Status). Void/bool call sites should
+/// call failpoint::Evaluate directly and route the Status themselves.
+#define RELSPEC_FAILPOINT(site)                                       \
+  do {                                                                \
+    if (::relspec::failpoint::Active()) {                             \
+      ::relspec::Status _fp_st = ::relspec::failpoint::Evaluate(site); \
+      if (!_fp_st.ok()) return _fp_st;                                \
+    }                                                                 \
+  } while (0)
+#endif
+
+#endif  // RELSPEC_BASE_FAILPOINT_H_

@@ -20,8 +20,18 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kUnimplemented: return "unimplemented";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kResourceExhausted: return "resource exhausted";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline exceeded";
   }
   return "unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kDeadlineExceeded); ++i) {
+    StatusCode code = static_cast<StatusCode>(i);
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return std::nullopt;
 }
 
 Status::Status(StatusCode code, std::string message) {
@@ -53,6 +63,12 @@ Status Status::Internal(std::string msg) {
 }
 Status Status::ResourceExhausted(std::string msg) {
   return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Status::Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 const std::string& Status::message() const {

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace relspec {
@@ -26,10 +27,17 @@ enum class StatusCode {
   kUnimplemented = 6,     ///< feature outside the supported fragment
   kInternal = 7,          ///< invariant violation inside the library
   kResourceExhausted = 8, ///< configured limits (atoms, states, depth) hit
+  kCancelled = 9,         ///< cooperative cancellation was requested
+  kDeadlineExceeded = 10, ///< wall-clock deadline passed before completion
 };
 
 /// Returns the canonical lowercase name of a StatusCode ("invalid argument"...).
 const char* StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString: the code for a canonical name. Returns
+/// kOk only for "ok"; unknown names yield std::nullopt. (Round-tripped by
+/// the base tests over every code.)
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// The result of an operation that can fail.
 ///
@@ -52,6 +60,8 @@ class Status {
   static Status Unimplemented(std::string msg);
   static Status Internal(std::string msg);
   static Status ResourceExhausted(std::string msg);
+  static Status Cancelled(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -69,6 +79,21 @@ class Status {
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+
+  /// True for the codes that mean "ran out of resources or was asked to
+  /// stop" rather than "the input or the library is wrong": resource
+  /// exhaustion, cancellation and deadline expiry. These are the codes the
+  /// CLI maps to its resource-exhaustion exit code and the codes eligible
+  /// for graceful degradation (--allow-partial).
+  bool IsResourceBreach() const {
+    StatusCode c = code();
+    return c == StatusCode::kResourceExhausted ||
+           c == StatusCode::kCancelled || c == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "<code>: <message>".

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "src/base/failpoint.h"
+#include "src/base/governor.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
@@ -76,6 +78,18 @@ size_t CongruenceClosure::NumClasses() {
 void CongruenceClosure::DrainPending() {
   RELSPEC_GAUGE_MAX("cc.pending_peak", pending_.size());
   while (!pending_.empty()) {
+    // Sticky interrupt: once a breach is recorded, queued consequences stay
+    // queued — the closure under-approximates Cl(R) from then on.
+    if (!interrupt_.ok()) return;
+    {
+      Status st;
+      if (failpoint::Active()) st = failpoint::Evaluate("cc.drain");
+      if (st.ok() && governor_ != nullptr) st = governor_->Check();
+      if (!st.ok()) {
+        interrupt_ = std::move(st);
+        return;
+      }
+    }
     RELSPEC_COUNTER("cc.pending_processed");
     Pending p = pending_.back();
     TermId a = p.a;

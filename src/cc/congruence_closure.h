@@ -19,6 +19,7 @@
 
 namespace relspec {
 
+class ResourceGovernor;
 struct EqProof;
 
 /// One step of an equality chain: lhs == rhs either because it was asserted
@@ -80,6 +81,17 @@ class CongruenceClosure {
   /// Number of union operations performed (for benchmarking).
   size_t num_unions() const { return num_unions_; }
 
+  /// Optional resource governor, polled once per pending merge processed.
+  /// Must outlive the closure.
+  void set_governor(ResourceGovernor* g) { governor_ = g; }
+
+  /// OK until a resource breach (or failpoint) interrupts DrainPending.
+  /// Sticky: once set, further Merges stop propagating (queued consequences
+  /// are retained but not applied), so AreCongruent under-approximates
+  /// Cl(R) soundly — it may answer false for congruent terms, never the
+  /// reverse. Status-returning callers should surface this.
+  const Status& interrupt() const { return interrupt_; }
+
  private:
   struct Signature {
     FuncId fn;
@@ -132,6 +144,8 @@ class CongruenceClosure {
   // congruence classes.
   std::unordered_map<TermId, std::pair<TermId, bool>> proof_parent_;
   size_t num_unions_ = 0;
+  ResourceGovernor* governor_ = nullptr;
+  Status interrupt_;
 };
 
 }  // namespace relspec

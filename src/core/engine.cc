@@ -2,6 +2,8 @@
 
 #include "src/ast/printer.h"
 #include "src/ast/validate.h"
+#include "src/base/failpoint.h"
+#include "src/base/governor.h"
 #include "src/base/metrics.h"
 #include "src/core/verify.h"
 #include "src/parser/parser.h"
@@ -40,14 +42,27 @@ StatusOr<std::unique_ptr<FunctionalDatabase>> FunctionalDatabase::FromProgram(
   db->info_ = Analyze(db->program_);
   {
     RELSPEC_PHASE("ground");
+    RELSPEC_FAILPOINT("ground.build");
+    if (options.governor != nullptr) {
+      RELSPEC_RETURN_NOT_OK(options.governor->Check());
+    }
     RELSPEC_ASSIGN_OR_RETURN(GroundProgram ground,
                              Ground(db->program_, options.ground));
     db->ground_ = std::make_unique<GroundProgram>(std::move(ground));
   }
+  FixpointOptions fixpoint = options.fixpoint;
+  LabelGraphOptions graph = options.graph;
+  if (options.governor != nullptr) {
+    fixpoint.governor = options.governor;
+    graph.governor = options.governor;
+  }
+  if (options.allow_partial) {
+    fixpoint.allow_partial = true;
+    graph.allow_partial = true;
+  }
   RELSPEC_ASSIGN_OR_RETURN(db->labeling_,
-                           ComputeFixpoint(*db->ground_, options.fixpoint));
-  RELSPEC_ASSIGN_OR_RETURN(db->graph_,
-                           BuildLabelGraph(&db->labeling_, options.graph));
+                           ComputeFixpoint(*db->ground_, fixpoint));
+  RELSPEC_ASSIGN_OR_RETURN(db->graph_, BuildLabelGraph(&db->labeling_, graph));
   return db;
 }
 
@@ -96,6 +111,12 @@ StatusOr<EquationalSpecification> FunctionalDatabase::BuildEquationalSpec() {
 }
 
 Status FunctionalDatabase::Verify() {
+  if (truncated()) {
+    return Status::FailedPrecondition(
+        "database is truncated (partial fixpoint): the quotient-model "
+        "certificate only applies to a converged fixpoint; breach: " +
+        breach().ToString());
+  }
   return VerifyQuotientModel(graph_, &labeling_);
 }
 

@@ -38,6 +38,14 @@ struct EngineOptions {
   GroundOptions ground;
   FixpointOptions fixpoint;
   LabelGraphOptions graph;
+
+  /// Optional resource governor applied to every phase. Overrides the
+  /// per-phase governor fields in `fixpoint` and `graph` when set.
+  ResourceGovernor* governor = nullptr;
+  /// Graceful degradation for the whole pipeline: sets allow_partial on the
+  /// fixpoint and Algorithm Q, so a resource breach yields a truncated (but
+  /// sound and queryable) database instead of an error.
+  bool allow_partial = false;
 };
 
 /// A fully materialized functional deductive database with a finitely
@@ -81,7 +89,20 @@ class FunctionalDatabase {
 
   /// Checks the quotient-model certificate (Proposition 3.2): the computed
   /// finite structure is a model of Z and D, hence equals LFP(Z, D).
+  /// FailedPrecondition on a truncated database — a partial fixpoint is a
+  /// sound under-approximation, not a model.
   Status Verify();
+
+  /// True when a resource breach truncated the build (only possible with
+  /// EngineOptions::allow_partial): answers are a sound
+  /// under-approximation of LFP(Z, D).
+  bool truncated() const {
+    return labeling_.truncated() || graph_.truncated();
+  }
+  /// The breach that truncated the build; OK unless truncated().
+  const Status& breach() const {
+    return labeling_.truncated() ? labeling_.breach() : graph_.breach();
+  }
 
   /// Converts a ground functional term over the original symbols into the
   /// engine's pure path form.

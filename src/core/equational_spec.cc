@@ -10,6 +10,7 @@ void EquationalSpecification::EnsureClosure() {
   RELSPEC_PHASE("eqspec.close_r");
   arena_ = std::make_unique<TermArena>();
   closure_ = std::make_unique<CongruenceClosure>(arena_.get());
+  closure_->set_governor(governor_);
   for (const auto& [t1, t2] : equations_) {
     closure_->Merge(t1.ToTerm(arena_.get()), t2.ToTerm(arena_.get()));
   }
@@ -26,6 +27,9 @@ StatusOr<EqProof> EquationalSpecification::ExplainCongruence(const Path& a,
                                                              const Path& b) {
   RELSPEC_COUNTER("eqspec.cl_proofs");
   EnsureClosure();
+  // An interrupted closure under-approximates Cl(R); a proof search against
+  // it could miss valid chains, so surface the breach instead.
+  RELSPEC_RETURN_NOT_OK(closure_->interrupt());
   return closure_->Explain(a.ToTerm(arena_.get()), b.ToTerm(arena_.get()));
 }
 
@@ -71,8 +75,13 @@ size_t EquationalSpecification::num_slice_tuples() const {
 std::string EquationalSpecification::ToString() const {
   std::string out = StrFormat(
       "equational specification: %zu representatives, %zu tuples, %zu "
-      "equations\n",
-      clusters_.size(), num_slice_tuples(), equations_.size());
+      "equations%s\n",
+      clusters_.size(), num_slice_tuples(), equations_.size(),
+      truncated_ ? " [truncated]" : "");
+  if (truncated_) {
+    out += StrFormat("  (partial result, sound under-approximation: %s)\n",
+                     breach_.message().c_str());
+  }
   for (const auto& [t1, t2] : equations_) {
     out += "  " + t1.ToString(symbols_) + " == " + t2.ToString(symbols_) + "\n";
   }
@@ -100,18 +109,28 @@ StatusOr<EquationalSpecification> BuildEquationalSpecification(
     }
   }
 
+  out.truncated_ = graph.truncated();
+  out.breach_ = graph.breach();
+
   // R(t1, t2) iff Active(t1), Potential(t2), t1 ~ t2 (Section 3.6): i.e. one
   // equation per Potential term that did not become Active, pairing it with
-  // its cluster's representative.
+  // its cluster's representative. A truncated graph's unknown cluster is a
+  // synthetic sink, not a congruence class: equations into or out of it
+  // would merge unrelated terms, so they are omitted (dropping equations
+  // only shrinks Cl(R) — still a sound under-approximation).
   //  (a) the initial depth-(c+1) layer;
   for (const auto& [path, cluster] : graph.boundary_clusters()) {
+    if (cluster == graph.unknown_cluster()) continue;
     const Path& rep = graph.cluster(cluster).representative;
     if (!(rep == path)) out.equations_.emplace_back(path, rep);
   }
   //  (b) children of Active representatives beyond the trunk.
-  for (const Cluster& c : graph.clusters()) {
+  for (uint32_t ci = 0; ci < graph.num_clusters(); ++ci) {
+    if (ci == graph.unknown_cluster()) continue;
+    const Cluster& c = graph.cluster(ci);
     if (c.trunk) continue;
     for (size_t s = 0; s < c.successors.size(); ++s) {
+      if (c.successors[s] == graph.unknown_cluster()) continue;
       Path child = c.representative.Extend(
           labeling->ground().alphabet()[s]);
       const Path& rep = graph.cluster(c.successors[s]).representative;

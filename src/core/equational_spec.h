@@ -59,6 +59,18 @@ class EquationalSpecification {
 
   size_t num_slice_tuples() const;
 
+  /// Optional resource governor for the lazily-built congruence closure
+  /// (polled per pending merge). Must be set before the first membership
+  /// test and outlive this specification.
+  void set_governor(ResourceGovernor* g) { governor_ = g; }
+
+  /// True when the source label graph was truncated by a resource breach:
+  /// R omits equations through the unknown cluster, so Cl(R) — and hence
+  /// Holds — under-approximates the state congruence soundly.
+  bool truncated() const { return truncated_; }
+  /// The breach that truncated the source graph; OK unless truncated().
+  const Status& breach() const { return breach_; }
+
   std::string ToString() const;
 
  private:
@@ -76,6 +88,9 @@ class EquationalSpecification {
   std::vector<std::pair<PredId, std::vector<ConstId>>> globals_;
   SymbolTable symbols_;
   int trunk_depth_ = 0;
+  bool truncated_ = false;
+  Status breach_;
+  ResourceGovernor* governor_ = nullptr;
 
   std::unique_ptr<TermArena> arena_;
   std::unique_ptr<CongruenceClosure> closure_;

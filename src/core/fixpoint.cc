@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/base/failpoint.h"
+#include "src/base/governor.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
@@ -90,7 +92,20 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
   out.chi_ = std::make_unique<ChiEngine>(&ground, &out.shared_->ctx,
                                          &out.shared_->ctx_changed);
   out.chi_->set_max_entries(options.max_chi_entries);
+  out.chi_->set_governor(options.governor);
   DynamicBitset& ctx = out.shared_->ctx;
+
+  // Turns a resource breach into graceful degradation when allowed: the
+  // monotone state built so far is a sound under-approximation of the least
+  // fixpoint, so it is kept, marked truncated, and served frozen. Non-breach
+  // errors (and breaches without allow_partial) propagate unchanged.
+  auto degrade = [&](Status st) -> Status {
+    if (!options.allow_partial || !st.IsResourceBreach()) return st;
+    out.truncated_ = true;
+    out.breach_ = std::move(st);
+    out.chi_->set_frozen(true);
+    return Status::OK();
+  };
 
   const int c = ground.trunk_depth();
   const size_t num_atoms = ground.num_atoms();
@@ -131,13 +146,26 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
   }
 
   bool changed = true;
-  while (changed) {
+  while (changed && !out.truncated_) {
     changed = false;
     ++out.rounds_;
     RELSPEC_COUNTER("fixpoint.rounds");
     RELSPEC_SCOPED_TIMER("fixpoint.round_ns");
     if (options.max_rounds > 0 && out.rounds_ > options.max_rounds) {
-      return Status::ResourceExhausted("fixpoint round limit exceeded");
+      RELSPEC_RETURN_NOT_OK(
+          degrade(Status::ResourceExhausted("fixpoint round limit exceeded")));
+      break;
+    }
+    {
+      Status st;
+      if (failpoint::Active()) st = failpoint::Evaluate("fixpoint.round");
+      if (st.ok() && options.governor != nullptr) {
+        st = options.governor->ChargeRound();
+      }
+      if (!st.ok()) {
+        RELSPEC_RETURN_NOT_OK(degrade(std::move(st)));
+        break;
+      }
     }
 
     // 1. Propositional closure of the global rules.
@@ -235,10 +263,30 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
 
     // 5. One pass over the chi table.
     out.shared_->ctx_changed = false;
-    RELSPEC_ASSIGN_OR_RETURN(bool chi_changed, chi.ProcessAllOnce(pool.get()));
-    changed |= chi_changed || out.shared_->ctx_changed;
+    StatusOr<bool> chi_changed = chi.ProcessAllOnce(pool.get());
+    if (!chi_changed.ok()) {
+      RELSPEC_RETURN_NOT_OK(degrade(chi_changed.status()));
+      break;
+    }
+    changed |= *chi_changed || out.shared_->ctx_changed;
+
+    // Node budget across trunk + chi table (the chi engine checks its own
+    // growth mid-pass; this covers the combined footprint).
+    if (options.governor != nullptr) {
+      Status st = options.governor->CheckNodes(out.trunk_paths_.size() +
+                                               chi.num_entries());
+      if (!st.ok()) {
+        RELSPEC_RETURN_NOT_OK(degrade(std::move(st)));
+        break;
+      }
+    }
   }
   RELSPEC_GAUGE_SET("fixpoint.chi_entries", chi.num_entries());
+  if (out.truncated_) {
+    RELSPEC_COUNTER("fixpoint.truncated");
+    RELSPEC_LOG(kWarning) << "fixpoint truncated after " << out.rounds_
+                          << " rounds: " << out.breach_.ToString();
+  }
   return out;
 }
 

@@ -33,6 +33,8 @@
 
 namespace relspec {
 
+class ResourceGovernor;
+
 struct FixpointOptions {
   /// Cap on |Sigma|^c trunk nodes.
   size_t max_trunk_nodes = 2'000'000;
@@ -46,6 +48,15 @@ struct FixpointOptions {
   /// single-threaded merge; the converged labeling is identical either way
   /// (see docs/ARCHITECTURE.md, "Determinism contract").
   int num_threads = 1;
+  /// Optional resource governor (deadline, cancellation, budgets), polled
+  /// once per round and per chi-table entry/chunk. Must outlive the call.
+  ResourceGovernor* governor = nullptr;
+  /// Graceful degradation: when a resource breach (kResourceExhausted,
+  /// kCancelled, kDeadlineExceeded) interrupts the iteration, return the
+  /// partial labeling marked truncated() instead of the error. The partial
+  /// labeling is a sound under-approximation of LFP(Z, D): the iteration is
+  /// monotone, so every fact it reports is in the least fixpoint.
+  bool allow_partial = false;
 };
 
 /// The converged least fixpoint, queryable by path.
@@ -74,6 +85,13 @@ class Labeling {
 
   size_t rounds() const { return rounds_; }
 
+  /// True when the iteration was interrupted by a resource breach under
+  /// allow_partial: labels are a sound under-approximation of LFP(Z, D)
+  /// (everything reported holds; some facts may be missing).
+  bool truncated() const { return truncated_; }
+  /// The breach that interrupted the iteration; OK unless truncated().
+  const Status& breach() const { return breach_; }
+
  private:
   friend StatusOr<Labeling> ComputeFixpoint(const GroundProgram&,
                                             const FixpointOptions&);
@@ -93,6 +111,8 @@ class Labeling {
   /// Cache for LabelOf beyond the boundary.
   std::unordered_map<Path, DynamicBitset, PathHash> deep_cache_;
   size_t rounds_ = 0;
+  bool truncated_ = false;
+  Status breach_;
   DynamicBitset empty_label_;
 };
 

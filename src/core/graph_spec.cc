@@ -44,8 +44,13 @@ size_t GraphSpecification::num_edges() const {
 
 std::string GraphSpecification::ToString() const {
   std::string out;
-  out += StrFormat("graph specification: %zu clusters, %zu tuples, %zu edges\n",
-                   num_clusters(), num_slice_tuples(), num_edges());
+  out += StrFormat("graph specification: %zu clusters, %zu tuples, %zu edges%s\n",
+                   num_clusters(), num_slice_tuples(), num_edges(),
+                   truncated() ? " [truncated]" : "");
+  if (truncated()) {
+    out += StrFormat("  (partial result, sound under-approximation: %s)\n",
+                     breach().message().c_str());
+  }
   for (size_t i = 0; i < graph_.num_clusters(); ++i) {
     const Cluster& c = graph_.cluster(static_cast<uint32_t>(i));
     out += StrFormat("cluster %zu%s: repr=%s\n", i, c.trunk ? " (trunk)" : "",

@@ -46,6 +46,13 @@ class GraphSpecification {
   /// Successor edges (the size of F).
   size_t num_edges() const;
 
+  /// True when the underlying label graph was truncated by a resource
+  /// breach: Holds answers are a sound under-approximation (everything
+  /// reported holds; paths routed through the unknown cluster answer false).
+  bool truncated() const { return graph_.truncated(); }
+  /// The breach that truncated the graph; OK unless truncated().
+  const Status& breach() const { return graph_.breach(); }
+
   /// Multi-line human-readable rendering (clusters, slices, successors).
   std::string ToString() const;
 

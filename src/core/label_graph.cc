@@ -3,6 +3,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "src/base/failpoint.h"
+#include "src/base/governor.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
@@ -14,7 +16,11 @@ uint32_t LabelGraph::ClusterOf(const Path& path) const {
     if (sym_index_.count(f) == 0) return kInvalidId;
   }
   if (path.depth() < frontier_depth_) return trunk_cluster_.at(path);
-  uint32_t cur = boundary_cluster_.at(path.Prefix(frontier_depth_));
+  // A truncated graph may be missing frontier entry points the BFS never
+  // reached; they resolve to the unknown sink (kInvalidId when complete).
+  auto it = boundary_cluster_.find(path.Prefix(frontier_depth_));
+  if (it == boundary_cluster_.end()) return unknown_cluster_;
+  uint32_t cur = it->second;
   for (int i = frontier_depth_; i < path.depth(); ++i) {
     cur = clusters_[cur].successors[sym_index_.at(path.at(i))];
   }
@@ -66,7 +72,33 @@ StatusOr<LabelGraph> BuildLabelGraph(Labeling* labeling,
       for (FuncId f : ground.alphabet()) queue.push_back(w.Extend(f));
     }
   }
+  // As in the fixpoint: a resource breach under allow_partial keeps the
+  // clusters found so far and marks the graph truncated instead of failing.
+  auto degrade = [&](Status st) -> Status {
+    if (!options.allow_partial || !st.IsResourceBreach()) return st;
+    out.truncated_ = true;
+    out.breach_ = std::move(st);
+    return Status::OK();
+  };
+
+  // A truncated input labeling already makes the graph partial: its labels
+  // under-approximate the fixpoint, so clusters reflect that truncation.
+  if (labeling->truncated()) {
+    RELSPEC_RETURN_NOT_OK(degrade(labeling->breach()));
+  }
+
   while (!queue.empty()) {
+    {
+      Status st;
+      if (failpoint::Active()) st = failpoint::Evaluate("algorithm_q.visit");
+      if (st.ok() && options.governor != nullptr) {
+        st = options.governor->CheckNodes(out.clusters_.size());
+      }
+      if (!st.ok()) {
+        RELSPEC_RETURN_NOT_OK(degrade(std::move(st)));
+        break;
+      }
+    }
     Path p = std::move(queue.front());
     queue.pop_front();
     ++out.num_potential_;
@@ -80,9 +112,10 @@ StatusOr<LabelGraph> BuildLabelGraph(Labeling* labeling,
     // Active: p is the representative of a new cluster.
     uint32_t id = static_cast<uint32_t>(out.clusters_.size());
     if (out.clusters_.size() >= options.max_clusters) {
-      return Status::ResourceExhausted(
-          StrFormat("label graph exceeded max_clusters=%zu",
-                    options.max_clusters));
+      RELSPEC_RETURN_NOT_OK(
+          degrade(Status::ResourceExhausted(StrFormat(
+              "label graph exceeded max_clusters=%zu", options.max_clusters))));
+      break;
     }
     Cluster cl;
     cl.representative = p;
@@ -94,8 +127,24 @@ StatusOr<LabelGraph> BuildLabelGraph(Labeling* labeling,
     for (FuncId f : ground.alphabet()) queue.push_back(p.Extend(f));
   }
 
+  // An interrupted BFS leaves dangling edges (frontier paths never visited,
+  // successor labels never clustered). The synthetic unknown cluster — empty
+  // label, every successor a self-loop — absorbs them so the graph stays
+  // structurally well-formed. Created before the successor pass: push_back
+  // during iteration would invalidate references.
+  if (out.truncated_) {
+    out.unknown_cluster_ = static_cast<uint32_t>(out.clusters_.size());
+    Cluster unknown;
+    unknown.representative = Path::Zero();
+    unknown.label = DynamicBitset(ground.num_atoms());
+    unknown.successors.assign(ground.num_symbols(), out.unknown_cluster_);
+    out.clusters_.push_back(std::move(unknown));
+  }
+
   // Successor mappings.
-  for (Cluster& cl : out.clusters_) {
+  for (size_t ci = 0; ci < out.clusters_.size(); ++ci) {
+    Cluster& cl = out.clusters_[ci];
+    if (static_cast<uint32_t>(ci) == out.unknown_cluster_) continue;
     cl.successors.assign(ground.num_symbols(), kInvalidId);
     for (SymIdx s = 0; s < ground.num_symbols(); ++s) {
       Path child = cl.representative.Extend(ground.alphabet()[s]);
@@ -103,18 +152,35 @@ StatusOr<LabelGraph> BuildLabelGraph(Labeling* labeling,
         if (child.depth() < frontier) {
           cl.successors[s] = out.trunk_cluster_.at(child);
         } else {
-          cl.successors[s] = out.boundary_cluster_.at(child);
+          auto bit = out.boundary_cluster_.find(child);
+          if (bit != out.boundary_cluster_.end()) {
+            cl.successors[s] = bit->second;
+          } else if (out.truncated_) {
+            cl.successors[s] = out.unknown_cluster_;
+          } else {
+            return Status::Internal(
+                "frontier path missing from the boundary index");
+          }
         }
       } else {
         auto it = label_to_cluster.find(labeling->LabelOf(child));
-        if (it == label_to_cluster.end()) {
+        if (it != label_to_cluster.end()) {
+          cl.successors[s] = it->second;
+        } else if (out.truncated_) {
+          cl.successors[s] = out.unknown_cluster_;
+        } else {
           return Status::Internal(
               "successor label missing from the cluster index (BFS did not "
               "close the graph)");
         }
-        cl.successors[s] = it->second;
       }
     }
+  }
+  if (out.truncated_) {
+    RELSPEC_COUNTER("labelgraph.truncated");
+    RELSPEC_LOG(kWarning) << "label graph truncated at "
+                          << out.clusters_.size()
+                          << " clusters: " << out.breach_.ToString();
   }
   RELSPEC_GAUGE_SET("labelgraph.clusters", out.clusters_.size());
   RELSPEC_GAUGE_SET("labelgraph.active", out.num_active_);

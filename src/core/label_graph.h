@@ -44,6 +44,15 @@ struct LabelGraphOptions {
   /// strictly below a depth-c node). Reproduces Section 3.5's R = {(0,2)}
   /// for the Even example.
   bool merge_trunk_frontier = false;
+  /// Optional resource governor, polled once per BFS visit. Must outlive
+  /// the call.
+  ResourceGovernor* governor = nullptr;
+  /// Graceful degradation: a resource breach stops the BFS and returns the
+  /// clusters discovered so far, marked truncated(). Unresolved successor
+  /// edges point at a synthetic empty-label "unknown" cluster (a self-loop
+  /// sink), keeping the graph structurally well-formed; membership answers
+  /// routed through it are sound "unknown -> false" under-approximations.
+  bool allow_partial = false;
 };
 
 /// The computed quotient model: clusters, successors, and the Link walk.
@@ -82,6 +91,15 @@ class LabelGraph {
     return boundary_cluster_;
   }
 
+  /// True when the BFS was interrupted by a resource breach under
+  /// allow_partial; unresolved edges lead to unknown_cluster().
+  bool truncated() const { return truncated_; }
+  /// The breach that interrupted the BFS; OK unless truncated().
+  const Status& breach() const { return breach_; }
+  /// The synthetic sink for unresolved successors of a truncated graph;
+  /// kInvalidId when the graph is complete.
+  uint32_t unknown_cluster() const { return unknown_cluster_; }
+
  private:
   friend StatusOr<LabelGraph> BuildLabelGraph(Labeling*, const LabelGraphOptions&);
   friend class SpecIo;
@@ -96,6 +114,9 @@ class LabelGraph {
   size_t num_symbols_ = 0;
   size_t num_active_ = 0;
   size_t num_potential_ = 0;
+  bool truncated_ = false;
+  Status breach_;
+  uint32_t unknown_cluster_ = kInvalidId;
 };
 
 /// Runs Algorithm Q against a converged least-fixpoint labeling.

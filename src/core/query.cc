@@ -8,6 +8,8 @@
 
 #include "src/ast/printer.h"
 #include "src/ast/validate.h"
+#include "src/base/failpoint.h"
+#include "src/base/governor.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
 #include "src/datalog/evaluator.h"
@@ -57,7 +59,7 @@ StatusOr<bool> QueryAnswer::Contains(const std::optional<Path>& term,
 }
 
 StatusOr<std::vector<ConcreteAnswer>> QueryAnswer::Enumerate(
-    int max_depth, size_t max_count) const {
+    int max_depth, size_t max_count, ResourceGovernor* governor) const {
   std::vector<ConcreteAnswer> out;
   if (!functional_) {
     for (const auto& tuple : flat_) {
@@ -73,6 +75,11 @@ StatusOr<std::vector<ConcreteAnswer>> QueryAnswer::Enumerate(
   while (!queue.empty() && out.size() < max_count) {
     auto [path, cluster] = std::move(queue.front());
     queue.pop_front();
+    RELSPEC_FAILPOINT("query.enumerate");
+    if (governor != nullptr) {
+      RELSPEC_RETURN_NOT_OK(
+          governor->CheckDepth(static_cast<uint64_t>(path.depth())));
+    }
     for (const auto& tuple : per_cluster_[cluster]) {
       if (out.size() >= max_count) break;
       out.push_back(ConcreteAnswer{path, tuple});

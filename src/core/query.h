@@ -61,9 +61,13 @@ class QueryAnswer {
                           const std::vector<ConstId>& tuple) const;
 
   /// Concrete answers: finite answers are returned in full; infinite ones
-  /// are expanded breadth-first over terms up to max_depth / max_count.
-  StatusOr<std::vector<ConcreteAnswer>> Enumerate(int max_depth,
-                                                  size_t max_count) const;
+  /// are expanded breadth-first over terms up to max_depth / max_count. The
+  /// optional governor is polled per expanded term; its max_depth budget
+  /// bounds the term depth reached (CheckDepth), turning a runaway
+  /// enumeration into kResourceExhausted.
+  StatusOr<std::vector<ConcreteAnswer>> Enumerate(
+      int max_depth, size_t max_count,
+      ResourceGovernor* governor = nullptr) const;
 
   /// True if the answer has no elements at all.
   bool IsEmpty() const;

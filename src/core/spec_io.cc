@@ -104,6 +104,42 @@ std::vector<std::string> Fields(const std::string& line) {
   return out;
 }
 
+// Optional marker emitted for partial (--allow-partial) specifications:
+//   truncated <code_int> <message...>
+void SerializeTruncated(bool truncated, const Status& breach,
+                        std::ostringstream* out) {
+  if (!truncated) return;
+  *out << "truncated " << static_cast<int>(breach.code()) << " "
+       << breach.message() << "\n";
+}
+
+// Consumes a "truncated" line if present (pushing back anything else),
+// reconstructing the breach into *truncated / *breach.
+Status ParseTruncated(Reader* reader, bool* truncated, Status* breach) {
+  std::string line;
+  if (!reader->Next(&line)) return Status::OK();
+  std::vector<std::string> f = Fields(line);
+  if (f.empty() || f[0] != "truncated") {
+    reader->Pushback(std::move(line));
+    return Status::OK();
+  }
+  if (f.size() < 2) {
+    return Status::InvalidArgument("bad truncated line: " + line);
+  }
+  int code = std::stoi(f[1]);
+  if (code <= 0 || code > static_cast<int>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("bad truncated code: " + f[1]);
+  }
+  std::string message;
+  for (size_t i = 2; i < f.size(); ++i) {
+    if (i > 2) message += " ";
+    message += f[i];
+  }
+  *truncated = true;
+  *breach = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
 Status ParseSymbols(Reader* reader, SymbolTable* symbols) {
   std::string line;
   if (!reader->Next(&line) || line != "symbols") {
@@ -199,6 +235,10 @@ std::string SpecIo::Serialize(const GraphSpecification& spec) {
   out << "relspec-graph-spec v1\n";
   out << "trunk_depth " << spec.trunk_depth() << "\n";
   out << "frontier_depth " << spec.graph().frontier_depth() << "\n";
+  SerializeTruncated(spec.truncated(), spec.breach(), &out);
+  if (spec.graph().unknown_cluster() != kInvalidId) {
+    out << "unknown_cluster " << spec.graph().unknown_cluster() << "\n";
+  }
   SerializeSymbols(spec.symbols(), &out);
   out << "alphabet";
   for (FuncId f : spec.alphabet()) out << " " << spec.symbols().function(f).name;
@@ -239,6 +279,16 @@ StatusOr<GraphSpecification> SpecIo::ParseGraphSpec(std::string_view text) {
       return Status::InvalidArgument("expected frontier_depth");
     }
     spec.graph_.frontier_depth_ = std::stoi(f[1]);
+  }
+  RELSPEC_RETURN_NOT_OK(ParseTruncated(&reader, &spec.graph_.truncated_,
+                                       &spec.graph_.breach_));
+  if (reader.Next(&line)) {
+    std::vector<std::string> f = Fields(line);
+    if (f.size() == 2 && f[0] == "unknown_cluster") {
+      spec.graph_.unknown_cluster_ = static_cast<uint32_t>(std::stoul(f[1]));
+    } else {
+      reader.Pushback(std::move(line));
+    }
   }
   RELSPEC_RETURN_NOT_OK(ParseSymbols(&reader, &spec.symbols_));
   if (!reader.Next(&line)) return Status::InvalidArgument("truncated spec");
@@ -298,6 +348,7 @@ std::string SpecIo::Serialize(const EquationalSpecification& spec) {
   std::ostringstream out;
   out << "relspec-eq-spec v1\n";
   out << "trunk_depth " << spec.trunk_depth() << "\n";
+  SerializeTruncated(spec.truncated(), spec.breach(), &out);
   SerializeSymbols(spec.symbols(), &out);
   SerializeAtoms(spec.atom_dictionary(), spec.symbols(), &out);
   out << "clusters " << spec.clusters().size() << "\n";
@@ -329,6 +380,8 @@ StatusOr<EquationalSpecification> SpecIo::ParseEquationalSpec(
     }
     spec.trunk_depth_ = std::stoi(f[1]);
   }
+  RELSPEC_RETURN_NOT_OK(
+      ParseTruncated(&reader, &spec.truncated_, &spec.breach_));
   RELSPEC_RETURN_NOT_OK(ParseSymbols(&reader, &spec.symbols_));
   RELSPEC_ASSIGN_OR_RETURN(spec.atoms_, ParseAtoms(&reader, spec.symbols_));
   for (AtomIdx i = 0; i < spec.atoms_.size(); ++i) {

@@ -32,6 +32,7 @@
 
 namespace relspec {
 
+class ResourceGovernor;
 class TaskPool;
 
 /// Evaluates a ground rule body against a node label, its children's labels
@@ -95,6 +96,17 @@ class ChiEngine {
   /// Caps the table size; exceeded -> ResourceExhausted from ProcessAllOnce.
   void set_max_entries(size_t n) { max_entries_ = n; }
 
+  /// Attaches a governor (may be null). ProcessAllOnce then polls it per
+  /// entry (sequential) / per chunk and after the merge (parallel); breaches
+  /// surface as that governor's Status. The governor must outlive the engine.
+  void set_governor(ResourceGovernor* g) { governor_ = g; }
+
+  /// Freezes the engine after an interrupted (truncated) fixpoint: Expand no
+  /// longer insists that labels are closed — it closes them on the fly —
+  /// because a breached iteration legitimately leaves non-converged labels.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
+
  private:
   struct Entry {
     DynamicBitset seed;
@@ -123,6 +135,8 @@ class ChiEngine {
   const GroundProgram* ground_;
   DynamicBitset* ctx_;
   bool* ctx_changed_;
+  ResourceGovernor* governor_ = nullptr;
+  bool frozen_ = false;
   std::unordered_map<DynamicBitset, uint32_t, DynamicBitsetHash> index_;
   std::vector<Entry> entries_;
   std::unordered_map<DynamicBitset, std::vector<DynamicBitset>,

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/base/failpoint.h"
+#include "src/base/governor.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
@@ -250,8 +252,8 @@ void PrebuildProbeIndexes(const DRule& rule, const Database& db) {
 // loop, the concatenation reproduces the sequential match order exactly:
 // contents and insertion order are byte-identical to a 1-thread run.
 void RunMatchPass(const DRule& rule, size_t oi, const PassWindows& win,
-                  TaskPool* pool, Database* db, EvalStats* stats,
-                  bool* changed) {
+                  TaskPool* pool, ResourceGovernor* governor, Database* db,
+                  EvalStats* stats, bool* changed) {
   auto record_insert = [&](const Tuple& head) {
     if (db->Insert(rule.head.pred, head)) {
       ++stats->tuples_derived;
@@ -291,6 +293,10 @@ void RunMatchPass(const DRule& rule, size_t oi, const PassWindows& win,
   pool->ParallelFor(
       split_lo, split_hi, 1, [&](size_t lo, size_t hi, size_t chunk) {
         ChunkOut& out = outs[chunk];
+        // Cooperative cancellation: a chunk starting after a breach drains
+        // immediately (its empty head buffer merges as a no-op); the
+        // coordinating thread turns the condition into a Status afterwards.
+        if (governor != nullptr && governor->ShouldAbort()) return;
         Matcher m(*db, rule.body, rule.num_vars);
         for (size_t j = 0; j < rule.body.size(); ++j) {
           m.SetRowFloor(j, win.floor[j]);
@@ -345,6 +351,10 @@ StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
     if (options.max_iterations > 0 && stats.iterations > options.max_iterations) {
       return Status::ResourceExhausted("evaluation iteration limit exceeded");
     }
+    RELSPEC_FAILPOINT("datalog.iteration");
+    if (options.governor != nullptr) {
+      RELSPEC_RETURN_NOT_OK(options.governor->CheckTuples(db->TotalTuples()));
+    }
 
     // Snapshot sizes at the start of the round.
     std::unordered_map<PredId, size_t> snapshot;
@@ -358,7 +368,8 @@ StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
         for (size_t i = 0; i < rule.body.size(); ++i) {
           win.limit[i] = snapshot[rule.body[i].pred];
         }
-        RunMatchPass(rule, oi, win, pool, db, &stats, &changed);
+        RunMatchPass(rule, oi, win, pool, options.governor, db, &stats,
+                     &changed);
       } else if (rule.body.empty()) {
         // A bodiless rule is a fact; it fires exactly once.
         if (stats.iterations == 1) {
@@ -396,13 +407,20 @@ StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
               win.limit[j] = old_size[rule.body[j].pred];
             }
           }
-          RunMatchPass(rule, oi, win, pool, db, &stats, &changed);
+          RunMatchPass(rule, oi, win, pool, options.governor, db, &stats,
+                       &changed);
           if (first_round) break;  // one full pass suffices in round 1
         }
       }
       if (db->TotalTuples() > options.max_tuples) {
         return Status::ResourceExhausted(
             StrFormat("evaluation exceeded max_tuples=%zu", options.max_tuples));
+      }
+      // Per-rule poll: converts a mid-pass abort (chunks drained above) into
+      // the breach Status and bounds cancellation latency to one rule pass.
+      if (options.governor != nullptr) {
+        RELSPEC_RETURN_NOT_OK(
+            options.governor->CheckTuples(db->TotalTuples()));
       }
     }
 

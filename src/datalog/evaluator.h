@@ -13,6 +13,9 @@
 #include "src/datalog/database.h"
 
 namespace relspec {
+
+class ResourceGovernor;
+
 namespace datalog {
 
 enum class Strategy { kNaive, kSemiNaive };
@@ -23,6 +26,10 @@ struct EvalOptions {
   size_t max_iterations = 0;
   /// Hard cap on total stored tuples; exceeded -> ResourceExhausted.
   size_t max_tuples = 50'000'000;
+  /// Optional resource governor (deadline, cancellation, tuple budget),
+  /// polled once per iteration, per rule pass, and — on the parallel path —
+  /// at every chunk boundary. Must outlive the call.
+  ResourceGovernor* governor = nullptr;
   /// Worker threads for the matching phase (1 = fully sequential, today's
   /// exact behavior). With N > 1 each rule pass splits its outermost row
   /// range across a work-stealing pool; derived tuples are gathered per

@@ -16,6 +16,16 @@ namespace {
 // expands to 100 successor applications).
 constexpr long kMaxFunctionalNumeral = 1000000;
 
+// Maximum nesting depth of a term. ParseTerm/ParsePrimary (and later the
+// Lowerer and the STerm destructor) recurse once per nesting level, so an
+// adversarial input like f(f(f(...))) would otherwise overflow the stack;
+// the guard turns it into InvalidArgument. The value must leave headroom
+// under sanitizer builds, whose padded frames are several times larger
+// than release frames on the default 8 MB stack (the ASan suite runs the
+// deep-nesting regression test). Real programs nest a handful of levels;
+// numerals like t+1000000 parse iteratively and are not limited by this.
+constexpr int kMaxTermDepth = 1000;
+
 // ---------- Surface representation (pass 1) ----------
 
 struct STerm {
@@ -205,6 +215,19 @@ class TokenParser {
   }
 
   StatusOr<STerm> ParseTerm() {
+    if (term_depth_ >= kMaxTermDepth) {
+      const Token& t = Peek();
+      return Status::InvalidArgument(StrFormat(
+          "line %d:%d: term nesting exceeds the maximum depth %d", t.line,
+          t.column, kMaxTermDepth));
+    }
+    ++term_depth_;
+    StatusOr<STerm> result = ParseTermGuarded();
+    --term_depth_;
+    return result;
+  }
+
+  StatusOr<STerm> ParseTermGuarded() {
     RELSPEC_ASSIGN_OR_RETURN(STerm term, ParsePrimary());
     while (Peek().kind == TokenKind::kPlus) {
       Next();
@@ -261,6 +284,7 @@ class TokenParser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int term_depth_ = 0;
 };
 
 // ---------- Pass 2: functional inference + lowering ----------

@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "src/ast/validate.h"
+#include "src/base/failpoint.h"
+#include "src/base/governor.h"
 #include "src/base/str_util.h"
 #include "src/core/mixed_to_pure.h"
 #include "src/core/normalize.h"
@@ -71,7 +73,8 @@ StatusOr<std::unique_ptr<TemporalEngine>> TemporalEngine::Build(Program program)
   return engine;
 }
 
-StatusOr<TemporalSpec> TemporalEngine::ComputeSpec(size_t max_states) {
+StatusOr<TemporalSpec> TemporalEngine::ComputeSpec(size_t max_states,
+                                                   ResourceGovernor* governor) {
   const GroundProgram& ground = *ground_;
   const size_t num_atoms = ground.num_atoms();
   const int c = ground.trunk_depth();
@@ -161,6 +164,10 @@ StatusOr<TemporalSpec> TemporalEngine::ComputeSpec(size_t max_states) {
     for (size_t n = 0; !found; ++n) {
       if (n > max_states) {
         return Status::ResourceExhausted("temporal lasso exceeded max_states");
+      }
+      RELSPEC_FAILPOINT("temporal.step");
+      if (governor != nullptr) {
+        RELSPEC_RETURN_NOT_OK(governor->CheckNodes(n));
       }
       close_position(&current, &ctx_changed);
       // label -> ctx pinned sync.

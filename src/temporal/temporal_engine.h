@@ -31,6 +31,8 @@
 
 namespace relspec {
 
+class ResourceGovernor;
+
 /// The lasso representation of a temporal least fixpoint: labels for time
 /// points 0..mu-1, then a cycle of length lambda repeating forever.
 class TemporalSpec {
@@ -66,8 +68,11 @@ class TemporalEngine {
   /// is not a forward temporal program (see file comment).
   static StatusOr<std::unique_ptr<TemporalEngine>> Build(Program program);
 
-  /// The lasso fixpoint.
-  StatusOr<TemporalSpec> ComputeSpec(size_t max_states = 10'000'000);
+  /// The lasso fixpoint. The optional governor is polled once per chain
+  /// position (deadline, cancellation, node budget) and must outlive the
+  /// call.
+  StatusOr<TemporalSpec> ComputeSpec(size_t max_states = 10'000'000,
+                                     ResourceGovernor* governor = nullptr);
 
   const GroundProgram& ground() const { return *ground_; }
   const Program& program() const { return program_; }

@@ -37,6 +37,34 @@ TEST(Status, AllFactoriesProduceMatchingCodes) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+}
+
+TEST(Status, CodeNameRoundTripsForEveryCode) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kDeadlineExceeded); ++i) {
+    StatusCode code = static_cast<StatusCode>(i);
+    const char* name = StatusCodeToString(code);
+    EXPECT_STRNE(name, "unknown") << "code " << i << " has no name";
+    auto back = StatusCodeFromString(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, code) << name;
+    // Names must be pairwise distinct for the round trip to be well-defined.
+    for (int j = 0; j < i; ++j) {
+      EXPECT_STRNE(name, StatusCodeToString(static_cast<StatusCode>(j)));
+    }
+  }
+  EXPECT_FALSE(StatusCodeFromString("no such code").has_value());
+  EXPECT_FALSE(StatusCodeFromString("").has_value());
+}
+
+TEST(Status, ResourceBreachCoversExactlyTheBudgetCodes) {
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceBreach());
+  EXPECT_TRUE(Status::Cancelled("x").IsResourceBreach());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsResourceBreach());
+  EXPECT_FALSE(Status::OK().IsResourceBreach());
+  EXPECT_FALSE(Status::Internal("x").IsResourceBreach());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsResourceBreach());
 }
 
 TEST(Status, WithContextPrepends) {

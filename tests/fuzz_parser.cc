@@ -1,0 +1,143 @@
+// Fuzz target for the parser/lexer front end.
+//
+// Dual mode:
+//
+//  * With clang's libFuzzer (-fsanitize=fuzzer), LLVMFuzzerTestOneInput is
+//    the entry point and the runtime drives input generation.
+//  * Without libFuzzer (RELSPEC_FUZZ_STANDALONE, the gcc path), a standalone
+//    main() replays every seed corpus file given on the command line, then
+//    runs a time-bounded deterministic mutation loop over the seeds. The
+//    budget defaults to 30 seconds; override with RELSPEC_FUZZ_SECONDS.
+//
+// The invariant under test: Parse() must return a Status for every input —
+// never crash, hang, or trip a sanitizer. The parser's recursion depth guard
+// (kMaxTermDepth) is what makes deeply nested inputs safe.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/parser/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  // The result (well-formed or error Status) is irrelevant; surviving is
+  // the assertion.
+  auto result = relspec::Parse(input);
+  (void)result;
+  return 0;
+}
+
+#ifdef RELSPEC_FUZZ_STANDALONE
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// xorshift64* — deterministic across runs so failures reproduce.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// One mutation step: byte flips, splices, truncations, duplications, and
+// insertion of grammar-relevant tokens.
+std::string Mutate(const std::string& base, Rng* rng) {
+  static const char* kTokens[] = {"(", ")", ",", ".", "->", "+", "?",
+                                  "0",  "t", "f(", "%", " ", "\n"};
+  std::string out = base;
+  int steps = 1 + static_cast<int>(rng->Next() % 4);
+  for (int i = 0; i < steps; ++i) {
+    uint64_t choice = rng->Next() % 5;
+    if (out.empty()) choice = 3;
+    switch (choice) {
+      case 0: {  // flip a byte
+        size_t pos = rng->Next() % out.size();
+        out[pos] = static_cast<char>(rng->Next() % 256);
+        break;
+      }
+      case 1: {  // truncate
+        out.resize(rng->Next() % (out.size() + 1));
+        break;
+      }
+      case 2: {  // duplicate a slice
+        size_t a = rng->Next() % out.size();
+        size_t b = a + rng->Next() % (out.size() - a);
+        out.insert(rng->Next() % out.size(), out.substr(a, b - a));
+        break;
+      }
+      case 3: {  // insert a grammar token
+        const char* tok =
+            kTokens[rng->Next() % (sizeof(kTokens) / sizeof(kTokens[0]))];
+        out.insert(rng->Next() % (out.size() + 1), tok);
+        break;
+      }
+      case 4: {  // nest: wrap a prefix in f(...)
+        size_t pos = rng->Next() % out.size();
+        out = out.substr(0, pos) + "f(" + out.substr(pos) + ")";
+        break;
+      }
+    }
+    if (out.size() > 1 << 16) out.resize(1 << 16);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> corpus;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      fprintf(stderr, "fuzz_parser: cannot read seed %s\n", argv[i]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    corpus.push_back(buf.str());
+  }
+  if (corpus.empty()) corpus.push_back("P(0).\nP(t) -> P(t+1).\n");
+
+  // Replay the seeds verbatim first.
+  for (const std::string& seed : corpus) {
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(seed.data()),
+                           seed.size());
+  }
+
+  int seconds = 30;
+  if (const char* env = std::getenv("RELSPEC_FUZZ_SECONDS")) {
+    seconds = std::atoi(env);
+  }
+  Rng rng(0xC1A559EC);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  uint64_t iterations = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string& base = corpus[rng.Next() % corpus.size()];
+    std::string mutated = Mutate(base, &rng);
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(mutated.data()),
+                           mutated.size());
+    ++iterations;
+  }
+  printf("fuzz_parser: %llu inputs survived (%d s budget, %zu seeds)\n",
+         static_cast<unsigned long long>(iterations), seconds, corpus.size());
+  return 0;
+}
+
+#endif  // RELSPEC_FUZZ_STANDALONE

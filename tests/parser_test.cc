@@ -222,6 +222,32 @@ TEST(ParserErrors, HugeNumeralRejected) {
   EXPECT_TRUE(p.status().IsInvalidArgument());
 }
 
+TEST(ParserErrors, DeeplyNestedTermRejectedNotCrashed) {
+  // 100k nested applications: without the depth guard the recursive descent
+  // would overflow the stack; with it the parser reports InvalidArgument.
+  constexpr int kDepth = 100000;
+  std::string input = "P(";
+  for (int i = 0; i < kDepth; ++i) input += "f(";
+  input += "0";
+  for (int i = 0; i < kDepth; ++i) input += ")";
+  input += ").";
+  auto p = ParseProgram(input);
+  ASSERT_FALSE(p.ok());
+  EXPECT_TRUE(p.status().IsInvalidArgument());
+  EXPECT_NE(p.status().message().find("depth"), std::string::npos);
+}
+
+TEST(ParserErrors, ModeratelyNestedTermStillAccepted) {
+  // Well under the guard: nesting must keep working.
+  constexpr int kDepth = 100;
+  std::string input = "P(";
+  for (int i = 0; i < kDepth; ++i) input += "f(";
+  input += "0";
+  for (int i = 0; i < kDepth; ++i) input += ")";
+  input += ").";
+  EXPECT_TRUE(ParseProgram(input).ok());
+}
+
 // ---------- fuzz: no crash on arbitrary input ----------
 
 TEST(ParserFuzz, RandomBytesNeverCrash) {

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# CTest driver for the resource governor's CLI contract.
+#
+# Usage: check_governor.sh CLI_BINARY EXAMPLES_DIR MODE
+#
+# MODE deadline: the divergent program must exit with the dedicated
+#   resource-exhaustion code (7) and do so promptly — within the
+#   --deadline-ms budget plus scheduling slack.
+# MODE partial: with --allow-partial the same program must exit 0, emit a
+#   well-formed truncated specification, and report breach metrics in the
+#   --stats snapshot.
+set -u
+
+cli="$1"
+examples="$2"
+mode="$3"
+prog="$examples/diverge.rsp"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+case "$mode" in
+  deadline)
+    start_ms=$(($(date +%s%N) / 1000000))
+    "$cli" "$prog" --info --deadline-ms 1000
+    code=$?
+    end_ms=$(($(date +%s%N) / 1000000))
+    elapsed=$((end_ms - start_ms))
+    [ "$code" -eq 7 ] || fail "expected exit 7 (resource exhaustion), got $code"
+    # 1000 ms budget + generous slack for process startup and teardown.
+    [ "$elapsed" -lt 10000 ] || fail "took ${elapsed} ms to honor a 1000 ms deadline"
+    echo "PASS: exit 7 after ${elapsed} ms"
+    ;;
+  partial)
+    out=$("$cli" "$prog" --spec eq --max-nodes 2000 --allow-partial --stats 2>/dev/null)
+    code=$?
+    [ "$code" -eq 0 ] || fail "--allow-partial should exit 0, got $code"
+    echo "$out" | grep -q "equational specification:.*\[truncated\]" \
+      || fail "missing [truncated] marker in spec output"
+    echo "$out" | grep -q "governor.breach" \
+      || fail "missing governor.breach counter in --stats snapshot"
+    # The truncated spec must still round-trip through the serializer.
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    "$cli" "$prog" --max-nodes 2000 --allow-partial --save-spec "$tmp" >/dev/null 2>&1 \
+      || fail "--save-spec of a truncated spec failed"
+    grep -q "^truncated " "$tmp" || fail "saved spec lacks the truncated line"
+    "$cli" "$prog" --load-spec "$tmp" --fact "B(0, b0)" 2>/dev/null | grep -q "true" \
+      || fail "truncated spec did not answer the seed fact after reload"
+    echo "PASS: truncated spec well-formed, breach metrics present"
+    ;;
+  *)
+    fail "unknown mode '$mode'"
+    ;;
+esac

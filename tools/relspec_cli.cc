@@ -23,20 +23,35 @@
 //     --threads N               worker threads for fixpoint evaluation
 //                               (default 1; results are byte-identical for
 //                               any N — see docs/ARCHITECTURE.md)
+//     --deadline-ms N           wall-clock budget for the whole run
+//     --max-tuples N            budget on derived DATALOG tuples
+//     --max-nodes N             budget on chi-table entries / clusters
+//     --max-depth N             budget on term depth during enumeration
+//     --allow-partial           degrade gracefully on a resource breach:
+//                               emit a sound partial result marked truncated
+//                               instead of failing
 //     --help                    print the flag summary and exit
+//
+//   SIGINT requests cooperative cancellation: the engine unwinds cleanly
+//   (exit code 7, or a truncated result with --allow-partial).
 //
 //   Diagnostics go to stderr through the logger; stdout carries only the
 //   requested output (and the --stats JSON when no FILE is given). Exit
 //   codes: 0 success, 2 usage error, 3 I/O error, 4 parse error, 5 engine
-//   error, 6 verification failure.
+//   error, 6 verification failure, 7 resource exhaustion / cancellation /
+//   deadline.
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/base/failpoint.h"
+#include "src/base/governor.h"
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
@@ -57,10 +72,27 @@ constexpr int kExitIo = 3;
 constexpr int kExitParse = 4;
 constexpr int kExitEngine = 5;
 constexpr int kExitVerify = 6;
+constexpr int kExitResource = 7;
 
 int Fail(int code, const Status& status) {
   RELSPEC_LOG(kError) << status.ToString();
   return code;
+}
+
+/// Resource breaches (exhaustion, cancellation, deadline) get their own exit
+/// code so callers can distinguish "the program is too big for the budget"
+/// from "the engine rejected the program".
+int EngineExitCode(const Status& status) {
+  return status.IsResourceBreach() ? kExitResource : kExitEngine;
+}
+
+// Set by main before RunCli; the SIGINT handler requests cooperative
+// cancellation through it (a relaxed atomic store — async-signal-safe).
+ResourceGovernor* g_governor = nullptr;
+bool g_allow_partial = false;
+
+extern "C" void HandleSigint(int) {
+  if (g_governor != nullptr) g_governor->RequestCancel();
 }
 
 int UsageError(const std::string& message) {
@@ -99,6 +131,16 @@ void PrintHelp(const char* argv0) {
       "                                byte-identical for any N -- see\n"
       "                                docs/ARCHITECTURE.md and\n"
       "                                docs/TUNING.md)\n"
+      "  --deadline-ms N               wall-clock budget for the whole run\n"
+      "                                (exit 7 when exceeded)\n"
+      "  --max-tuples N                budget on derived DATALOG tuples\n"
+      "  --max-nodes N                 budget on chi-table entries and\n"
+      "                                clusters\n"
+      "  --max-depth N                 budget on term depth during\n"
+      "                                enumeration\n"
+      "  --allow-partial               degrade gracefully on a resource\n"
+      "                                breach: emit a sound partial result\n"
+      "                                marked truncated instead of failing\n"
       "  --help                        print this summary and exit\n",
       argv0);
 }
@@ -119,8 +161,12 @@ void PrintAnswer(const QueryAnswer& answer, int horizon) {
   } else {
     printf(" finite\n");
   }
-  auto concrete = answer.Enumerate(horizon, 64);
-  if (!concrete.ok()) return;
+  auto concrete = answer.Enumerate(horizon, 64, g_governor);
+  if (!concrete.ok()) {
+    printf("  (enumeration stopped: %s)\n",
+           concrete.status().ToString().c_str());
+    return;
+  }
   for (const ConcreteAnswer& a : *concrete) {
     printf("  ");
     bool first = true;
@@ -201,13 +247,22 @@ int RunCli(int argc, char** argv) {
                           value + "\"");
       }
       options.fixpoint.num_threads = n;
-    } else if (flag == "--stats" || flag.rfind("--stats=", 0) == 0 ||
-               flag == "--trace") {
+    } else if (flag == "--deadline-ms" || flag == "--max-tuples" ||
+               flag == "--max-nodes" || flag == "--max-depth") {
+      next();  // value consumed; parsed in main before RunCli starts
+    } else if (flag.rfind("--deadline-ms=", 0) == 0 ||
+               flag.rfind("--max-tuples=", 0) == 0 ||
+               flag.rfind("--max-nodes=", 0) == 0 ||
+               flag.rfind("--max-depth=", 0) == 0 ||
+               flag == "--allow-partial" || flag == "--stats" ||
+               flag.rfind("--stats=", 0) == 0 || flag == "--trace") {
       // Handled in main before RunCli starts.
     } else {
       return UsageError("unknown flag: " + flag);
     }
   }
+  options.governor = g_governor;
+  options.allow_partial = g_allow_partial;
 
   // Spec-only mode: answer membership from a serialized specification.
   if (!load_spec.empty()) {
@@ -246,7 +301,11 @@ int RunCli(int argc, char** argv) {
   std::vector<Query> file_queries = parsed->queries;
 
   auto db = FunctionalDatabase::FromProgram(std::move(parsed->program), options);
-  if (!db.ok()) return Fail(kExitEngine, db.status());
+  if (!db.ok()) return Fail(EngineExitCode(db.status()), db.status());
+  if ((*db)->truncated()) {
+    RELSPEC_LOG(kWarning) << "partial result (sound under-approximation): "
+                          << (*db)->breach().ToString();
+  }
 
   if (want_info) {
     printf("info: %s\n", (*db)->info().ToString().c_str());
@@ -268,14 +327,14 @@ int RunCli(int argc, char** argv) {
 
   for (const Query& q : file_queries) {
     auto answer = AnswerQuery(db->get(), q);
-    if (!answer.ok()) return Fail(kExitEngine, answer.status());
+    if (!answer.ok()) return Fail(EngineExitCode(answer.status()), answer.status());
     PrintAnswer(*answer, horizon);
   }
   for (const std::string& qtext : queries) {
     auto q = ParseQuery(qtext, (*db)->mutable_program());
     if (!q.ok()) return Fail(kExitParse, q.status());
     auto answer = AnswerQuery(db->get(), *q);
-    if (!answer.ok()) return Fail(kExitEngine, answer.status());
+    if (!answer.ok()) return Fail(EngineExitCode(answer.status()), answer.status());
     PrintAnswer(*answer, horizon);
   }
 
@@ -306,7 +365,8 @@ int RunCli(int argc, char** argv) {
 
   if (!proofs.empty()) {
     auto espec = (*db)->BuildEquationalSpec();
-    if (!espec.ok()) return Fail(kExitEngine, espec.status());
+    if (!espec.ok()) return Fail(EngineExitCode(espec.status()), espec.status());
+    espec->set_governor(g_governor);
     for (const auto& [t1, t2] : proofs) {
       // Terms are given as dot-words or numerals, e.g. "4" or "f.g".
       auto to_path = [&](const std::string& text) -> StatusOr<Path> {
@@ -350,7 +410,7 @@ int RunCli(int argc, char** argv) {
       return UsageError("--periodic expects one functional atom");
     }
     auto spec = (*db)->BuildGraphSpec();
-    if (!spec.ok()) return Fail(kExitEngine, spec.status());
+    if (!spec.ok()) return Fail(EngineExitCode(spec.status()), spec.status());
     std::vector<ConstId> args;
     for (const NfArg& a : q->atoms[0].args) {
       if (!a.IsConstant()) {
@@ -366,17 +426,17 @@ int RunCli(int argc, char** argv) {
 
   if (spec_kind == "graph") {
     auto spec = (*db)->BuildGraphSpec();
-    if (!spec.ok()) return Fail(kExitEngine, spec.status());
+    if (!spec.ok()) return Fail(EngineExitCode(spec.status()), spec.status());
     printf("%s", spec->ToString().c_str());
   } else if (spec_kind == "eq") {
     auto spec = (*db)->BuildEquationalSpec();
-    if (!spec.ok()) return Fail(kExitEngine, spec.status());
+    if (!spec.ok()) return Fail(EngineExitCode(spec.status()), spec.status());
     printf("%s", spec->ToString().c_str());
   }
 
   if (!save_spec.empty()) {
     auto spec = (*db)->BuildGraphSpec();
-    if (!spec.ok()) return Fail(kExitEngine, spec.status());
+    if (!spec.ok()) return Fail(EngineExitCode(spec.status()), spec.status());
     std::ofstream out(save_spec);
     if (!out) {
       return Fail(kExitIo, Status::NotFound("cannot write " + save_spec));
@@ -390,12 +450,19 @@ int RunCli(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --stats/--trace are pre-scanned so instrumentation is live before any
-  // work starts and the snapshot is emitted no matter how RunCli exits.
+  // --stats/--trace and the governor flags are pre-scanned so
+  // instrumentation and the resource budget are live before any work starts
+  // and the snapshot is emitted no matter how RunCli exits.
   bool want_stats = false;
   std::string stats_file;
+  GovernorLimits limits;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
+    auto value_of = [&](const char* name) -> std::string {
+      std::string prefix = std::string(name) + "=";
+      if (flag.rfind(prefix, 0) == 0) return flag.substr(prefix.size());
+      return i + 1 < argc ? argv[++i] : "";
+    };
     if (flag == "--stats") {
       want_stats = true;
     } else if (flag.rfind("--stats=", 0) == 0) {
@@ -404,11 +471,34 @@ int main(int argc, char** argv) {
     } else if (flag == "--trace") {
       EnableTracing(true);
       if (GetLogLevel() > LogLevel::kInfo) SetLogLevel(LogLevel::kInfo);
+    } else if (flag == "--deadline-ms" || flag.rfind("--deadline-ms=", 0) == 0) {
+      limits.deadline_ms = atoll(value_of("--deadline-ms").c_str());
+    } else if (flag == "--max-tuples" || flag.rfind("--max-tuples=", 0) == 0) {
+      limits.max_tuples = strtoull(value_of("--max-tuples").c_str(), nullptr, 10);
+    } else if (flag == "--max-nodes" || flag.rfind("--max-nodes=", 0) == 0) {
+      limits.max_nodes = strtoull(value_of("--max-nodes").c_str(), nullptr, 10);
+    } else if (flag == "--max-depth" || flag.rfind("--max-depth=", 0) == 0) {
+      limits.max_depth = strtoull(value_of("--max-depth").c_str(), nullptr, 10);
+    } else if (flag == "--allow-partial") {
+      g_allow_partial = true;
     }
   }
   if (want_stats) EnableMetrics(true);
+  failpoint::InitFromEnv();
 
-  int code = RunCli(argc, argv);
+  // The governor arms its deadline at construction, so it is created after
+  // flag parsing and immediately before the governed run.
+  ResourceGovernor governor(limits);
+  g_governor = &governor;
+  std::signal(SIGINT, HandleSigint);
+
+  int code;
+  {
+    RELSPEC_PHASE("governor");
+    code = RunCli(argc, argv);
+  }
+  governor.RecordMetrics();
+  g_governor = nullptr;
 
   if (want_stats) {
     std::string json = MetricsRegistry::Global().Snapshot().ToJson();

@@ -11,13 +11,54 @@
 #
 # Usage: tools/run_checks.sh [BUILD_DIR]   (default: build)
 #        tools/run_checks.sh --tsan [BUILD_DIR]
+#        tools/run_checks.sh --asan [BUILD_DIR]
+#        tools/run_checks.sh --fuzz [BUILD_DIR]
 #
 # --tsan builds with -DRELSPEC_SANITIZE=thread (default dir: build-tsan) and
 # runs the concurrency-sensitive test binaries (task pool, evaluator,
 # fixpoint, engine) under ThreadSanitizer, then exits. See docs/TUNING.md.
+#
+# --asan builds with -DRELSPEC_SANITIZE=address,undefined (default dir:
+# build-asan) and runs the fault-injection suites (failpoint, governor,
+# parser) under ASan+UBSan: every injected unwind path must be leak- and
+# UB-free. See docs/ROBUSTNESS.md.
+#
+# --fuzz builds the parser fuzz target (-DRELSPEC_FUZZ=ON, default dir:
+# build-fuzz) and runs a 30-second smoke over the example-program seed
+# corpus. Under gcc this is the standalone mutation driver; under clang,
+# libFuzzer. Budget override: RELSPEC_FUZZ_SECONDS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--asan" ]]; then
+  BUILD_DIR="${2:-build-asan}"
+  echo "== asan+ubsan configure + build ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . -DRELSPEC_SANITIZE=address,undefined \
+      -DRELSPEC_BUILD_BENCHMARKS=OFF -DRELSPEC_BUILD_EXAMPLES=OFF \
+      -DRELSPEC_WERROR=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+      failpoint_test governor_test parser_test
+  echo "== asan+ubsan tests =="
+  for t in failpoint_test governor_test parser_test; do
+    echo "-- $t"
+    "$BUILD_DIR"/tests/"$t"
+  done
+  echo "== asan+ubsan checks passed =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fuzz" ]]; then
+  BUILD_DIR="${2:-build-fuzz}"
+  echo "== fuzz configure + build ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . -DRELSPEC_FUZZ=ON \
+      -DRELSPEC_BUILD_BENCHMARKS=OFF -DRELSPEC_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_parser
+  echo "== fuzz smoke (seeds: examples/programs/*.rsp) =="
+  "$BUILD_DIR"/tests/fuzz_parser examples/programs/*.rsp
+  echo "== fuzz smoke passed =="
+  exit 0
+fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
   BUILD_DIR="${2:-build-tsan}"
@@ -28,9 +69,11 @@ if [[ "${1:-}" == "--tsan" ]]; then
       -DRELSPEC_BUILD_BENCHMARKS=OFF -DRELSPEC_BUILD_EXAMPLES=OFF \
       -DRELSPEC_WERROR=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-      parallel_test datalog_test fixpoint_test engine_test
+      parallel_test datalog_test fixpoint_test engine_test \
+      failpoint_test governor_test
   echo "== tsan tests =="
-  for t in parallel_test datalog_test fixpoint_test engine_test; do
+  for t in parallel_test datalog_test fixpoint_test engine_test \
+           failpoint_test governor_test; do
     echo "-- $t"
     "$BUILD_DIR"/tests/"$t"
   done
@@ -115,7 +158,8 @@ help_flags = set(re.findall(r"--[a-z][a-z_-]*", help_text))
 WHITELIST = {
     "--benchmark_filter", "--benchmark_min_time", "--benchmark_repetitions",
     "--benchmark_format", "--benchmark_out", "--gtest_filter",
-    "--output-on-failure", "--test-dir", "--tsan", "--build", "--target",
+    "--output-on-failure", "--test-dir", "--tsan", "--asan", "--fuzz",
+    "--build", "--target",
 }
 
 problems = []
