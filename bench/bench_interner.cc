@@ -1,0 +1,126 @@
+// E18 — the hash-consing term interner (src/term/interner.*).
+//
+// The ablation pair: with interning, fixpoint child lookups are one Apply
+// (hash probe, O(1)) keyed by dense TermId; without it they re-hash a full
+// Path per lookup and every map keyed by Path pays O(depth) equality on
+// collision. BM_Interner_TermIdMapLookup vs BM_Interner_PathMapLookup
+// measures exactly that substitution on identical workloads.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/term/interner.h"
+#include "src/term/path.h"
+
+namespace {
+
+using namespace relspec;
+using relspec_bench::ScopedBenchMetrics;
+
+// All words of length <= depth over `syms` symbols, as symbol vectors.
+std::vector<std::vector<FuncId>> Universe(int syms, int depth) {
+  std::vector<std::vector<FuncId>> out = {{}};
+  std::vector<std::vector<FuncId>> layer = {{}};
+  for (int d = 0; d < depth; ++d) {
+    std::vector<std::vector<FuncId>> next;
+    for (const auto& w : layer) {
+      for (FuncId f = 0; f < static_cast<FuncId>(syms); ++f) {
+        auto e = w;
+        e.push_back(f);
+        next.push_back(std::move(e));
+      }
+    }
+    out.insert(out.end(), next.begin(), next.end());
+    layer = std::move(next);
+  }
+  return out;
+}
+
+// First-time interning throughput (all misses).
+void BM_Interner_Intern(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  auto universe = Universe(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TermInterner interner;
+    for (const auto& w : universe) {
+      benchmark::DoNotOptimize(interner.FromSymbols(w));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(universe.size()));
+  state.counters["terms"] = static_cast<double>(universe.size());
+}
+BENCHMARK(BM_Interner_Intern)->DenseRange(8, 14, 2);
+
+// Steady-state hit throughput (every term already interned).
+void BM_Interner_Hit(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  auto universe = Universe(2, static_cast<int>(state.range(0)));
+  TermInterner interner;
+  for (const auto& w : universe) interner.FromSymbols(w);
+  for (auto _ : state) {
+    for (const auto& w : universe) {
+      benchmark::DoNotOptimize(interner.FindSymbols(w));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(universe.size()));
+}
+BENCHMARK(BM_Interner_Hit)->DenseRange(8, 14, 2);
+
+// The fixpoint's hot loop with interning ON: label maps keyed by dense
+// TermId, children via Apply.
+void BM_Interner_TermIdMapLookup(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  auto universe = Universe(2, static_cast<int>(state.range(0)));
+  TermInterner interner;
+  std::unordered_map<TermId, uint64_t> labels;
+  for (const auto& w : universe) labels[interner.FromSymbols(w)] = w.size();
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (const auto& w : universe) {
+      TermId t = interner.FindSymbols(w);
+      for (FuncId f = 0; f < 2; ++f) {
+        TermId child = interner.Apply(f, t);
+        auto it = labels.find(child);
+        if (it != labels.end()) sum += it->second;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(universe.size()) * 2);
+}
+BENCHMARK(BM_Interner_TermIdMapLookup)->DenseRange(8, 12, 2);
+
+// The same workload with interning OFF: label maps keyed by Path, children
+// via Path::Extend (alloc + full re-hash per lookup).
+void BM_Interner_PathMapLookup(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  auto universe = Universe(2, static_cast<int>(state.range(0)));
+  std::unordered_map<Path, uint64_t, PathHash> labels;
+  std::vector<Path> paths;
+  for (const auto& w : universe) {
+    paths.emplace_back(w);
+    labels[paths.back()] = w.size();
+  }
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (const Path& p : paths) {
+      for (FuncId f = 0; f < 2; ++f) {
+        auto it = labels.find(p.Extend(f));
+        if (it != labels.end()) sum += it->second;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(universe.size()) * 2);
+}
+BENCHMARK(BM_Interner_PathMapLookup)->DenseRange(8, 12, 2);
+
+}  // namespace

@@ -12,6 +12,7 @@
 #include "bench/bench_util.h"
 #include "src/core/engine.h"
 #include "src/core/query.h"
+#include "src/core/snapshot.h"
 #include "src/parser/parser.h"
 
 namespace {
@@ -95,6 +96,89 @@ void BM_Query_JoinIncremental(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Query_JoinIncremental);
+
+// E18 — repeated-query throughput with the LRU answer cache. The warm loop
+// must beat the uncached incremental path by >= 5x (ISSUE acceptance bar):
+// a hit is one fingerprint hash + one map lookup, no joins.
+void BM_Query_CachedWarm(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  Setup setup;
+  if (!Prepare(state, static_cast<int>(state.range(0)), &setup)) return;
+  QueryCache cache;
+  // Populate once; every timed iteration is a hit.
+  auto first = AnswerQueryCached(setup.db.get(), setup.query, &cache);
+  if (!first.ok()) {
+    state.SkipWithError(first.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto ans = AnswerQueryCached(setup.db.get(), setup.query, &cache);
+    benchmark::DoNotOptimize(ans);
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Query_CachedWarm)->DenseRange(2, 14, 3);
+
+// The cold path: every iteration misses (the cache is cleared), measuring
+// the cache's bookkeeping overhead on top of the incremental join.
+void BM_Query_CachedCold(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  Setup setup;
+  if (!Prepare(state, static_cast<int>(state.range(0)), &setup)) return;
+  QueryCache cache;
+  for (auto _ : state) {
+    cache.Clear();
+    auto ans = AnswerQueryCached(setup.db.get(), setup.query, &cache);
+    benchmark::DoNotOptimize(ans);
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Query_CachedCold)->DenseRange(2, 14, 3);
+
+// E18 — cold vs warm start: the full parse/ground/fixpoint/Q pipeline
+// against reloading the finished specification from a binary snapshot.
+void BM_Query_ColdStartPipeline(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  std::string source = RotationProgram(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    auto spec = (*db)->BuildGraphSpec();
+    benchmark::DoNotOptimize(spec);
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Query_ColdStartPipeline)->DenseRange(2, 14, 3);
+
+void BM_Query_WarmStartSnapshot(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  auto db =
+      FunctionalDatabase::FromSource(RotationProgram(static_cast<int>(state.range(0))));
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  auto spec = (*db)->BuildGraphSpec();
+  if (!spec.ok()) {
+    state.SkipWithError(spec.status().ToString().c_str());
+    return;
+  }
+  std::string bin = Snapshot::Serialize(*spec);
+  for (auto _ : state) {
+    auto reloaded = Snapshot::ParseGraphSpec(bin);
+    if (!reloaded.ok()) {
+      state.SkipWithError(reloaded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(reloaded);
+  }
+  state.counters["k"] = static_cast<double>(state.range(0));
+  state.counters["snapshot_bytes"] = static_cast<double>(bin.size());
+}
+BENCHMARK(BM_Query_WarmStartSnapshot)->DenseRange(2, 14, 3);
 
 // Answer enumeration scales linearly with the requested horizon.
 void BM_Query_Enumerate(benchmark::State& state) {

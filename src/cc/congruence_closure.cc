@@ -43,8 +43,9 @@ void CongruenceClosure::AddTerm(TermId t) {
 }
 
 CongruenceClosure::Signature CongruenceClosure::SignatureOf(TermId t) {
-  const TermNode& n = arena_->node(t);
-  return Signature{n.fn, uf_.Find(n.child), n.args};
+  TermNode n = arena_->node(t);
+  return Signature{n.fn, uf_.Find(n.child),
+                   std::vector<ConstId>(n.args.begin(), n.args.end())};
 }
 
 void CongruenceClosure::Merge(TermId a, TermId b) {

@@ -110,6 +110,31 @@ StatusOr<EquationalSpecification> FunctionalDatabase::BuildEquationalSpec() {
   return BuildEquationalSpecification(graph_, &labeling_, program_.symbols);
 }
 
+uint64_t FunctionalDatabase::Fingerprint() const {
+  if (fingerprint_ != 0) return fingerprint_;
+  // FNV-1a over the normal-form rendering, then mixed with the
+  // result-affecting build parameters. The rendering fixes fact/rule order,
+  // so two databases answer queries identically iff the inputs match.
+  uint64_t h = 1469598103934665603ull;
+  auto eat = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (char c : ToString(original_)) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  eat(static_cast<uint64_t>(graph_.trunk_depth()));
+  eat(static_cast<uint64_t>(graph_.frontier_depth()));
+  eat(graph_.num_clusters());
+  eat(truncated() ? 1 : 0);
+  if (h == 0) h = 1;  // 0 is the "not computed" sentinel
+  fingerprint_ = h;
+  return h;
+}
+
 Status FunctionalDatabase::Verify() {
   if (truncated()) {
     return Status::FailedPrecondition(

@@ -108,6 +108,13 @@ class FunctionalDatabase {
   /// engine's pure path form.
   StatusOr<Path> PathOfGroundTerm(const FuncTerm& term);
 
+  /// A stable fingerprint of this database's answer-relevant state: the
+  /// original program rendered in normal form plus the result-affecting
+  /// build parameters (trunk/frontier depths, truncation). QueryCache keys
+  /// on it so entries from a different database never alias. Lazy; O(1)
+  /// after the first call.
+  uint64_t Fingerprint() const;
+
  private:
   FunctionalDatabase() = default;
 
@@ -119,6 +126,7 @@ class FunctionalDatabase {
   std::unique_ptr<GroundProgram> ground_;  // address-stable for labeling_
   Labeling labeling_;
   LabelGraph graph_;
+  mutable uint64_t fingerprint_ = 0;  // 0 = not yet computed
 };
 
 }  // namespace relspec

@@ -77,6 +77,7 @@ class EquationalSpecification {
   friend StatusOr<EquationalSpecification> BuildEquationalSpecification(
       const LabelGraph&, Labeling*, const SymbolTable&);
   friend class SpecIo;
+  friend class Snapshot;
 
   /// Lazily constructs the congruence closure over the equations.
   void EnsureClosure();

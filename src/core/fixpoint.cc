@@ -47,11 +47,12 @@ const DynamicBitset& Labeling::LabelOf(const Path& path) {
   for (FuncId f : path.symbols()) {
     if (ground_->SymIndexOf(f) == kInvalidId) return empty_label_;
   }
-  if (path.depth() <= c) return trunk_labels_.at(path);
+  TermId t = terms_.FromSymbols(path.symbols());
+  if (path.depth() <= c) return trunk_labels_.at(t);
   if (path.depth() == c + 1) {
-    return chi_->Value(chi_->EntryFor(boundary_seeds_.at(path)));
+    return chi_->Value(chi_->EntryFor(boundary_seeds_.at(t)));
   }
-  auto it = deep_cache_.find(path);
+  auto it = deep_cache_.find(t);
   if (it != deep_cache_.end()) {
     RELSPEC_COUNTER("fixpoint.deep_cache_hits");
     return it->second;
@@ -63,7 +64,7 @@ const DynamicBitset& Labeling::LabelOf(const Path& path) {
     SymIdx sym = ground_->SymIndexOf(path.at(i));
     label = chi_->Expand(label)[sym];
   }
-  return deep_cache_.emplace(path, std::move(label)).first->second;
+  return deep_cache_.emplace(t, std::move(label)).first->second;
 }
 
 bool Labeling::Holds(const Path& path, const SliceAtom& atom) {
@@ -112,22 +113,26 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
   RELSPEC_ASSIGN_OR_RETURN(
       out.trunk_paths_,
       PathsUpToDepth(ground.alphabet(), c, options.max_trunk_nodes));
+  TermInterner& terms = out.terms_;
   for (const Path& p : out.trunk_paths_) {
-    out.trunk_labels_.emplace(p, DynamicBitset(num_atoms));
+    out.trunk_labels_.emplace(terms.FromSymbols(p.symbols()),
+                              DynamicBitset(num_atoms));
   }
   RELSPEC_GAUGE_SET("fixpoint.trunk_nodes", out.trunk_paths_.size());
   // Boundary seeds: children of depth-c trunk nodes.
   for (const Path& p : out.trunk_paths_) {
     if (p.depth() != c) continue;
+    TermId pid = terms.FromSymbols(p.symbols());
     for (FuncId f : ground.alphabet()) {
-      out.boundary_seeds_.emplace(p.Extend(f), DynamicBitset(num_atoms));
+      out.boundary_seeds_.emplace(terms.Apply(f, pid),
+                                  DynamicBitset(num_atoms));
     }
   }
 
   // Initial facts.
   for (CtxIdx g : ground.global_facts()) ctx.Set(g);
   for (const auto& [path, atom] : ground.pinned_facts()) {
-    auto it = out.trunk_labels_.find(path);
+    auto it = out.trunk_labels_.find(terms.FromSymbols(path.symbols()));
     if (it == out.trunk_labels_.end()) {
       return Status::Internal("pinned fact at a non-trunk path");
     }
@@ -135,7 +140,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
   }
 
   ChiEngine& chi = *out.chi_;
-  auto boundary_label = [&](const Path& p) -> const DynamicBitset& {
+  auto boundary_label = [&](TermId p) -> const DynamicBitset& {
     return chi.Value(chi.EntryFor(out.boundary_seeds_.at(p)));
   };
 
@@ -194,7 +199,8 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
     for (CtxIdx i = 0; i < ground.num_ctx(); ++i) {
       const CtxProp& prop = ground.ctx_prop(i);
       if (prop.kind != CtxProp::Kind::kPinned || !ctx.Test(i)) continue;
-      DynamicBitset& label = out.trunk_labels_.at(prop.path);
+      DynamicBitset& label =
+          out.trunk_labels_.at(terms.FromSymbols(prop.path.symbols()));
       if (!label.Test(prop.atom)) {
         label.Set(prop.atom);
         RELSPEC_COUNTER("fixpoint.pinned_syncs");
@@ -204,11 +210,12 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
 
     // 3. Trunk rules, one pass over nodes in shortlex order.
     for (const Path& w : out.trunk_paths_) {
-      DynamicBitset& label = out.trunk_labels_.at(w);
+      TermId wid = terms.FromSymbols(w.symbols());
+      DynamicBitset& label = out.trunk_labels_.at(wid);
       bool is_frontier = w.depth() == c;  // children are boundary nodes
       for (const GroundRule& rule : ground.local_rules()) {
         auto child_of = [&](SymIdx s) -> const DynamicBitset& {
-          Path child = w.Extend(ground.alphabet()[s]);
+          TermId child = terms.Apply(ground.alphabet()[s], wid);
           if (is_frontier) return boundary_label(child);
           return out.trunk_labels_.at(child);
         };
@@ -222,7 +229,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
             }
             break;
           case GroundRule::HeadKind::kChild: {
-            Path child = w.Extend(ground.alphabet()[rule.head_sym]);
+            TermId child = terms.Apply(ground.alphabet()[rule.head_sym], wid);
             DynamicBitset& target = is_frontier
                                         ? out.boundary_seeds_.at(child)
                                         : out.trunk_labels_.at(child);
@@ -255,7 +262,8 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
     for (CtxIdx i = 0; i < ground.num_ctx(); ++i) {
       const CtxProp& prop = ground.ctx_prop(i);
       if (prop.kind != CtxProp::Kind::kPinned || ctx.Test(i)) continue;
-      if (out.trunk_labels_.at(prop.path).Test(prop.atom)) {
+      if (out.trunk_labels_.at(terms.FromSymbols(prop.path.symbols()))
+              .Test(prop.atom)) {
         ctx.Set(i);
         changed = true;
       }
@@ -282,6 +290,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
     }
   }
   RELSPEC_GAUGE_SET("fixpoint.chi_entries", chi.num_entries());
+  terms.RecordMetrics();
   if (out.truncated_) {
     RELSPEC_COUNTER("fixpoint.truncated");
     RELSPEC_LOG(kWarning) << "fixpoint truncated after " << out.rounds_
@@ -295,7 +304,9 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
 // ---------------------------------------------------------------------------
 
 const DynamicBitset& BoundedLabeling::LabelOf(const Path& path) const {
-  auto it = labels_.find(path);
+  TermId t = terms_.FindSymbols(path.symbols());
+  if (t == kInvalidId) return empty_label_;
+  auto it = labels_.find(t);
   return it == labels_.end() ? empty_label_ : it->second;
 }
 
@@ -327,13 +338,15 @@ StatusOr<BoundedLabeling> ComputeBoundedFixpoint(const GroundProgram& ground,
 
   RELSPEC_ASSIGN_OR_RETURN(std::vector<Path> nodes,
                            PathsUpToDepth(ground.alphabet(), bound, max_nodes));
+  TermInterner& terms = out.terms_;
   for (const Path& p : nodes) {
-    out.labels_.emplace(p, DynamicBitset(ground.num_atoms()));
+    out.labels_.emplace(terms.FromSymbols(p.symbols()),
+                        DynamicBitset(ground.num_atoms()));
   }
 
   for (CtxIdx g : ground.global_facts()) out.ctx_.Set(g);
   for (const auto& [path, atom] : ground.pinned_facts()) {
-    auto it = out.labels_.find(path);
+    auto it = out.labels_.find(terms.FromSymbols(path.symbols()));
     if (it == out.labels_.end()) {
       return Status::InvalidArgument(
           "bounded fixpoint bound is smaller than the trunk depth");
@@ -359,7 +372,7 @@ StatusOr<BoundedLabeling> ComputeBoundedFixpoint(const GroundProgram& ground,
     for (CtxIdx i = 0; i < ground.num_ctx(); ++i) {
       const CtxProp& prop = ground.ctx_prop(i);
       if (prop.kind != CtxProp::Kind::kPinned) continue;
-      auto it = out.labels_.find(prop.path);
+      auto it = out.labels_.find(terms.FromSymbols(prop.path.symbols()));
       if (it == out.labels_.end()) continue;
       if (out.ctx_.Test(i) && !it->second.Test(prop.atom)) {
         it->second.Set(prop.atom);
@@ -371,12 +384,13 @@ StatusOr<BoundedLabeling> ComputeBoundedFixpoint(const GroundProgram& ground,
     }
     // Local rules at every node of depth <= bound.
     for (const Path& w : nodes) {
-      DynamicBitset& label = out.labels_.at(w);
+      TermId wid = terms.FromSymbols(w.symbols());
+      DynamicBitset& label = out.labels_.at(wid);
       bool has_children = w.depth() < bound;
       for (const GroundRule& rule : ground.local_rules()) {
         auto child_of = [&](SymIdx s) -> const DynamicBitset& {
           if (!has_children) return empty;
-          return out.labels_.at(w.Extend(ground.alphabet()[s]));
+          return out.labels_.at(terms.Apply(ground.alphabet()[s], wid));
         };
         // Truncation: rules writing to depth bound+1 cannot fire.
         if (rule.head_kind == GroundRule::HeadKind::kChild && !has_children) {
@@ -392,7 +406,8 @@ StatusOr<BoundedLabeling> ComputeBoundedFixpoint(const GroundProgram& ground,
             break;
           case GroundRule::HeadKind::kChild: {
             DynamicBitset& target =
-                out.labels_.at(w.Extend(ground.alphabet()[rule.head_sym]));
+                out.labels_.at(terms.Apply(ground.alphabet()[rule.head_sym],
+                                           wid));
             if (!target.Test(rule.head_id)) {
               target.Set(rule.head_id);
               changed = true;

@@ -30,6 +30,7 @@
 #include "src/core/ground.h"
 #include "src/core/subtree_closure.h"
 #include "src/term/path.h"
+#include "src/term/term.h"
 
 namespace relspec {
 
@@ -80,8 +81,12 @@ class Labeling {
   /// All trunk paths (depth <= c) in shortlex order.
   const std::vector<Path>& trunk_paths() const { return trunk_paths_; }
   const DynamicBitset& TrunkLabel(const Path& path) const {
-    return trunk_labels_.at(path);
+    return trunk_labels_.at(terms_.FindSymbols(path.symbols()));
   }
+
+  /// The interner holding every path this labeling has touched (trunk,
+  /// boundary, deep lookups). Label maps are keyed by its TermIds.
+  const TermInterner& terms() const { return terms_; }
 
   size_t rounds() const { return rounds_; }
 
@@ -105,11 +110,15 @@ class Labeling {
   std::unique_ptr<ChiShared> shared_;
   std::unique_ptr<ChiEngine> chi_;
   std::vector<Path> trunk_paths_;
-  std::unordered_map<Path, DynamicBitset, PathHash> trunk_labels_;
+  /// Canonical ids for every path key below: hashing a path is hashing one
+  /// uint32 instead of walking its symbols, and a trunk child lookup is one
+  /// O(1) Apply instead of a Path allocation.
+  TermInterner terms_;
+  std::unordered_map<TermId, DynamicBitset> trunk_labels_;
   /// Boundary (depth c+1) seeds.
-  std::unordered_map<Path, DynamicBitset, PathHash> boundary_seeds_;
+  std::unordered_map<TermId, DynamicBitset> boundary_seeds_;
   /// Cache for LabelOf beyond the boundary.
-  std::unordered_map<Path, DynamicBitset, PathHash> deep_cache_;
+  std::unordered_map<TermId, DynamicBitset> deep_cache_;
   size_t rounds_ = 0;
   bool truncated_ = false;
   Status breach_;
@@ -138,7 +147,8 @@ class BoundedLabeling {
                                                           int, size_t);
   const GroundProgram* ground_ = nullptr;
   int bound_ = 0;
-  std::unordered_map<Path, DynamicBitset, PathHash> labels_;
+  TermInterner terms_;
+  std::unordered_map<TermId, DynamicBitset> labels_;
   DynamicBitset ctx_;
   DynamicBitset empty_label_;
 };

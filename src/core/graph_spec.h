@@ -60,6 +60,7 @@ class GraphSpecification {
   friend StatusOr<GraphSpecification> BuildGraphSpecification(
       const LabelGraph&, Labeling*, const SymbolTable&);
   friend class SpecIo;
+  friend class Snapshot;
 
   LabelGraph graph_;
   SymbolTable symbols_;

@@ -103,6 +103,7 @@ class LabelGraph {
  private:
   friend StatusOr<LabelGraph> BuildLabelGraph(Labeling*, const LabelGraphOptions&);
   friend class SpecIo;
+  friend class Snapshot;
 
   std::vector<Cluster> clusters_;
   std::unordered_map<FuncId, uint32_t> sym_index_;

@@ -336,6 +336,27 @@ StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase* db,
   return out;
 }
 
+size_t QueryAnswer::ApproxBytes() const {
+  size_t n = sizeof(QueryAnswer);
+  for (const std::string& c : columns_) n += c.capacity();
+  for (const Cluster& c : graph_.clusters()) {
+    n += sizeof(Cluster) + c.representative.depth() * sizeof(FuncId) +
+         c.label.size() / 8 + c.successors.size() * sizeof(uint32_t);
+  }
+  n += alphabet_.size() * sizeof(FuncId);
+  for (const auto& tuples : per_cluster_) {
+    n += sizeof(tuples) + tuples.size() * sizeof(std::vector<ConstId>);
+    for (const auto& t : tuples) n += t.size() * sizeof(ConstId);
+  }
+  n += flat_.size() * sizeof(std::vector<ConstId>);
+  for (const auto& t : flat_) n += t.size() * sizeof(ConstId);
+  // Symbol tables are dominated by names; 24 bytes is a fair per-entry guess
+  // without walking every string.
+  n += 24 * (symbols_.num_predicates() + symbols_.num_functions() +
+             symbols_.num_constants() + symbols_.num_variables());
+  return n;
+}
+
 StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query) {
   if (IsUniformQuery(query)) return AnswerQueryIncremental(db, query);
   return AnswerQueryRecompute(db, query);
@@ -346,6 +367,95 @@ StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query) {
   RELSPEC_COUNTER("query.yesno_checks");
   RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerQuery(db, query));
   return !answer.IsEmpty();
+}
+
+// ---------------------------------------------------------------------------
+// Query-answer cache
+// ---------------------------------------------------------------------------
+
+std::string QueryCache::FullKey(uint64_t fingerprint,
+                                const std::string& query_key) {
+  return StrFormat("%016llx|",
+                   static_cast<unsigned long long>(fingerprint)) +
+         query_key;
+}
+
+size_t QueryCache::EffectiveMaxBytes() const {
+  size_t budget = options_.max_bytes;
+  if (options_.governor != nullptr &&
+      options_.governor->limits().max_bytes > 0) {
+    uint64_t charged = options_.governor->bytes();
+    uint64_t headroom = options_.governor->limits().max_bytes > charged
+                            ? options_.governor->limits().max_bytes - charged
+                            : 0;
+    budget = std::min<size_t>(budget, headroom);
+  }
+  return budget;
+}
+
+std::shared_ptr<const QueryAnswer> QueryCache::Lookup(
+    uint64_t fingerprint, const std::string& query_key) {
+  auto it = index_.find(FullKey(fingerprint, query_key));
+  if (it == index_.end()) {
+    RELSPEC_COUNTER("cache.miss");
+    return nullptr;
+  }
+  RELSPEC_COUNTER("cache.hit");
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->answer;
+}
+
+void QueryCache::Insert(uint64_t fingerprint, const std::string& query_key,
+                        std::shared_ptr<const QueryAnswer> answer) {
+  if (options_.max_entries == 0 || answer == nullptr) return;
+  std::string key = FullKey(fingerprint, query_key);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  size_t budget = EffectiveMaxBytes();
+  size_t answer_bytes = answer->ApproxBytes();
+  if (answer_bytes > budget) return;  // would evict everything and not fit
+  lru_.push_front(Entry{key, std::move(answer), answer_bytes});
+  index_[std::move(key)] = lru_.begin();
+  bytes_ += answer_bytes;
+  EvictToBudget(budget);
+}
+
+void QueryCache::EvictToBudget(size_t max_bytes) {
+  while (!lru_.empty() &&
+         (lru_.size() > options_.max_entries || bytes_ > max_bytes)) {
+    const Entry& victim = lru_.back();
+    RELSPEC_COUNTER("cache.evict");
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+  RELSPEC_GAUGE_MAX("cache.bytes", bytes_);
+  RELSPEC_GAUGE_MAX("cache.entries", lru_.size());
+}
+
+void QueryCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+StatusOr<std::shared_ptr<const QueryAnswer>> AnswerQueryCached(
+    FunctionalDatabase* db, const Query& query, QueryCache* cache) {
+  if (cache == nullptr) {
+    RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerQuery(db, query));
+    return std::make_shared<const QueryAnswer>(std::move(answer));
+  }
+  uint64_t fp = db->Fingerprint();
+  std::string key = ToString(query, db->program().symbols);
+  if (auto hit = cache->Lookup(fp, key)) return hit;
+  RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerQuery(db, query));
+  auto shared = std::make_shared<const QueryAnswer>(std::move(answer));
+  cache->Insert(fp, key, shared);
+  return shared;
 }
 
 }  // namespace relspec

@@ -18,8 +18,11 @@
 #ifndef RELSPEC_CORE_QUERY_H_
 #define RELSPEC_CORE_QUERY_H_
 
+#include <list>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/ast/ast.h"
@@ -75,6 +78,9 @@ class QueryAnswer {
   /// Tuples stored in the specification (size of Q(B)).
   size_t NumSpecTuples() const;
 
+  /// Approximate heap footprint of this answer, for cache budgeting.
+  size_t ApproxBytes() const;
+
   const SymbolTable& symbols() const { return symbols_; }
   const LabelGraph& graph() const { return graph_; }
   const std::vector<std::vector<std::vector<ConstId>>>& tuples_per_cluster()
@@ -114,6 +120,72 @@ StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query);
 
 /// "Does Z and D imply the (existentially closed) query?"
 StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query);
+
+// ---------------------------------------------------------------------------
+// Query-answer cache
+// ---------------------------------------------------------------------------
+
+/// LRU cache of query answers, keyed by (database fingerprint, normalized
+/// query text). Answers are immutable once constructed, so hits share them
+/// by shared_ptr; the fingerprint keys out stale entries when a different
+/// database reuses the cache. Not thread-safe — one cache per evaluation
+/// thread, matching the engine's single-coordinator design.
+class QueryCache {
+ public:
+  struct Options {
+    /// Entry-count ceiling. Zero disables caching entirely.
+    size_t max_entries = 64;
+    /// Approximate byte ceiling over cached answers (QueryAnswer::ApproxBytes).
+    size_t max_bytes = 16 << 20;
+    /// Optional governor. The effective byte budget at each insert is
+    /// min(max_bytes, the governor's remaining tracked-allocation headroom).
+    /// The cache never calls ChargeBytes: a sticky breach would poison the
+    /// run over what is only an optimization. Must outlive the cache.
+    ResourceGovernor* governor = nullptr;
+  };
+
+  QueryCache() : QueryCache(Options()) {}
+  explicit QueryCache(Options options) : options_(options) {}
+
+  /// The cached answer, or nullptr. A hit refreshes LRU recency. Publishes
+  /// cache.hit / cache.miss.
+  std::shared_ptr<const QueryAnswer> Lookup(uint64_t fingerprint,
+                                            const std::string& query_key);
+
+  /// Inserts (replacing any entry under the same key), then evicts
+  /// least-recently-used entries until both budgets hold. An answer larger
+  /// than the effective byte budget is not cached at all.
+  void Insert(uint64_t fingerprint, const std::string& query_key,
+              std::shared_ptr<const QueryAnswer> answer);
+
+  void Clear();
+  size_t size() const { return lru_.size(); }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const QueryAnswer> answer;
+    size_t bytes = 0;
+  };
+
+  static std::string FullKey(uint64_t fingerprint,
+                             const std::string& query_key);
+  size_t EffectiveMaxBytes() const;
+  void EvictToBudget(size_t max_bytes);
+
+  Options options_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t bytes_ = 0;
+};
+
+/// AnswerQuery through `cache`: the key is (db->Fingerprint(), the query
+/// printed in normal form), so textually different spellings of the same
+/// normalized query share an entry. With a null cache this is exactly
+/// AnswerQuery.
+StatusOr<std::shared_ptr<const QueryAnswer>> AnswerQueryCached(
+    FunctionalDatabase* db, const Query& query, QueryCache* cache);
 
 }  // namespace relspec
 

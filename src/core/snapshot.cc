@@ -1,0 +1,719 @@
+#include "src/core/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/str_util.h"
+
+namespace relspec {
+namespace {
+
+// Section tags. Mandatory sections are validated per kind after reading.
+enum SectionTag : uint32_t {
+  kSecMeta = 1,      // depths, truncation marker
+  kSecSymbols = 2,   // the symbol table
+  kSecAlphabet = 3,  // graph only: alphabet function ids
+  kSecAtoms = 4,     // slice-atom dictionary
+  kSecClusters = 5,  // clusters with slices and successors
+  kSecBoundary = 6,  // graph only: frontier path -> cluster (shortlex order)
+  kSecEquations = 7, // equational only: R as path pairs
+  kSecGlobals = 8,   // ground non-functional facts of B
+};
+
+constexpr size_t kHeaderSize = 4 + 4 + 4 + 8;
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Chained splitmix over 8-byte blocks (tail zero-padded): cheap, and any
+// flipped bit avalanches into the final value.
+uint64_t Checksum(std::string_view bytes) {
+  uint64_t h = Mix(0x243f6a8885a308d3ull ^ bytes.size());
+  size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes.data() + i, 8);
+    h = Mix(h ^ word);
+  }
+  if (i < bytes.size()) {
+    uint64_t word = 0;
+    std::memcpy(&word, bytes.data() + i, bytes.size() - i);
+    h = Mix(h ^ word);
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>(v >> (8 * i)));
+  }
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+  void PathOf(const Path& p) {
+    U32(static_cast<uint32_t>(p.symbols().size()));
+    for (FuncId f : p.symbols()) U32(f);
+  }
+  void Bits(const DynamicBitset& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    U32(static_cast<uint32_t>(b.Count()));
+    b.ForEach([&](size_t i) { U32(static_cast<uint32_t>(i)); });
+  }
+
+  /// Closes the pending section (tag recorded by Begin) by patching its
+  /// length field.
+  void Begin(uint32_t tag) {
+    U32(tag);
+    U64(0);  // patched by End
+    section_start_ = out_.size();
+  }
+  void End() {
+    uint64_t len = out_.size() - section_start_;
+    for (int i = 0; i < 8; ++i) {
+      out_[section_start_ - 8 + i] = static_cast<char>(len >> (8 * i));
+    }
+  }
+
+  std::string Finish(Snapshot::Kind kind) {
+    std::string file;
+    file.reserve(kHeaderSize + out_.size());
+    file.append(Snapshot::kMagic, 4);
+    for (int i = 0; i < 4; ++i) {
+      file.push_back(static_cast<char>(Snapshot::kVersion >> (8 * i)));
+    }
+    uint32_t k = static_cast<uint32_t>(kind);
+    for (int i = 0; i < 4; ++i) file.push_back(static_cast<char>(k >> (8 * i)));
+    uint64_t sum = Checksum(out_);
+    for (int i = 0; i < 8; ++i) {
+      file.push_back(static_cast<char>(sum >> (8 * i)));
+    }
+    file.append(out_);
+    return file;
+  }
+
+ private:
+  std::string out_;
+  size_t section_start_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+// Bounds-checked little-endian reader over one section's payload.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Status U8(uint8_t* v) {
+    if (pos_ + 1 > size_) return Truncated();
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+  Status U32(uint32_t* v) {
+    if (pos_ + 4 > size_) return Truncated();
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return Status::OK();
+  }
+  Status U64(uint64_t* v) {
+    if (pos_ + 8 > size_) return Truncated();
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return Status::OK();
+  }
+  Status I32(int32_t* v) {
+    uint32_t u = 0;
+    RELSPEC_RETURN_NOT_OK(U32(&u));
+    *v = static_cast<int32_t>(u);
+    return Status::OK();
+  }
+  Status Str(std::string* s) {
+    uint32_t n = 0;
+    RELSPEC_RETURN_NOT_OK(U32(&n));
+    if (pos_ + n > size_ || n > size_) return Truncated();
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  Status PathOf(Path* p) {
+    uint32_t n = 0;
+    RELSPEC_RETURN_NOT_OK(U32(&n));
+    // Each symbol costs 4 bytes; reject counts the payload cannot hold
+    // before reserving.
+    if (n > (size_ - pos_) / 4) return Truncated();
+    std::vector<FuncId> syms;
+    syms.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t f = 0;
+      RELSPEC_RETURN_NOT_OK(U32(&f));
+      syms.push_back(f);
+    }
+    *p = Path(std::move(syms));
+    return Status::OK();
+  }
+  Status Bits(DynamicBitset* b, size_t expect_universe) {
+    uint32_t universe = 0, count = 0;
+    RELSPEC_RETURN_NOT_OK(U32(&universe));
+    RELSPEC_RETURN_NOT_OK(U32(&count));
+    if (universe != expect_universe) {
+      return Status::InvalidArgument("snapshot: bitset universe mismatch");
+    }
+    if (count > (size_ - pos_) / 4) return Truncated();
+    *b = DynamicBitset(universe);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t bit = 0;
+      RELSPEC_RETURN_NOT_OK(U32(&bit));
+      if (bit >= universe) {
+        return Status::InvalidArgument("snapshot: bit index out of range");
+      }
+      b->Set(bit);
+    }
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("snapshot: truncated section");
+  }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared section payloads
+// ---------------------------------------------------------------------------
+
+void WriteSymbols(const SymbolTable& symbols, Writer* w) {
+  w->Begin(kSecSymbols);
+  w->U32(static_cast<uint32_t>(symbols.num_predicates()));
+  for (PredId p = 0; p < symbols.num_predicates(); ++p) {
+    const PredicateInfo& info = symbols.predicate(p);
+    w->Str(info.name);
+    w->I32(info.arity);
+    w->U8(info.functional ? 1 : 0);
+  }
+  w->U32(static_cast<uint32_t>(symbols.num_functions()));
+  for (FuncId f = 0; f < symbols.num_functions(); ++f) {
+    const FunctionInfo& info = symbols.function(f);
+    w->Str(info.name);
+    w->I32(info.arity);
+  }
+  w->U32(static_cast<uint32_t>(symbols.num_constants()));
+  for (ConstId c = 0; c < symbols.num_constants(); ++c) {
+    w->Str(symbols.constant_name(c));
+  }
+  w->End();
+}
+
+Status ReadSymbols(Reader* r, SymbolTable* symbols) {
+  uint32_t n = 0;
+  RELSPEC_RETURN_NOT_OK(r->U32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    int32_t arity = 0;
+    uint8_t functional = 0;
+    RELSPEC_RETURN_NOT_OK(r->Str(&name));
+    RELSPEC_RETURN_NOT_OK(r->I32(&arity));
+    RELSPEC_RETURN_NOT_OK(r->U8(&functional));
+    RELSPEC_RETURN_NOT_OK(
+        symbols->InternPredicate(name, arity, functional != 0).status());
+  }
+  RELSPEC_RETURN_NOT_OK(r->U32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    int32_t arity = 0;
+    RELSPEC_RETURN_NOT_OK(r->Str(&name));
+    RELSPEC_RETURN_NOT_OK(r->I32(&arity));
+    RELSPEC_RETURN_NOT_OK(symbols->InternFunction(name, arity).status());
+  }
+  RELSPEC_RETURN_NOT_OK(r->U32(&n));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    RELSPEC_RETURN_NOT_OK(r->Str(&name));
+    symbols->InternConstant(name);
+  }
+  return Status::OK();
+}
+
+void WriteAtoms(const std::vector<SliceAtom>& atoms, Writer* w) {
+  w->Begin(kSecAtoms);
+  w->U32(static_cast<uint32_t>(atoms.size()));
+  for (const SliceAtom& a : atoms) {
+    w->U32(a.pred);
+    w->U32(static_cast<uint32_t>(a.args.size()));
+    for (ConstId c : a.args) w->U32(c);
+  }
+  w->End();
+}
+
+Status ReadAtoms(Reader* r, const SymbolTable& symbols,
+                 std::vector<SliceAtom>* atoms) {
+  uint32_t n = 0;
+  RELSPEC_RETURN_NOT_OK(r->U32(&n));
+  atoms->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    SliceAtom a;
+    RELSPEC_RETURN_NOT_OK(r->U32(&a.pred));
+    if (a.pred >= symbols.num_predicates()) {
+      return Status::InvalidArgument("snapshot: atom predicate out of range");
+    }
+    uint32_t argc = 0;
+    RELSPEC_RETURN_NOT_OK(r->U32(&argc));
+    for (uint32_t k = 0; k < argc; ++k) {
+      uint32_t c = 0;
+      RELSPEC_RETURN_NOT_OK(r->U32(&c));
+      if (c >= symbols.num_constants()) {
+        return Status::InvalidArgument("snapshot: atom constant out of range");
+      }
+      a.args.push_back(c);
+    }
+    atoms->push_back(std::move(a));
+  }
+  return Status::OK();
+}
+
+void WriteClusters(const std::vector<Cluster>& clusters, Writer* w) {
+  w->Begin(kSecClusters);
+  w->U32(static_cast<uint32_t>(clusters.size()));
+  for (const Cluster& c : clusters) {
+    w->U8(c.trunk ? 1 : 0);
+    w->PathOf(c.representative);
+    w->Bits(c.label);
+    w->U32(static_cast<uint32_t>(c.successors.size()));
+    for (uint32_t s : c.successors) w->U32(s);
+  }
+  w->End();
+}
+
+Status ReadClusters(Reader* r, const SymbolTable& symbols, size_t num_atoms,
+                    std::vector<Cluster>* clusters) {
+  uint32_t n = 0;
+  RELSPEC_RETURN_NOT_OK(r->U32(&n));
+  clusters->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Cluster c;
+    uint8_t trunk = 0;
+    RELSPEC_RETURN_NOT_OK(r->U8(&trunk));
+    c.trunk = trunk != 0;
+    RELSPEC_RETURN_NOT_OK(r->PathOf(&c.representative));
+    for (FuncId f : c.representative.symbols()) {
+      if (f >= symbols.num_functions()) {
+        return Status::InvalidArgument("snapshot: path symbol out of range");
+      }
+    }
+    RELSPEC_RETURN_NOT_OK(r->Bits(&c.label, num_atoms));
+    uint32_t succ = 0;
+    RELSPEC_RETURN_NOT_OK(r->U32(&succ));
+    if (succ > r->remaining() / 4) {
+      return Status::InvalidArgument("snapshot: truncated section");
+    }
+    for (uint32_t s = 0; s < succ; ++s) {
+      uint32_t t = 0;
+      RELSPEC_RETURN_NOT_OK(r->U32(&t));
+      c.successors.push_back(t);
+    }
+    clusters->push_back(std::move(c));
+  }
+  return Status::OK();
+}
+
+void WriteGlobals(
+    const std::vector<std::pair<PredId, std::vector<ConstId>>>& globals,
+    Writer* w) {
+  w->Begin(kSecGlobals);
+  w->U32(static_cast<uint32_t>(globals.size()));
+  for (const auto& [pred, args] : globals) {
+    w->U32(pred);
+    w->U32(static_cast<uint32_t>(args.size()));
+    for (ConstId c : args) w->U32(c);
+  }
+  w->End();
+}
+
+Status ReadGlobals(
+    Reader* r, const SymbolTable& symbols,
+    std::vector<std::pair<PredId, std::vector<ConstId>>>* globals) {
+  uint32_t n = 0;
+  RELSPEC_RETURN_NOT_OK(r->U32(&n));
+  globals->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::pair<PredId, std::vector<ConstId>> g;
+    RELSPEC_RETURN_NOT_OK(r->U32(&g.first));
+    if (g.first >= symbols.num_predicates()) {
+      return Status::InvalidArgument("snapshot: global predicate out of range");
+    }
+    uint32_t argc = 0;
+    RELSPEC_RETURN_NOT_OK(r->U32(&argc));
+    for (uint32_t k = 0; k < argc; ++k) {
+      uint32_t c = 0;
+      RELSPEC_RETURN_NOT_OK(r->U32(&c));
+      if (c >= symbols.num_constants()) {
+        return Status::InvalidArgument(
+            "snapshot: global constant out of range");
+      }
+      g.second.push_back(c);
+    }
+    globals->push_back(std::move(g));
+  }
+  return Status::OK();
+}
+
+// meta payload: trunk_depth, frontier_depth, unknown_cluster, truncated
+// marker (flag + code + message).
+void WriteMeta(int trunk_depth, int frontier_depth, uint32_t unknown_cluster,
+               bool truncated, const Status& breach, Writer* w) {
+  w->Begin(kSecMeta);
+  w->I32(trunk_depth);
+  w->I32(frontier_depth);
+  w->U32(unknown_cluster);
+  w->U8(truncated ? 1 : 0);
+  if (truncated) {
+    w->I32(static_cast<int32_t>(breach.code()));
+    w->Str(breach.message());
+  }
+  w->End();
+}
+
+Status ReadMeta(Reader* r, int* trunk_depth, int* frontier_depth,
+                uint32_t* unknown_cluster, bool* truncated, Status* breach) {
+  RELSPEC_RETURN_NOT_OK(r->I32(trunk_depth));
+  RELSPEC_RETURN_NOT_OK(r->I32(frontier_depth));
+  RELSPEC_RETURN_NOT_OK(r->U32(unknown_cluster));
+  uint8_t flag = 0;
+  RELSPEC_RETURN_NOT_OK(r->U8(&flag));
+  *truncated = flag != 0;
+  if (*truncated) {
+    int32_t code = 0;
+    std::string message;
+    RELSPEC_RETURN_NOT_OK(r->I32(&code));
+    RELSPEC_RETURN_NOT_OK(r->Str(&message));
+    if (code <= 0 || code > static_cast<int>(StatusCode::kDeadlineExceeded)) {
+      return Status::InvalidArgument("snapshot: bad breach code");
+    }
+    *breach = Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Header + section walk
+// ---------------------------------------------------------------------------
+
+struct Section {
+  uint32_t tag;
+  const char* data;
+  size_t size;
+};
+
+Status ReadHeader(std::string_view bytes, Snapshot::Kind* kind,
+                  std::string_view* body) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument("snapshot: file shorter than header");
+  }
+  if (std::memcmp(bytes.data(), Snapshot::kMagic, 4) != 0) {
+    return Status::InvalidArgument("snapshot: bad magic");
+  }
+  Reader r(bytes.data() + 4, kHeaderSize - 4);
+  uint32_t version = 0, kind_raw = 0;
+  uint64_t checksum = 0;
+  RELSPEC_RETURN_NOT_OK(r.U32(&version));
+  RELSPEC_RETURN_NOT_OK(r.U32(&kind_raw));
+  RELSPEC_RETURN_NOT_OK(r.U64(&checksum));
+  if (version != Snapshot::kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot: unsupported version %u (this build reads v%u)",
+                  version, Snapshot::kVersion));
+  }
+  if (kind_raw != static_cast<uint32_t>(Snapshot::Kind::kGraph) &&
+      kind_raw != static_cast<uint32_t>(Snapshot::Kind::kEquational)) {
+    return Status::InvalidArgument("snapshot: unknown kind");
+  }
+  *kind = static_cast<Snapshot::Kind>(kind_raw);
+  *body = bytes.substr(kHeaderSize);
+  if (Checksum(*body) != checksum) {
+    return Status::InvalidArgument("snapshot: checksum mismatch");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Section>> ReadSections(std::string_view body) {
+  std::vector<Section> out;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    Reader r(body.data() + pos, body.size() - pos);
+    uint32_t tag = 0;
+    uint64_t len = 0;
+    RELSPEC_RETURN_NOT_OK(r.U32(&tag));
+    RELSPEC_RETURN_NOT_OK(r.U64(&len));
+    pos += 12;
+    if (len > body.size() - pos) {
+      return Status::InvalidArgument("snapshot: section length exceeds file");
+    }
+    out.push_back(Section{tag, body.data() + pos, static_cast<size_t>(len)});
+    pos += len;
+  }
+  return out;
+}
+
+StatusOr<Section> FindSection(const std::vector<Section>& sections,
+                              uint32_t tag) {
+  for (const Section& s : sections) {
+    if (s.tag == tag) return s;
+  }
+  return Status::InvalidArgument(
+      StrFormat("snapshot: missing section %u", tag));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Graph specification
+// ---------------------------------------------------------------------------
+
+std::string Snapshot::Serialize(const GraphSpecification& spec) {
+  Writer w;
+  const LabelGraph& g = spec.graph();
+  WriteMeta(g.trunk_depth(), g.frontier_depth(), g.unknown_cluster(),
+            g.truncated(), g.breach(), &w);
+  WriteSymbols(spec.symbols(), &w);
+
+  w.Begin(kSecAlphabet);
+  w.U32(static_cast<uint32_t>(spec.alphabet().size()));
+  for (FuncId f : spec.alphabet()) w.U32(f);
+  w.End();
+
+  WriteAtoms(spec.atom_dictionary(), &w);
+  WriteClusters(g.clusters(), &w);
+
+  // Boundary entries in shortlex order, so the byte stream is independent of
+  // the unordered_map's iteration order.
+  std::vector<std::pair<Path, uint32_t>> boundary(g.boundary_clusters().begin(),
+                                                  g.boundary_clusters().end());
+  std::sort(boundary.begin(), boundary.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.Begin(kSecBoundary);
+  w.U32(static_cast<uint32_t>(boundary.size()));
+  for (const auto& [path, cluster] : boundary) {
+    w.PathOf(path);
+    w.U32(cluster);
+  }
+  w.End();
+
+  WriteGlobals(spec.globals(), &w);
+  return w.Finish(Kind::kGraph);
+}
+
+StatusOr<Snapshot::Kind> Snapshot::PeekKind(std::string_view bytes) {
+  Kind kind;
+  std::string_view body;
+  RELSPEC_RETURN_NOT_OK(ReadHeader(bytes, &kind, &body));
+  return kind;
+}
+
+StatusOr<GraphSpecification> Snapshot::ParseGraphSpec(std::string_view bytes) {
+  Kind kind;
+  std::string_view body;
+  RELSPEC_RETURN_NOT_OK(ReadHeader(bytes, &kind, &body));
+  if (kind != Kind::kGraph) {
+    return Status::InvalidArgument("snapshot: not a graph specification");
+  }
+  RELSPEC_ASSIGN_OR_RETURN(std::vector<Section> sections, ReadSections(body));
+  GraphSpecification spec;
+  LabelGraph& g = spec.graph_;
+
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecMeta));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(ReadMeta(&r, &g.trunk_depth_, &g.frontier_depth_,
+                                   &g.unknown_cluster_, &g.truncated_,
+                                   &g.breach_));
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecSymbols));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(ReadSymbols(&r, &spec.symbols_));
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecAlphabet));
+    Reader r(s.data, s.size);
+    uint32_t n = 0;
+    RELSPEC_RETURN_NOT_OK(r.U32(&n));
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t f = 0;
+      RELSPEC_RETURN_NOT_OK(r.U32(&f));
+      if (f >= spec.symbols_.num_functions()) {
+        return Status::InvalidArgument(
+            "snapshot: alphabet symbol out of range");
+      }
+      spec.alphabet_.push_back(f);
+      g.sym_index_.emplace(f, i);
+    }
+    g.num_symbols_ = spec.alphabet_.size();
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecAtoms));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(ReadAtoms(&r, spec.symbols_, &spec.atoms_));
+    for (AtomIdx i = 0; i < spec.atoms_.size(); ++i) {
+      spec.atom_index_.emplace(spec.atoms_[i], i);
+    }
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecClusters));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(
+        ReadClusters(&r, spec.symbols_, spec.atoms_.size(), &g.clusters_));
+    for (uint32_t i = 0; i < g.clusters_.size(); ++i) {
+      if (g.clusters_[i].trunk) {
+        g.trunk_cluster_.emplace(g.clusters_[i].representative, i);
+      }
+    }
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecBoundary));
+    Reader r(s.data, s.size);
+    uint32_t n = 0;
+    RELSPEC_RETURN_NOT_OK(r.U32(&n));
+    for (uint32_t i = 0; i < n; ++i) {
+      Path p;
+      uint32_t cluster = 0;
+      RELSPEC_RETURN_NOT_OK(r.PathOf(&p));
+      RELSPEC_RETURN_NOT_OK(r.U32(&cluster));
+      if (cluster >= g.clusters_.size()) {
+        return Status::InvalidArgument(
+            "snapshot: boundary cluster out of range");
+      }
+      g.boundary_cluster_.emplace(std::move(p), cluster);
+    }
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecGlobals));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(ReadGlobals(&r, spec.symbols_, &spec.globals_));
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Equational specification
+// ---------------------------------------------------------------------------
+
+std::string Snapshot::Serialize(const EquationalSpecification& spec) {
+  Writer w;
+  WriteMeta(spec.trunk_depth(), /*frontier_depth=*/0,
+            /*unknown_cluster=*/kInvalidId, spec.truncated(), spec.breach(),
+            &w);
+  WriteSymbols(spec.symbols(), &w);
+  WriteAtoms(spec.atom_dictionary(), &w);
+  WriteClusters(spec.clusters(), &w);
+
+  w.Begin(kSecEquations);
+  w.U32(static_cast<uint32_t>(spec.equations().size()));
+  for (const auto& [t1, t2] : spec.equations()) {
+    w.PathOf(t1);
+    w.PathOf(t2);
+  }
+  w.End();
+
+  WriteGlobals(spec.globals(), &w);
+  return w.Finish(Kind::kEquational);
+}
+
+StatusOr<EquationalSpecification> Snapshot::ParseEquationalSpec(
+    std::string_view bytes) {
+  Kind kind;
+  std::string_view body;
+  RELSPEC_RETURN_NOT_OK(ReadHeader(bytes, &kind, &body));
+  if (kind != Kind::kEquational) {
+    return Status::InvalidArgument("snapshot: not an equational specification");
+  }
+  RELSPEC_ASSIGN_OR_RETURN(std::vector<Section> sections, ReadSections(body));
+  EquationalSpecification spec;
+
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecMeta));
+    Reader r(s.data, s.size);
+    int frontier_depth = 0;
+    uint32_t unknown_cluster = kInvalidId;
+    RELSPEC_RETURN_NOT_OK(ReadMeta(&r, &spec.trunk_depth_, &frontier_depth,
+                                   &unknown_cluster, &spec.truncated_,
+                                   &spec.breach_));
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecSymbols));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(ReadSymbols(&r, &spec.symbols_));
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecAtoms));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(ReadAtoms(&r, spec.symbols_, &spec.atoms_));
+    for (AtomIdx i = 0; i < spec.atoms_.size(); ++i) {
+      spec.atom_index_.emplace(spec.atoms_[i], i);
+    }
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecClusters));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(ReadClusters(&r, spec.symbols_, spec.atoms_.size(),
+                                       &spec.clusters_));
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecEquations));
+    Reader r(s.data, s.size);
+    uint32_t n = 0;
+    RELSPEC_RETURN_NOT_OK(r.U32(&n));
+    for (uint32_t i = 0; i < n; ++i) {
+      Path t1, t2;
+      RELSPEC_RETURN_NOT_OK(r.PathOf(&t1));
+      RELSPEC_RETURN_NOT_OK(r.PathOf(&t2));
+      for (const Path* p : {&t1, &t2}) {
+        for (FuncId f : p->symbols()) {
+          if (f >= spec.symbols_.num_functions()) {
+            return Status::InvalidArgument(
+                "snapshot: equation symbol out of range");
+          }
+        }
+      }
+      spec.equations_.emplace_back(std::move(t1), std::move(t2));
+    }
+  }
+  {
+    RELSPEC_ASSIGN_OR_RETURN(Section s, FindSection(sections, kSecGlobals));
+    Reader r(s.data, s.size);
+    RELSPEC_RETURN_NOT_OK(ReadGlobals(&r, spec.symbols_, &spec.globals_));
+  }
+  return spec;
+}
+
+}  // namespace relspec

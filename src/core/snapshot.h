@@ -1,0 +1,58 @@
+// Binary snapshots of relational specifications.
+//
+// A snapshot is the warm-start companion of the text format in spec_io.h:
+// the same self-contained specification — primary database (slices +
+// globals), symbol table, and graph/equational structure — in a versioned,
+// checksummed binary layout that loads without parsing. Loading a snapshot
+// and re-serializing through SpecIo is byte-identical to serializing the
+// original specification, so snapshots are interchangeable with text specs
+// everywhere (and the differential/golden tests hold them to that).
+//
+// Wire layout (see docs/SNAPSHOT_FORMAT.md for the field-level reference):
+//
+//   header   magic "RSNP" | u32 version | u32 kind | u64 checksum
+//   body     sections, each: u32 tag | u64 payload length | payload
+//
+// All integers are little-endian. The checksum covers every body byte; the
+// loader verifies it before looking at any section, and every read is
+// bounds-checked, so truncated files, flipped bits, and wrong versions all
+// come back as InvalidArgument — never a crash (the fuzz corpus in
+// tests/fuzz_parser.cc drives this).
+
+#ifndef RELSPEC_CORE_SNAPSHOT_H_
+#define RELSPEC_CORE_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/core/equational_spec.h"
+#include "src/core/graph_spec.h"
+
+namespace relspec {
+
+class Snapshot {
+ public:
+  enum class Kind : uint32_t { kGraph = 1, kEquational = 2 };
+
+  static constexpr char kMagic[4] = {'R', 'S', 'N', 'P'};
+  static constexpr uint32_t kVersion = 1;
+
+  /// Serializes a graph specification (B, F) to snapshot bytes.
+  static std::string Serialize(const GraphSpecification& spec);
+  /// Serializes an equational specification (B, R) to snapshot bytes.
+  static std::string Serialize(const EquationalSpecification& spec);
+
+  /// The kind recorded in a snapshot header (validates magic + version +
+  /// checksum reachability only as far as the header).
+  static StatusOr<Kind> PeekKind(std::string_view bytes);
+
+  /// Parses a graph-spec snapshot; the result is fully queryable.
+  static StatusOr<GraphSpecification> ParseGraphSpec(std::string_view bytes);
+  static StatusOr<EquationalSpecification> ParseEquationalSpec(
+      std::string_view bytes);
+};
+
+}  // namespace relspec
+
+#endif  // RELSPEC_CORE_SNAPSHOT_H_

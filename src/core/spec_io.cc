@@ -1,5 +1,6 @@
 #include "src/core/spec_io.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/base/str_util.h"
@@ -248,7 +249,15 @@ std::string SpecIo::Serialize(const GraphSpecification& spec) {
   for (const Cluster& c : spec.graph().clusters()) {
     SerializeCluster(c, spec.symbols(), &out);
   }
-  for (const auto& [path, cluster] : spec.graph().boundary_clusters()) {
+  // Shortlex order, so the serialization is independent of the
+  // unordered_map's iteration order (snapshot round-trips re-serialize
+  // byte-identically; the parser accepts any order).
+  std::vector<std::pair<Path, uint32_t>> boundary(
+      spec.graph().boundary_clusters().begin(),
+      spec.graph().boundary_clusters().end());
+  std::sort(boundary.begin(), boundary.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [path, cluster] : boundary) {
     out << "boundary " << PathWord(path, spec.symbols()) << " " << cluster
         << "\n";
   }

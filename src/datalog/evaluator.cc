@@ -85,7 +85,7 @@ class Matcher {
       }
     }
 
-    auto try_row = [&](const Tuple& row) {
+    auto try_row = [&](RowRef row) {
       // Bind free variables; handle repeated variables within the atom.
       std::vector<uint32_t> newly_bound;
       bool ok = true;
@@ -105,17 +105,17 @@ class Matcher {
     };
 
     size_t floor = row_floor_[i];
-    size_t limit = std::min(row_limit_[i], rel.rows().size());
+    size_t limit = std::min(row_limit_[i], rel.size());
     if (bound_cols.empty()) {
       for (size_t r = floor; r < limit; ++r) {
         ++probes_;
-        try_row(rel.rows()[r]);
+        try_row(rel.row(r));
       }
     } else {
       for (uint32_t r : rel.Probe(bound_cols, key)) {
         if (r < floor || r >= limit) continue;
         ++probes_;
-        try_row(rel.rows()[r]);
+        try_row(rel.row(r));
       }
     }
   }

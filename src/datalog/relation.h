@@ -1,15 +1,20 @@
-// Relation: tuple storage with lazily built hash indexes.
+// Relation: flat tuple storage with lazily built hash indexes.
 //
 // The DATALOG substrate works over dense uint32 values. A value is a ConstId
 // for ordinary columns; the CONGR evaluation (core/congr.h) also stores
-// TermIds in columns, which is why relations are value-agnostic.
+// interned TermIds in columns, which is why relations are value-agnostic —
+// and why flat storage pays off twice: a row is `arity` contiguous uint32s
+// in one shared vector (no per-tuple heap allocation), and row views are
+// spans into that vector. Duplicate elimination is an open-addressing set
+// over row indices, so Insert does one hash + probe against the flat data.
 
 #ifndef RELSPEC_DATALOG_RELATION_H_
 #define RELSPEC_DATALOG_RELATION_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/base/status.h"
@@ -19,6 +24,8 @@ namespace datalog {
 
 using Value = uint32_t;
 using Tuple = std::vector<Value>;
+/// A borrowed view of one stored row; valid until the next Insert.
+using RowRef = std::span<const Value>;
 
 struct TupleHash {
   /// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
@@ -36,10 +43,13 @@ struct TupleHash {
   // Mix gives every element full avalanche and the chaining keeps the hash
   // order-sensitive (permuted tuples hash differently — see the collision
   // regression test in tests/datalog_test.cc).
-  size_t operator()(const Tuple& t) const {
+  static uint64_t Of(RowRef t) {
     uint64_t h = Mix(0x243f6a8885a308d3ull ^ t.size());
     for (Value v : t) h = Mix(h ^ v);
-    return static_cast<size_t>(h);
+    return h;
+  }
+  size_t operator()(const Tuple& t) const {
+    return static_cast<size_t>(Of(t));
   }
 };
 
@@ -47,18 +57,34 @@ struct TupleHash {
 /// iteration, and hash indexes on arbitrary bound-column subsets.
 class Relation {
  public:
-  explicit Relation(int arity) : arity_(arity) {}
+  explicit Relation(int arity) : arity_(arity) {
+    slots_.assign(kInitialSlots, kEmptySlot);
+  }
 
   int arity() const { return arity_; }
-  size_t size() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
 
   /// Inserts a tuple; returns true if it was new.
-  bool Insert(const Tuple& tuple);
-  bool Contains(const Tuple& tuple) const { return set_.count(tuple) > 0; }
+  bool Insert(RowRef tuple);
+  bool Insert(std::initializer_list<Value> tuple) {
+    return Insert(RowRef(tuple.begin(), tuple.size()));
+  }
+  bool Contains(RowRef tuple) const;
+  bool Contains(std::initializer_list<Value> tuple) const {
+    return Contains(RowRef(tuple.begin(), tuple.size()));
+  }
 
-  /// Tuples in insertion order. Stable across inserts (indices only grow).
-  const std::vector<Tuple>& rows() const { return rows_; }
+  /// Row `i` in insertion order. Stable across inserts (indices only grow);
+  /// the view itself is invalidated by the next Insert.
+  RowRef row(size_t i) const {
+    return RowRef(data_.data() + i * static_cast<size_t>(arity_),
+                  static_cast<size_t>(arity_));
+  }
+
+  /// Materializes every row as an owned Tuple, in insertion order. For
+  /// tests and serialization; the hot paths use row().
+  std::vector<Tuple> CopyRows() const;
 
   /// Row indices whose tuple matches `key` on the columns in `columns`
   /// (ascending). Uses (and lazily rebuilds) a hash index for the column
@@ -75,17 +101,29 @@ class Relation {
   void Clear();
 
  private:
+  static constexpr size_t kInitialSlots = 16;  // power of two
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
   struct ColumnIndex {
-    uint64_t built_at = 0;  // rows_.size() when last built
+    uint64_t built_at = 0;  // num_rows_ when last built
     std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash> map;
   };
+
+  bool RowEquals(uint32_t r, RowRef tuple) const;
+  /// Probes the dedup set; returns the matching row index or kEmptySlot,
+  /// and the slot where an insert would go.
+  uint32_t FindRow(uint64_t hash, RowRef tuple, size_t* slot) const;
+  void GrowSet();
 
   /// Lazily (re)builds and returns the index for the column set.
   const ColumnIndex& BuildIndex(const std::vector<int>& columns) const;
 
   int arity_;
-  std::vector<Tuple> rows_;
-  std::unordered_set<Tuple, TupleHash> set_;
+  size_t num_rows_ = 0;
+  std::vector<Value> data_;  // num_rows_ * arity_ values, row-major
+  // Open-addressing dedup set over row indices: power-of-two sized,
+  // kEmptySlot = empty.
+  std::vector<uint32_t> slots_;
   // Key: bitmask of indexed columns.
   mutable std::unordered_map<uint64_t, ColumnIndex> indexes_;
 };

@@ -1,0 +1,175 @@
+#include "src/term/interner.h"
+
+#include "src/base/logging.h"
+#include "src/base/metrics.h"
+
+namespace relspec {
+namespace {
+
+constexpr size_t kInitialSlots = 64;  // power of two
+
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+TermInterner::TermInterner() {
+  nodes_.push_back(Node{});  // the functional constant 0
+  hash_of_.push_back(0);
+  slots_.assign(kInitialSlots, kInvalidId);
+  // The constant 0 is never probed (Apply keys always carry a real fn), so
+  // it stays out of the intern table.
+}
+
+uint64_t TermInterner::HashKey(FuncId fn, TermId child,
+                               std::span<const ConstId> args) {
+  uint64_t h = Mix(0x5851f42d4c957f2dull ^ fn);
+  h = Mix(h ^ child);
+  for (ConstId a : args) h = Mix(h ^ a);
+  return h;
+}
+
+bool TermInterner::NodeEquals(TermId id, FuncId fn, TermId child,
+                              std::span<const ConstId> args) const {
+  const Node& n = nodes_[id];
+  if (n.fn != fn || n.child != child || n.args_len != args.size()) {
+    return false;
+  }
+  const ConstId* stored = args_pool_.data() + n.args_begin;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (stored[i] != args[i]) return false;
+  }
+  return true;
+}
+
+TermId TermInterner::Probe(uint64_t hash, FuncId fn, TermId child,
+                           std::span<const ConstId> args, size_t* slot) const {
+  size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (true) {
+    TermId candidate = slots_[i];
+    if (candidate == kInvalidId) {
+      *slot = i;
+      return kInvalidId;
+    }
+    if (hash_of_[candidate] == hash &&
+        NodeEquals(candidate, fn, child, args)) {
+      *slot = i;
+      return candidate;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void TermInterner::Grow() {
+  std::vector<TermId> old = std::move(slots_);
+  slots_.assign(old.size() * 2, kInvalidId);
+  size_t mask = slots_.size() - 1;
+  for (TermId id : old) {
+    if (id == kInvalidId) continue;
+    size_t i = static_cast<size_t>(hash_of_[id]) & mask;
+    while (slots_[i] != kInvalidId) i = (i + 1) & mask;
+    slots_[i] = id;
+  }
+}
+
+TermId TermInterner::Apply(FuncId fn, TermId child,
+                           std::span<const ConstId> args) {
+  RELSPEC_CHECK_LT(child, nodes_.size());
+  uint64_t hash = HashKey(fn, child, args);
+  size_t slot = 0;
+  TermId existing = Probe(hash, fn, child, args, &slot);
+  if (existing != kInvalidId) {
+    ++hits_;
+    RELSPEC_COUNTER("interner.hits");
+    return existing;
+  }
+  ++misses_;
+  RELSPEC_COUNTER("interner.misses");
+  TermId id = static_cast<TermId>(nodes_.size());
+  Node n;
+  n.fn = fn;
+  n.child = child;
+  n.args_begin = static_cast<uint32_t>(args_pool_.size());
+  n.args_len = static_cast<uint32_t>(args.size());
+  n.depth = nodes_[child].depth + 1;
+  args_pool_.insert(args_pool_.end(), args.begin(), args.end());
+  nodes_.push_back(n);
+  hash_of_.push_back(hash);
+  slots_[slot] = id;
+  // Grow at 70% load; the never-probed zero node keeps the count exact.
+  if ((nodes_.size() - 1) * 10 >= slots_.size() * 7) Grow();
+  return id;
+}
+
+TermId TermInterner::FromSymbols(std::span<const FuncId> fns) {
+  TermId t = Zero();
+  for (FuncId f : fns) t = Apply(f, t);
+  return t;
+}
+
+TermId TermInterner::FindSymbols(std::span<const FuncId> fns) const {
+  TermId t = Zero();
+  for (FuncId f : fns) {
+    size_t slot = 0;
+    t = Probe(HashKey(f, t, {}), f, t, {}, &slot);
+    if (t == kInvalidId) return kInvalidId;
+  }
+  return t;
+}
+
+bool TermInterner::IsPure(TermId id) const {
+  for (TermId t = id; t != kZeroTerm; t = nodes_[t].child) {
+    if (nodes_[t].args_len != 0) return false;
+  }
+  return true;
+}
+
+StatusOr<std::vector<FuncId>> TermInterner::ToSymbols(TermId id) const {
+  std::vector<FuncId> out;
+  out.reserve(static_cast<size_t>(Depth(id)));
+  for (TermId t = id; t != kZeroTerm; t = nodes_[t].child) {
+    if (nodes_[t].args_len != 0) {
+      return Status::FailedPrecondition(
+          "ToSymbols called on a term with mixed function symbols");
+    }
+    out.push_back(nodes_[t].fn);
+  }
+  // Collected outermost-first; return innermost-first to match FromSymbols.
+  std::vector<FuncId> inner(out.rbegin(), out.rend());
+  return inner;
+}
+
+std::string TermInterner::ToString(TermId id,
+                                   const SymbolTable& symbols) const {
+  if (id == kZeroTerm) return "0";
+  TermNode n = node(id);
+  std::string out = symbols.function(n.fn).name;
+  out += "(";
+  out += ToString(n.child, symbols);
+  for (ConstId a : n.args) {
+    out += ",";
+    out += symbols.constant_name(a);
+  }
+  out += ")";
+  return out;
+}
+
+size_t TermInterner::ApproxBytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         args_pool_.capacity() * sizeof(ConstId) +
+         hash_of_.capacity() * sizeof(uint64_t) +
+         slots_.capacity() * sizeof(TermId);
+}
+
+void TermInterner::RecordMetrics() const {
+  RELSPEC_GAUGE_MAX("interner.terms", static_cast<int64_t>(nodes_.size()));
+  RELSPEC_GAUGE_MAX("interner.bytes", static_cast<int64_t>(ApproxBytes()));
+}
+
+}  // namespace relspec

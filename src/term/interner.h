@@ -1,0 +1,142 @@
+// TermInterner: the hash-consing fast-representation layer for ground
+// functional terms.
+//
+// Every structurally distinct ground term is interned exactly once and
+// identified by a dense TermId, so equality is id equality and hashing a
+// term is hashing one uint32 — O(1) regardless of depth. The interner is
+// arena-allocated: nodes live in one contiguous vector and the mixed
+// symbols' non-functional arguments live in one shared pool, so interning
+// N terms costs two flat arrays (plus the intern table) instead of N
+// heap-allocated argument vectors. The intern table itself is a
+// power-of-two open-addressing table over precomputed structural hashes —
+// no per-key allocation on lookup or insert.
+//
+// This is the canonical term representation: the fixpoint's label tables,
+// Algorithm Q's traversal bookkeeping, the congruence closure and the
+// CONGR encoding all work over TermIds from one of these interners
+// (`TermArena` in term.h is an alias for compatibility with the original
+// seed API).
+//
+// Metrics (enabled runs only): interner.hits / interner.misses count Apply
+// calls that found / created a node; interner.terms and interner.bytes are
+// exported by RecordMetrics.
+
+#ifndef RELSPEC_TERM_INTERNER_H_
+#define RELSPEC_TERM_INTERNER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/term/symbol_table.h"
+
+namespace relspec {
+
+using TermId = uint32_t;
+
+/// The id of the functional constant 0; present in every interner.
+inline constexpr TermId kZeroTerm = 0;
+
+/// A view of one interned term node: fn applied to child, with the mixed
+/// symbol's non-functional constant arguments in args (empty for pure
+/// symbols). Valid until the next Apply on the owning interner.
+struct TermNode {
+  FuncId fn = kInvalidId;  // kInvalidId only for the constant 0
+  TermId child = kZeroTerm;
+  std::span<const ConstId> args;
+  int depth = 0;  // 0 for the constant 0
+};
+
+/// Arena of hash-consed ground functional terms.
+///
+/// Thread-compatible: concurrent reads are fine once construction is done;
+/// interleaved interning requires external synchronization.
+class TermInterner {
+ public:
+  TermInterner();
+
+  /// The functional constant 0.
+  TermId Zero() const { return kZeroTerm; }
+
+  /// Interns fn(child) for a pure symbol, or fn(child, args...) for a mixed
+  /// symbol. `args` must match the symbol's arity - 1.
+  TermId Apply(FuncId fn, TermId child, std::span<const ConstId> args = {});
+  TermId Apply(FuncId fn, TermId child, std::initializer_list<ConstId> args) {
+    return Apply(fn, child,
+                 std::span<const ConstId>(args.begin(), args.size()));
+  }
+
+  /// Interns the pure term fns[n-1](...fns[0](0)...), i.e. applies the
+  /// symbols innermost-first.
+  TermId FromSymbols(std::span<const FuncId> fns);
+
+  /// Read-only lookup: the id of fns[n-1](...fns[0](0)...) if that term is
+  /// already interned, kInvalidId otherwise. Never allocates.
+  TermId FindSymbols(std::span<const FuncId> fns) const;
+
+  TermNode node(TermId id) const {
+    const Node& n = nodes_[id];
+    return TermNode{n.fn, n.child,
+                    std::span<const ConstId>(args_pool_.data() + n.args_begin,
+                                             n.args_len),
+                    n.depth};
+  }
+  int Depth(TermId id) const { return nodes_[id].depth; }
+  bool IsZero(TermId id) const { return id == kZeroTerm; }
+  /// True if no mixed symbol occurs in the term.
+  bool IsPure(TermId id) const;
+
+  /// The outermost-to-innermost chain of pure symbols; fails on mixed terms.
+  StatusOr<std::vector<FuncId>> ToSymbols(TermId id) const;
+
+  /// Textual form, e.g. "f(g(0))" or "ext(0,a)"; needs the symbol table for
+  /// names.
+  std::string ToString(TermId id, const SymbolTable& symbols) const;
+
+  size_t size() const { return nodes_.size(); }
+
+  /// Approximate heap footprint of the arena (nodes, argument pool, intern
+  /// table) in bytes.
+  size_t ApproxBytes() const;
+
+  /// Apply calls that found an existing node / created a new one.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Publishes interner.* metrics (terms, hits, misses, bytes). No-op while
+  /// metrics are disabled.
+  void RecordMetrics() const;
+
+ private:
+  struct Node {
+    FuncId fn = kInvalidId;
+    TermId child = kZeroTerm;
+    uint32_t args_begin = 0;
+    uint32_t args_len = 0;
+    int32_t depth = 0;
+  };
+
+  static uint64_t HashKey(FuncId fn, TermId child,
+                          std::span<const ConstId> args);
+  bool NodeEquals(TermId id, FuncId fn, TermId child,
+                  std::span<const ConstId> args) const;
+  /// Probes the intern table for (fn, child, args); returns the matching id
+  /// or kInvalidId, and the slot where an insert would go.
+  TermId Probe(uint64_t hash, FuncId fn, TermId child,
+               std::span<const ConstId> args, size_t* slot) const;
+  void Grow();
+
+  std::vector<Node> nodes_;
+  std::vector<ConstId> args_pool_;
+  std::vector<uint64_t> hash_of_;  // structural hash per node
+  // Open-addressing intern table: power-of-two sized, kInvalidId = empty.
+  std::vector<TermId> slots_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace relspec
+
+#endif  // RELSPEC_TERM_INTERNER_H_

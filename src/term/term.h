@@ -6,94 +6,18 @@
 // constants. The arena interns every distinct term exactly once, so terms
 // are identified by a dense TermId, structural equality is id equality, and
 // no manual memory management of term graphs is needed anywhere else.
+//
+// The implementation is the flat-arena TermInterner; this header keeps the
+// original name for the many call sites that predate it.
 
 #ifndef RELSPEC_TERM_TERM_H_
 #define RELSPEC_TERM_TERM_H_
 
-#include <cstdint>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "src/base/status.h"
-#include "src/term/symbol_table.h"
+#include "src/term/interner.h"
 
 namespace relspec {
 
-using TermId = uint32_t;
-
-/// The id of the functional constant 0; present in every arena.
-inline constexpr TermId kZeroTerm = 0;
-
-/// One interned term node: fn applied to child, with the mixed symbol's
-/// non-functional constant arguments in args (empty for pure symbols).
-struct TermNode {
-  FuncId fn = kInvalidId;        // kInvalidId only for the constant 0
-  TermId child = kZeroTerm;
-  std::vector<ConstId> args;
-  int depth = 0;                 // 0 for the constant 0
-};
-
-/// Arena of hash-consed ground functional terms.
-///
-/// Thread-compatible: concurrent reads are fine once construction is done;
-/// interleaved interning requires external synchronization.
-class TermArena {
- public:
-  TermArena();
-
-  /// The functional constant 0.
-  TermId Zero() const { return kZeroTerm; }
-
-  /// Interns fn(child) for a pure symbol, or fn(child, args...) for a mixed
-  /// symbol. `args` must match the symbol's arity - 1.
-  TermId Apply(FuncId fn, TermId child, std::vector<ConstId> args = {});
-
-  /// Interns the pure term fns[n-1](...fns[0](0)...), i.e. applies the
-  /// symbols innermost-first.
-  TermId FromSymbols(const std::vector<FuncId>& fns);
-
-  const TermNode& node(TermId id) const { return nodes_[id]; }
-  int Depth(TermId id) const { return nodes_[id].depth; }
-  bool IsZero(TermId id) const { return id == kZeroTerm; }
-  /// True if no mixed symbol occurs in the term.
-  bool IsPure(TermId id) const;
-
-  /// The outermost-to-innermost chain of pure symbols; fails on mixed terms.
-  StatusOr<std::vector<FuncId>> ToSymbols(TermId id) const;
-
-  /// Textual form, e.g. "f(g(0))" or "ext(0,a)"; needs the symbol table for
-  /// names.
-  std::string ToString(TermId id, const SymbolTable& symbols) const;
-
-  size_t size() const { return nodes_.size(); }
-
- private:
-  struct NodeKey {
-    FuncId fn;
-    TermId child;
-    std::vector<ConstId> args;
-    bool operator==(const NodeKey& o) const {
-      return fn == o.fn && child == o.child && args == o.args;
-    }
-  };
-  struct NodeKeyHash {
-    size_t operator()(const NodeKey& k) const {
-      uint64_t h = 1469598103934665603ull;
-      auto mix = [&h](uint64_t v) {
-        h ^= v;
-        h *= 1099511628211ull;
-      };
-      mix(k.fn);
-      mix(k.child);
-      for (ConstId a : k.args) mix(a);
-      return static_cast<size_t>(h);
-    }
-  };
-
-  std::vector<TermNode> nodes_;
-  std::unordered_map<NodeKey, TermId, NodeKeyHash> index_;
-};
+using TermArena = TermInterner;
 
 }  // namespace relspec
 

@@ -1,0 +1,186 @@
+// Differential testing: the same program evaluated along independent
+// implementation paths must produce byte-identical artifacts.
+//
+//   (a) parallel fixpoint with 1, 2, and 8 threads -> identical text and
+//       binary spec serializations (the determinism contract),
+//   (b) snapshot save -> load -> re-serialize -> byte-identical to the
+//       direct run, in both the binary and the text format,
+//   (c) naive vs semi-naive DATALOG evaluation of CONGR -> identical
+//       materialized databases,
+//   (d) cached vs uncached query answers -> identical enumerations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/core/congr.h"
+#include "src/core/engine.h"
+#include "src/core/query.h"
+#include "src/core/snapshot.h"
+#include "src/core/spec_io.h"
+#include "src/parser/parser.h"
+#include "tests/random_program.h"
+
+namespace relspec {
+namespace {
+
+using testutil::RandomProgram;
+using testutil::RandomProgramRich;
+using testutil::UniverseUpTo;
+
+std::unique_ptr<FunctionalDatabase> BuildWithThreads(const std::string& source,
+                                                     int threads) {
+  EngineOptions options;
+  options.fixpoint.num_threads = threads;
+  auto db = FunctionalDatabase::FromSource(source, options);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return db.ok() ? std::move(*db) : nullptr;
+}
+
+// Every relation of the database, predicates and rows sorted, as one string.
+std::string RenderDatabase(const datalog::Database& db) {
+  std::vector<PredId> preds = db.Predicates();
+  std::sort(preds.begin(), preds.end());
+  std::string out;
+  for (PredId p : preds) {
+    std::vector<datalog::Tuple> rows = db.relation(p).CopyRows();
+    std::sort(rows.begin(), rows.end());
+    out += "pred " + std::to_string(p) + "\n";
+    for (const auto& row : rows) {
+      for (datalog::Value v : row) out += " " + std::to_string(v);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+// (a) Thread counts 1, 2, 8 must serialize byte-identically: not just the
+// same facts, the same bytes (cluster order, boundary order, everything).
+TEST_P(DifferentialTest, SpecsByteIdenticalAcrossThreadCounts) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 40503u + 1u);
+  std::string source = RandomProgram(&rng);
+  SCOPED_TRACE(source);
+
+  auto db1 = BuildWithThreads(source, 1);
+  auto db2 = BuildWithThreads(source, 2);
+  auto db8 = BuildWithThreads(source, 8);
+  ASSERT_TRUE(db1 && db2 && db8);
+
+  auto s1 = db1->BuildGraphSpec();
+  auto s2 = db2->BuildGraphSpec();
+  auto s8 = db8->BuildGraphSpec();
+  ASSERT_TRUE(s1.ok() && s2.ok() && s8.ok());
+
+  std::string text1 = SpecIo::Serialize(*s1);
+  EXPECT_EQ(text1, SpecIo::Serialize(*s2));
+  EXPECT_EQ(text1, SpecIo::Serialize(*s8));
+
+  std::string bin1 = Snapshot::Serialize(*s1);
+  EXPECT_EQ(bin1, Snapshot::Serialize(*s2));
+  EXPECT_EQ(bin1, Snapshot::Serialize(*s8));
+
+  auto e1 = db1->BuildEquationalSpec();
+  auto e8 = db8->BuildEquationalSpec();
+  ASSERT_TRUE(e1.ok() && e8.ok());
+  EXPECT_EQ(SpecIo::Serialize(*e1), SpecIo::Serialize(*e8));
+}
+
+// (b) A snapshot-reloaded specification is indistinguishable from the
+// directly built one: binary and text serializations round-trip to the
+// same bytes, and membership agrees over the inner universe.
+TEST_P(DifferentialTest, SnapshotReloadIsByteIdentical) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 48271u + 3u);
+  std::string source = RandomProgramRich(&rng);
+  SCOPED_TRACE(source);
+
+  auto db = BuildWithThreads(source, 1);
+  ASSERT_TRUE(db);
+  auto spec = db->BuildGraphSpec();
+  ASSERT_TRUE(spec.ok());
+
+  std::string bin = Snapshot::Serialize(*spec);
+  auto reloaded = Snapshot::ParseGraphSpec(bin);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  EXPECT_EQ(bin, Snapshot::Serialize(*reloaded));
+  EXPECT_EQ(SpecIo::Serialize(*spec), SpecIo::Serialize(*reloaded));
+
+  const GroundProgram& ground = db->ground();
+  for (const Path& p : UniverseUpTo(ground, 5)) {
+    for (AtomIdx i = 0; i < ground.num_atoms(); ++i) {
+      const SliceAtom& atom = ground.atom(i);
+      ASSERT_EQ(spec->Holds(p, atom.pred, atom.args),
+                reloaded->Holds(p, atom.pred, atom.args));
+    }
+  }
+
+  auto espec = db->BuildEquationalSpec();
+  ASSERT_TRUE(espec.ok());
+  std::string ebin = Snapshot::Serialize(*espec);
+  auto ereloaded = Snapshot::ParseEquationalSpec(ebin);
+  ASSERT_TRUE(ereloaded.ok()) << ereloaded.status().ToString();
+  EXPECT_EQ(ebin, Snapshot::Serialize(*ereloaded));
+}
+
+// (c) Naive and semi-naive evaluation of the CONGR canonical form must
+// materialize exactly the same database.
+TEST_P(DifferentialTest, NaiveVsSemiNaiveCongr) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 16807u + 7u);
+  std::string source = RandomProgram(&rng);
+  SCOPED_TRACE(source);
+
+  auto db = BuildWithThreads(source, 1);
+  ASSERT_TRUE(db);
+  auto espec = db->BuildEquationalSpec();
+  ASSERT_TRUE(espec.ok());
+
+  auto semi = EvaluateCongrBounded(*espec, 5, datalog::Strategy::kSemiNaive);
+  auto naive = EvaluateCongrBounded(*espec, 5, datalog::Strategy::kNaive);
+  if (!semi.ok() || !naive.ok()) {
+    GTEST_SKIP() << "universe too deep for the bounded CONGR differential";
+  }
+  EXPECT_EQ(RenderDatabase(semi->db), RenderDatabase(naive->db));
+}
+
+// (d) A warm cache must hand back answers identical to a cold evaluation,
+// and a fingerprint change must miss.
+TEST_P(DifferentialTest, CachedAnswersMatchUncached) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) * 69621u + 11u);
+  std::string source = RandomProgram(&rng);
+  SCOPED_TRACE(source);
+
+  auto db = BuildWithThreads(source, 1);
+  ASSERT_TRUE(db);
+  QueryCache cache;
+
+  for (PredId p = 0; p < db->program().symbols.num_predicates(); ++p) {
+    const PredicateInfo& info = db->program().symbols.predicate(p);
+    if (!info.functional || info.name[0] == '$') continue;
+    std::string qtext = "?(s" + std::string(info.arity == 2 ? ", x" : "") +
+                        ") " + info.name + "(s" +
+                        (info.arity == 2 ? ", x" : "") + ").";
+    auto q = ParseQuery(qtext, db->mutable_program());
+    ASSERT_TRUE(q.ok()) << qtext;
+
+    auto direct = AnswerQuery(db.get(), *q);
+    auto cold = AnswerQueryCached(db.get(), *q, &cache);
+    auto warm = AnswerQueryCached(db.get(), *q, &cache);
+    ASSERT_TRUE(direct.ok() && cold.ok() && warm.ok());
+    EXPECT_EQ(cold->get(), warm->get()) << "second lookup must be a hit";
+
+    auto e_direct = direct->Enumerate(5, 100000);
+    auto e_warm = (*warm)->Enumerate(5, 100000);
+    ASSERT_TRUE(e_direct.ok() && e_warm.ok());
+    EXPECT_EQ(*e_direct, *e_warm) << qtext;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace relspec

@@ -1,4 +1,5 @@
-// Fuzz target for the parser/lexer front end.
+// Fuzz target for the parser/lexer front end and the binary snapshot
+// loader.
 //
 // Dual mode:
 //
@@ -12,15 +13,31 @@
 // The invariant under test: Parse() must return a Status for every input —
 // never crash, hang, or trip a sanitizer. The parser's recursion depth guard
 // (kMaxTermDepth) is what makes deeply nested inputs safe.
+//
+// Inputs starting with the "RSNP" magic route to the binary snapshot loader
+// instead (seed corpus: tests/fuzz_corpus/snapshots/*.rsnp). There the
+// invariant is the same — truncated sections, bad checksums, wrong
+// versions, and out-of-range ids must all come back as InvalidArgument.
 
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
 
+#include "src/core/snapshot.h"
 #include "src/parser/parser.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::string_view input(reinterpret_cast<const char*>(data), size);
+  if (input.size() >= 4 && input.substr(0, 4) == "RSNP") {
+    // Both loaders must survive any byte stream; the kind check rejects the
+    // mismatched one cheaply, so running both costs little and covers both
+    // section decoders.
+    auto graph = relspec::Snapshot::ParseGraphSpec(input);
+    (void)graph;
+    auto eq = relspec::Snapshot::ParseEquationalSpec(input);
+    (void)eq;
+    return 0;
+  }
   // The result (well-formed or error Status) is irrelevant; surviving is
   // the assertion.
   auto result = relspec::Parse(input);

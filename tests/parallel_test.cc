@@ -147,7 +147,7 @@ TEST(TaskPool, NestedSequentialUseFromChunks) {
 // Snapshot of every relation: rows in insertion order.
 std::vector<std::vector<Tuple>> Snapshot(const Database& db) {
   std::vector<std::vector<Tuple>> out;
-  for (PredId p : db.Predicates()) out.push_back(db.relation(p).rows());
+  for (PredId p : db.Predicates()) out.push_back(db.relation(p).CopyRows());
   return out;
 }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/*.snap from the current engine output.
+#
+# Run this only after convincing yourself the spec-serialization change is
+# intended; the golden test exists to catch accidental byte drift.
+#
+#   tools/regen_goldens.sh [BUILD_DIR]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+if [[ ! -d "$build" ]]; then
+  echo "error: build directory $build not found (run cmake first)" >&2
+  exit 1
+fi
+
+cmake --build "$build" --target golden_test -j >/dev/null
+mkdir -p "$repo/tests/golden"
+UPDATE_GOLDENS=1 "$build/tests/golden_test" >/dev/null
+echo "regenerated:"
+ls -l "$repo"/tests/golden/*.snap

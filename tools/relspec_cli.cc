@@ -1,6 +1,7 @@
 // relspec_cli: run functional deductive databases from the command line.
 //
-//   relspec_cli PROGRAM.rsp [flags]
+//   relspec_cli [PROGRAM.rsp] [flags]   (the program is optional with
+//                                       --load-spec / --load-snapshot)
 //
 //   Queries contained in the program file ("? atoms." statements) are
 //   answered automatically. Additional flags:
@@ -11,6 +12,10 @@
 //     --spec graph|eq           print the relational specification
 //     --save-spec FILE          serialize the graph specification
 //     --load-spec FILE          answer --fact from a saved spec (no rules!)
+//     --save-snapshot FILE      binary snapshot of the graph specification
+//                               (versioned, checksummed; docs/SNAPSHOT_FORMAT.md)
+//     --load-snapshot FILE      warm start: answer --fact from a binary
+//                               snapshot, skipping ground/fixpoint/Q
 //     --enumerate DEPTH         horizon for printing query answers (default 6)
 //     --prove "T1" "T2"         prove two ground terms congruent (Cl(R))
 //     --periodic "OnCall(t, a)" the [CI88] periodic-set answer (one symbol)
@@ -58,6 +63,7 @@
 #include "src/core/engine.h"
 #include "src/core/explain.h"
 #include "src/core/query.h"
+#include "src/core/snapshot.h"
 #include "src/core/spec_io.h"
 #include "src/temporal/periodic_answers.h"
 #include "src/parser/parser.h"
@@ -105,7 +111,7 @@ int UsageError(const std::string& message) {
 // so every user-facing flag must appear here.
 void PrintHelp(const char* argv0) {
   printf(
-      "usage: %s PROGRAM.rsp [flags]\n"
+      "usage: %s [PROGRAM.rsp] [flags]\n"
       "\n"
       "Queries in the program file (\"? atoms.\" statements) are answered\n"
       "automatically. Flags:\n"
@@ -116,6 +122,12 @@ void PrintHelp(const char* argv0) {
       "  --spec graph|eq               print the relational specification\n"
       "  --save-spec FILE              serialize the graph specification\n"
       "  --load-spec FILE              answer --fact from a saved spec\n"
+      "  --save-snapshot FILE          binary snapshot of the graph\n"
+      "                                specification (versioned, checksummed;\n"
+      "                                see docs/SNAPSHOT_FORMAT.md)\n"
+      "  --load-snapshot FILE          warm start: answer --fact from a\n"
+      "                                binary snapshot, skipping\n"
+      "                                ground/fixpoint/Q\n"
       "  --enumerate DEPTH             horizon for printing query answers\n"
       "                                (default 6)\n"
       "  --prove \"T1\" \"T2\"             prove two ground terms congruent\n"
@@ -145,8 +157,9 @@ void PrintHelp(const char* argv0) {
       argv0);
 }
 
-StatusOr<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path);
+StatusOr<std::string> ReadFile(const std::string& path,
+                               bool binary = false) {
+  std::ifstream in(path, binary ? std::ios::binary : std::ios::in);
   if (!in) return Status::NotFound("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
@@ -196,18 +209,25 @@ int RunCli(int argc, char** argv) {
     }
   }
   if (argc < 2) {
-    return UsageError(StrFormat("usage: %s PROGRAM.rsp [flags]  (see file header)",
+    return UsageError(StrFormat("usage: %s [PROGRAM.rsp] [flags]  (see file header)",
                                 argv[0]));
   }
 
-  std::string program_path = argv[1];
+  // The PROGRAM.rsp positional is optional when the run starts from a saved
+  // specification (--load-spec / --load-snapshot need no program).
+  std::string program_path;
+  int first_flag = 1;
+  if (argv[1][0] != '-') {
+    program_path = argv[1];
+    first_flag = 2;
+  }
   std::vector<std::string> facts, queries, explains, periodics;
   std::vector<std::pair<std::string, std::string>> proofs;
-  std::string spec_kind, save_spec, load_spec;
+  std::string spec_kind, save_spec, load_spec, save_snapshot, load_snapshot;
   bool want_info = false, want_verify = false;
   int horizon = 6;
   EngineOptions options;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = first_flag; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : "";
@@ -229,6 +249,10 @@ int RunCli(int argc, char** argv) {
       save_spec = next();
     } else if (flag == "--load-spec") {
       load_spec = next();
+    } else if (flag == "--save-snapshot") {
+      save_snapshot = next();
+    } else if (flag == "--load-snapshot") {
+      load_snapshot = next();
     } else if (flag == "--enumerate") {
       horizon = atoi(next());
     } else if (flag == "--merged-frontier") {
@@ -264,11 +288,23 @@ int RunCli(int argc, char** argv) {
   options.governor = g_governor;
   options.allow_partial = g_allow_partial;
 
-  // Spec-only mode: answer membership from a serialized specification.
-  if (!load_spec.empty()) {
-    auto text = ReadFile(load_spec);
-    if (!text.ok()) return Fail(kExitIo, text.status());
-    auto spec = SpecIo::ParseGraphSpec(*text);
+  // Spec-only mode: answer membership from a serialized specification
+  // (text --load-spec or binary --load-snapshot), skipping parse/ground/
+  // fixpoint/Q entirely.
+  if (!load_spec.empty() || !load_snapshot.empty()) {
+    if (!load_spec.empty() && !load_snapshot.empty()) {
+      return UsageError("--load-spec and --load-snapshot are exclusive");
+    }
+    StatusOr<GraphSpecification> spec = Status::Internal("unreachable");
+    if (!load_spec.empty()) {
+      auto text = ReadFile(load_spec);
+      if (!text.ok()) return Fail(kExitIo, text.status());
+      spec = SpecIo::ParseGraphSpec(*text);
+    } else {
+      auto bytes = ReadFile(load_snapshot, /*binary=*/true);
+      if (!bytes.ok()) return Fail(kExitIo, bytes.status());
+      spec = Snapshot::ParseGraphSpec(*bytes);
+    }
     if (!spec.ok()) return Fail(kExitParse, spec.status());
     printf("loaded specification: %zu clusters, %zu tuples (no rules)\n",
            spec->num_clusters(), spec->num_slice_tuples());
@@ -294,6 +330,11 @@ int RunCli(int argc, char** argv) {
     return kExitOk;
   }
 
+  if (program_path.empty()) {
+    return UsageError(
+        "missing PROGRAM.rsp (only --load-spec / --load-snapshot run "
+        "without one)");
+  }
   auto source = ReadFile(program_path);
   if (!source.ok()) return Fail(kExitIo, source.status());
   auto parsed = Parse(*source);
@@ -443,6 +484,17 @@ int RunCli(int argc, char** argv) {
     }
     out << SpecIo::Serialize(*spec);
     printf("specification saved to %s\n", save_spec.c_str());
+  }
+
+  if (!save_snapshot.empty()) {
+    auto spec = (*db)->BuildGraphSpec();
+    if (!spec.ok()) return Fail(EngineExitCode(spec.status()), spec.status());
+    std::ofstream out(save_snapshot, std::ios::binary);
+    if (!out) {
+      return Fail(kExitIo, Status::NotFound("cannot write " + save_snapshot));
+    }
+    out << Snapshot::Serialize(*spec);
+    printf("snapshot saved to %s\n", save_snapshot.c_str());
   }
   return kExitOk;
 }

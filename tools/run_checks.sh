@@ -23,10 +23,12 @@
 # parser) under ASan+UBSan: every injected unwind path must be leak- and
 # UB-free. See docs/ROBUSTNESS.md.
 #
-# --fuzz builds the parser fuzz target (-DRELSPEC_FUZZ=ON, default dir:
-# build-fuzz) and runs a 30-second smoke over the example-program seed
-# corpus. Under gcc this is the standalone mutation driver; under clang,
-# libFuzzer. Budget override: RELSPEC_FUZZ_SECONDS.
+# --fuzz builds the parser/snapshot fuzz target (-DRELSPEC_FUZZ=ON, default
+# dir: build-fuzz) and runs a 30-second smoke over the example-program seeds
+# plus the binary snapshot corpus (tests/fuzz_corpus/snapshots/*.rsnp —
+# inputs with the RSNP magic route to the snapshot loader). Under gcc this
+# is the standalone mutation driver; under clang, libFuzzer. Budget
+# override: RELSPEC_FUZZ_SECONDS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -38,9 +40,11 @@ if [[ "${1:-}" == "--asan" ]]; then
       -DRELSPEC_BUILD_BENCHMARKS=OFF -DRELSPEC_BUILD_EXAMPLES=OFF \
       -DRELSPEC_WERROR=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-      failpoint_test governor_test parser_test
+      failpoint_test governor_test parser_test snapshot_test \
+      differential_test
   echo "== asan+ubsan tests =="
-  for t in failpoint_test governor_test parser_test; do
+  for t in failpoint_test governor_test parser_test snapshot_test \
+           differential_test; do
     echo "-- $t"
     "$BUILD_DIR"/tests/"$t"
   done
@@ -54,8 +58,9 @@ if [[ "${1:-}" == "--fuzz" ]]; then
   cmake -B "$BUILD_DIR" -S . -DRELSPEC_FUZZ=ON \
       -DRELSPEC_BUILD_BENCHMARKS=OFF -DRELSPEC_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_parser
-  echo "== fuzz smoke (seeds: examples/programs/*.rsp) =="
-  "$BUILD_DIR"/tests/fuzz_parser examples/programs/*.rsp
+  echo "== fuzz smoke (seeds: examples/programs/*.rsp + snapshot corpus) =="
+  "$BUILD_DIR"/tests/fuzz_parser examples/programs/*.rsp \
+      tests/fuzz_corpus/snapshots/*.rsnp
   echo "== fuzz smoke passed =="
   exit 0
 fi
@@ -70,10 +75,10 @@ if [[ "${1:-}" == "--tsan" ]]; then
       -DRELSPEC_WERROR=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
       parallel_test datalog_test fixpoint_test engine_test \
-      failpoint_test governor_test
+      failpoint_test governor_test differential_test
   echo "== tsan tests =="
   for t in parallel_test datalog_test fixpoint_test engine_test \
-           failpoint_test governor_test; do
+           failpoint_test governor_test differential_test; do
     echo "-- $t"
     "$BUILD_DIR"/tests/"$t"
   done
