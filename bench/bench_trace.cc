@@ -1,0 +1,130 @@
+// E19 — cost of the event tracer (src/base/trace.{h,cc}), the ablation
+// behind the "always compiled, near-zero when disabled" claim:
+//
+//  * BM_Trace_Disabled_*: tracing compiled in but switched off. The per-site
+//    cost is one relaxed atomic load + branch, so the full pipeline must be
+//    within noise (< 2%) of a build without any instrumentation.
+//  * BM_Trace_Enabled_Idle: the raw recording rate — span/instant/counter
+//    emission into a per-thread ring with nothing else running. This bounds
+//    the distortion tracing can introduce into a timeline.
+//  * BM_Trace_Enabled_Hot: the full pipeline with the tracer on, the
+//    worst realistic case (every phase, round, and task recorded).
+//
+// Expected shape: Disabled == untraced baseline; Enabled_Idle is tens of
+// nanoseconds per event; Enabled_Hot is a few percent over Disabled on
+// fixpoint-dominated workloads (events are rare next to chi work).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/base/trace.h"
+#include "src/core/engine.h"
+
+namespace {
+
+using namespace relspec;
+using namespace relspec_bench;
+
+// Full pipeline, tracer disabled (the production default).
+void BM_Trace_Disabled_Pipeline(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  int k = static_cast<int>(state.range(0));
+  std::string source = RotationProgram(k);
+  EnableEventTrace(false);
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_Trace_Disabled_Pipeline)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+// A single disabled call site, isolated: the relaxed-load + branch cost
+// that every instrumented line pays when --trace-out is absent.
+void BM_Trace_Disabled_CallSite(benchmark::State& state) {
+  EnableEventTrace(false);
+  int64_t i = 0;
+  for (auto _ : state) {
+    RELSPEC_TRACE_INSTANT("bench", "off");
+    RELSPEC_TRACE_COUNTER("bench.off", ++i);
+    benchmark::DoNotOptimize(i);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_Trace_Disabled_CallSite);
+
+// Raw recording rate with the tracer on: one span pair, one instant, and
+// one counter per iteration into this thread's ring buffer.
+void BM_Trace_Enabled_Idle(benchmark::State& state) {
+  Tracer::Global().Reset();
+  EnableEventTrace(true);
+  int64_t i = 0;
+  for (auto _ : state) {
+    RELSPEC_TRACE_SPAN1("bench", "idle", "i", ++i);
+    RELSPEC_TRACE_INSTANT("bench", "tick");
+    RELSPEC_TRACE_COUNTER("bench.progress", i);
+    benchmark::DoNotOptimize(i);
+  }
+  EnableEventTrace(false);
+  // 4 events: B + E + instant + counter.
+  state.SetItemsProcessed(state.iterations() * 4);
+  state.counters["dropped"] =
+      static_cast<double>(Tracer::Global().dropped());
+  Tracer::Global().Reset();
+}
+BENCHMARK(BM_Trace_Enabled_Idle);
+
+// Full pipeline with the tracer recording: phases, fixpoint rounds, and
+// counter tracks all land in the ring. Compare against Disabled_Pipeline
+// for the enabled-path overhead on real work.
+void BM_Trace_Enabled_Hot(benchmark::State& state) {
+  ScopedBenchMetrics bench_metrics(__func__);
+  int k = static_cast<int>(state.range(0));
+  std::string source = RotationProgram(k);
+  Tracer::Global().Reset();
+  EnableEventTrace(true);
+  for (auto _ : state) {
+    auto db = FunctionalDatabase::FromSource(source);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(db);
+  }
+  EnableEventTrace(false);
+  TraceSummary exported;
+  Tracer::Global().ExportChromeJson(&exported);
+  state.counters["k"] = k;
+  state.counters["events_kept"] = static_cast<double>(exported.total());
+  state.counters["dropped"] = static_cast<double>(exported.dropped);
+  Tracer::Global().Reset();
+}
+BENCHMARK(BM_Trace_Enabled_Hot)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+// Export cost: serialize a full ring to Chrome JSON (what the CLI pays
+// once at exit when --trace-out is given).
+void BM_Trace_Export(benchmark::State& state) {
+  Tracer::Global().Reset();
+  EnableEventTrace(true);
+  for (int i = 0; i < 8192; ++i) {
+    RELSPEC_TRACE_SPAN1("bench", "fill", "i", i);
+  }
+  EnableEventTrace(false);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string json = Tracer::Global().ExportChromeJson();
+    bytes = json.size();
+    benchmark::DoNotOptimize(json);
+  }
+  state.counters["json_bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+  Tracer::Global().Reset();
+}
+BENCHMARK(BM_Trace_Export)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

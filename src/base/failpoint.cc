@@ -7,6 +7,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/str_util.h"
+#include "src/base/trace.h"
 
 namespace relspec {
 namespace failpoint {
@@ -147,28 +148,39 @@ Status Evaluate(const char* site) {
   }
   Site& s = it->second;
   ++s.hits;
+  Status result = Status::OK();
   switch (s.action) {
     case Action::kOff:
-      return Status::OK();
+      break;
     case Action::kError:
-      return Status::Internal(StrFormat("failpoint '%s' fired", site));
+      result = Status::Internal(StrFormat("failpoint '%s' fired", site));
+      break;
     case Action::kAlloc:
-      return Status::ResourceExhausted(
+      result = Status::ResourceExhausted(
           StrFormat("failpoint '%s': simulated allocation failure", site));
+      break;
     case Action::kCancel:
-      return Status::Cancelled(StrFormat("failpoint '%s' fired", site));
+      result = Status::Cancelled(StrFormat("failpoint '%s' fired", site));
+      break;
     case Action::kDeadline:
-      return Status::DeadlineExceeded(StrFormat("failpoint '%s' fired", site));
+      result =
+          Status::DeadlineExceeded(StrFormat("failpoint '%s' fired", site));
+      break;
     case Action::kOneInN:
       if (s.hits % s.period == 0) {
-        return Status::Internal(StrFormat(
+        result = Status::Internal(StrFormat(
             "failpoint '%s' fired (hit %llu, period %llu)", site,
             static_cast<unsigned long long>(s.hits),
             static_cast<unsigned long long>(s.period)));
       }
-      return Status::OK();
+      break;
   }
-  return Status::OK();
+  if (!result.ok()) {
+    // `site` is a string literal at every RELSPEC_FAILPOINT expansion, so
+    // storing the pointer in the ring is safe.
+    RELSPEC_TRACE_INSTANT("failpoint", site);
+  }
+  return result;
 }
 
 }  // namespace failpoint

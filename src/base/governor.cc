@@ -2,6 +2,7 @@
 
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
+#include "src/base/trace.h"
 
 namespace relspec {
 
@@ -119,6 +120,8 @@ Status ResourceGovernor::status() const {
 Status ResourceGovernor::RecordBreach(Status s) {
   std::lock_guard<std::mutex> lock(breach_mu_);
   if (!breached_.load(std::memory_order_relaxed)) {
+    RELSPEC_TRACE_INSTANT1("governor", "breach", "code",
+                           static_cast<int>(s.code()));
     breach_ = std::move(s);
     // Release so that readers who observe breached_ == true see breach_.
     breached_.store(true, std::memory_order_release);

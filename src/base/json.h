@@ -1,0 +1,202 @@
+// A minimal recursive-descent parser for the JSON subset this codebase
+// emits (metrics snapshots, Chrome trace-event files): objects, arrays,
+// strings with simple escapes, integers and decimal numbers, and the
+// true/false/null literals. Extracted from metrics.cc so the trace
+// validator (src/base/trace.cc) and the metrics round-trip share one
+// implementation.
+//
+// Deliberately lenient where our emitters are regular: commas are treated
+// as whitespace, so a well-formed emission parses and a malformed one still
+// fails on structure. Not a general-purpose validating JSON parser.
+
+#ifndef RELSPEC_BASE_JSON_H_
+#define RELSPEC_BASE_JSON_H_
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Eat('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char ch = text_[pos_++];
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          out.push_back(static_cast<char>(code));  // ASCII control chars only
+          break;
+        }
+        default: return Error("unknown escape");
+      }
+    }
+    if (!Eat('"')) return Error("unterminated string");
+    return out;
+  }
+
+  StatusOr<int64_t> ParseInt() {
+    SkipWs();
+    bool neg = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("expected digit");
+    }
+    uint64_t v = 0;
+    while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      v = v * 10 + static_cast<uint64_t>(text_[pos_++] - '0');
+    }
+    return neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+  }
+
+  StatusOr<uint64_t> ParseUint() {
+    RELSPEC_ASSIGN_OR_RETURN(int64_t v, ParseInt());
+    if (v < 0) return Error("expected non-negative integer");
+    return static_cast<uint64_t>(v);
+  }
+
+  /// Parses an integer or decimal number (Chrome trace "ts" values carry a
+  /// fractional microsecond part).
+  StatusOr<double> ParseNumber() {
+    SkipWs();
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    size_t digits = 0;
+    while (pos_ < text_.size() &&
+           (isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') && digits > 0))) {
+      ++pos_;
+      ++digits;
+    }
+    if (digits == 0) return Error("expected number");
+    return std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+  }
+
+  /// Parses {"key": value, ...}, invoking `on_member(key)` with the cursor
+  /// positioned at the value.
+  template <typename F>
+  Status ParseObject(F&& on_member) {
+    if (!Eat('{')) return Error("expected '{'");
+    while (!Peek('}')) {
+      RELSPEC_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (!Eat(':')) return Error("expected ':'");
+      RELSPEC_RETURN_NOT_OK(on_member(key));
+    }
+    if (!Eat('}')) return Error("expected '}'");
+    return Status::OK();
+  }
+
+  /// Parses [value, ...], invoking `on_element()` with the cursor at each
+  /// element.
+  template <typename F>
+  Status ParseArray(F&& on_element) {
+    if (!Eat('[')) return Error("expected '['");
+    while (!Peek(']')) {
+      RELSPEC_RETURN_NOT_OK(on_element());
+    }
+    if (!Eat(']')) return Error("expected ']'");
+    return Status::OK();
+  }
+
+  /// Skips one value of any kind (for members the caller does not care
+  /// about).
+  Status SkipValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("expected value");
+    char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject([&](const std::string&) { return SkipValue(); });
+    }
+    if (c == '[') {
+      return ParseArray([&] { return SkipValue(); });
+    }
+    if (c == '"') return ParseString().status();
+    if (c == 't' || c == 'f' || c == 'n') {
+      for (std::string_view lit : {"true", "false", "null"}) {
+        if (text_.substr(pos_, lit.size()) == lit) {
+          pos_ += lit.size();
+          return Status::OK();
+        }
+      }
+      return Error("unknown literal");
+    }
+    return ParseNumber().status();
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace relspec
+
+#endif  // RELSPEC_BASE_JSON_H_

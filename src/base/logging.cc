@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 
 namespace relspec {
 
@@ -19,21 +21,50 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+void StderrSink(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+          message.c_str());
+}
+
+// The installed sink; guarded by a mutex so a sink swap can't race the copy
+// taken on the (rare: level-filtered) emission path. Leaked like the other
+// process-lifetime singletons so logging works during static teardown.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+LogSink& InstalledSink() {
+  static LogSink* sink = new LogSink(StderrSink);
+  return *sink;
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink prev = std::move(InstalledSink());
+  InstalledSink() = sink ? std::move(sink) : LogSink(StderrSink);
+  return prev;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   std::string msg = stream_.str();
-  fprintf(stderr, "%s\n", msg.c_str());
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    sink = InstalledSink();
+  }
+  sink(level_, file_, line_, msg);
   if (level_ == LogLevel::kFatal) {
     fflush(stderr);
     std::abort();

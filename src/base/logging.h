@@ -1,10 +1,12 @@
-// Minimal leveled logging to stderr, plus CHECK macros for internal
-// invariants. Logging defaults to warnings-and-above so library users see
-// nothing in normal operation; tests and benchmarks can raise the level.
+// Minimal leveled logging through a pluggable sink (default: stderr), plus
+// CHECK macros for internal invariants. Logging defaults to
+// warnings-and-above so library users see nothing in normal operation;
+// tests and benchmarks can raise the level.
 
 #ifndef RELSPEC_BASE_LOGGING_H_
 #define RELSPEC_BASE_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +17,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 /// Sets the minimum level that is actually emitted.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Receives every emitted log record: the level, the call site, and the
+/// streamed message (no level/site prefix, no trailing newline).
+using LogSink =
+    std::function<void(LogLevel level, const char* file, int line,
+                       const std::string& message)>;
+
+/// Replaces the process-wide sink; pass nullptr to restore the default
+/// stderr sink. Returns the previous sink so tests can restore it. kFatal
+/// messages still abort after the sink returns. Not safe to race with
+/// concurrent logging — install sinks at test/process setup.
+LogSink SetLogSink(LogSink sink);
 
 namespace internal {
 
@@ -27,6 +41,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

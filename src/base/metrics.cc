@@ -6,8 +6,10 @@
 #include <memory>
 #include <mutex>
 
+#include "src/base/json.h"
 #include "src/base/logging.h"
 #include "src/base/str_util.h"
+#include "src/base/trace.h"
 
 namespace relspec {
 
@@ -271,129 +273,8 @@ std::string MetricsSnapshot::ToJson(bool pretty) const {
 }
 
 // ---------------------------------------------------------------------------
-// JSON parsing (the subset ToJson emits: objects, arrays, strings with
-// simple escapes, unsigned/signed integers)
+// JSON parsing (the subset ToJson emits) — shared parser in base/json.h
 // ---------------------------------------------------------------------------
-
-namespace {
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  Status Error(const std::string& what) {
-    return Status::InvalidArgument(
-        StrFormat("metrics JSON parse error at offset %zu: %s", pos_,
-                  what.c_str()));
-  }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r' || text_[pos_] == ',')) {
-      ++pos_;
-    }
-  }
-
-  bool Eat(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool Peek(char c) {
-    SkipWs();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  StatusOr<std::string> ParseString() {
-    if (!Eat('"')) return Error("expected '\"'");
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char ch = text_[pos_++];
-      if (ch != '\\') {
-        out.push_back(ch);
-        continue;
-      }
-      if (pos_ >= text_.size()) return Error("dangling escape");
-      char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case 'n': out.push_back('\n'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("short \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return Error("bad \\u escape");
-          }
-          out.push_back(static_cast<char>(code));  // ASCII control chars only
-          break;
-        }
-        default: return Error("unknown escape");
-      }
-    }
-    if (!Eat('"')) return Error("unterminated string");
-    return out;
-  }
-
-  StatusOr<int64_t> ParseInt() {
-    SkipWs();
-    bool neg = false;
-    if (pos_ < text_.size() && text_[pos_] == '-') {
-      neg = true;
-      ++pos_;
-    }
-    if (pos_ >= text_.size() || !isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      return Error("expected digit");
-    }
-    uint64_t v = 0;
-    while (pos_ < text_.size() && isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      v = v * 10 + static_cast<uint64_t>(text_[pos_++] - '0');
-    }
-    return neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
-  }
-
-  StatusOr<uint64_t> ParseUint() {
-    RELSPEC_ASSIGN_OR_RETURN(int64_t v, ParseInt());
-    if (v < 0) return Error("expected non-negative integer");
-    return static_cast<uint64_t>(v);
-  }
-
-  /// Parses {"key": value, ...}, invoking `on_member(key)` with the cursor
-  /// positioned at the value.
-  template <typename F>
-  Status ParseObject(F&& on_member) {
-    if (!Eat('{')) return Error("expected '{'");
-    while (!Peek('}')) {
-      RELSPEC_ASSIGN_OR_RETURN(std::string key, ParseString());
-      if (!Eat(':')) return Error("expected ':'");
-      RELSPEC_RETURN_NOT_OK(on_member(key));
-    }
-    if (!Eat('}')) return Error("expected '}'");
-    return Status::OK();
-  }
-
-  bool AtEnd() {
-    SkipWs();
-    return pos_ >= text_.size();
-  }
-
- private:
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
 
 StatusOr<MetricsSnapshot> MetricsSnapshot::FromJson(std::string_view json) {
   MetricsSnapshot snap;
@@ -481,7 +362,9 @@ thread_local int g_phase_depth = 0;
 PhaseSpan::PhaseSpan(const char* name)
     : name_(name),
       metrics_on_(MetricsEnabled()),
-      tracing_on_(TracingEnabled()) {
+      tracing_on_(TracingEnabled()),
+      event_trace_on_(EventTraceEnabled()) {
+  if (event_trace_on_) Tracer::Global().Begin("phase", name_);
   if (!metrics_on_ && !tracing_on_) return;
   if (tracing_on_) {
     RELSPEC_LOG(kInfo) << "trace: " << std::string(static_cast<size_t>(g_phase_depth) * 2, ' ')
@@ -492,6 +375,7 @@ PhaseSpan::PhaseSpan(const char* name)
 }
 
 PhaseSpan::~PhaseSpan() {
+  if (event_trace_on_) Tracer::Global().End("phase", name_);
   if (!metrics_on_ && !tracing_on_) return;
   auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - start_)

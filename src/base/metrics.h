@@ -221,8 +221,10 @@ class ScopedTimer {
 };
 
 /// RAII phase span: accumulates wall time into the registry's PhaseStat when
-/// metrics are enabled, and emits begin/end lines through the logger when
-/// tracing is enabled. `name` must be a string literal (stored by pointer).
+/// metrics are enabled, emits begin/end lines through the logger when
+/// tracing is enabled, and records a timeline span in the event tracer
+/// (base/trace.h) when event tracing is enabled — one RELSPEC_PHASE yields
+/// all three views. `name` must be a string literal (stored by pointer).
 class PhaseSpan {
  public:
   explicit PhaseSpan(const char* name);
@@ -234,6 +236,7 @@ class PhaseSpan {
   const char* name_;
   bool metrics_on_;
   bool tracing_on_;
+  bool event_trace_on_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/base/metrics.h"
+#include "src/base/str_util.h"
+#include "src/base/trace.h"
 
 namespace relspec {
 
@@ -15,8 +17,10 @@ TaskPool::TaskPool(int num_threads)
   }
   threads_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i) {
-    threads_.emplace_back(
-        [this, i] { WorkerLoop(static_cast<size_t>(i)); });
+    threads_.emplace_back([this, i] {
+      Tracer::Global().SetCurrentThreadName(StrFormat("worker-%d", i));
+      WorkerLoop(static_cast<size_t>(i));
+    });
   }
 }
 
@@ -56,7 +60,10 @@ bool TaskPool::RunOneTask(size_t self) {
         victim.tasks.pop_front();
       }
     }
-    if (task) RELSPEC_COUNTER("task_pool.steals");
+    if (task) {
+      RELSPEC_COUNTER("task_pool.steals");
+      RELSPEC_TRACE_INSTANT1("task_pool", "steal", "lane", self);
+    }
   }
   if (!task) return false;
   {
@@ -64,13 +71,17 @@ bool TaskPool::RunOneTask(size_t self) {
     --queued_;
   }
   RELSPEC_COUNTER("task_pool.tasks");
-  task();
+  {
+    RELSPEC_TRACE_SPAN("task_pool", "run");
+    task();
+  }
   return true;
 }
 
 void TaskPool::WorkerLoop(size_t self) {
   while (true) {
     {
+      RELSPEC_TRACE_SPAN("task_pool", "park");
       std::unique_lock<std::mutex> lk(wake_mu_);
       wake_cv_.wait(lk, [this] { return stop_ || queued_ > 0; });
       if (stop_) return;

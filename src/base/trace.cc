@@ -1,0 +1,504 @@
+#include "src/base/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/base/metrics.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+
+namespace trace_internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace trace_internal
+
+void EnableEventTrace(bool on) {
+  trace_internal::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+enum EventKind : uint8_t {
+  kNone = 0,
+  kBegin = 1,
+  kEnd = 2,
+  kInstant = 3,
+  kCounter = 4,
+};
+
+// One ring slot. Every field is a relaxed atomic so that a reader racing a
+// wrap-around sees a torn but well-defined value (discarded via the head
+// re-check in Export) instead of a C++ data race. Strings are stored by
+// pointer — the macros only pass string literals.
+struct TraceEvent {
+  std::atomic<uint8_t> kind;
+  std::atomic<int64_t> ts_ns;
+  std::atomic<const char*> cat;
+  std::atomic<const char*> name;
+  std::atomic<const char*> arg_name;
+  std::atomic<uint64_t> arg_value;
+};
+
+// A plain copy of a TraceEvent, snapshotted by the exporter.
+struct EventCopy {
+  uint8_t kind;
+  int64_t ts_ns;
+  const char* cat;
+  const char* name;
+  const char* arg_name;
+  uint64_t arg_value;
+};
+
+// One lane: a single-writer ring owned by one thread, read by the exporter.
+// The slot array is allocated on the lane's first event so threads that
+// never record (or record only while tracing is disabled) cost nothing.
+struct TraceBuffer {
+  std::atomic<TraceEvent*> slots{nullptr};
+  size_t capacity = 0;               // power of two, fixed at creation
+  std::atomic<uint64_t> head{0};     // next write index; only writer stores
+  uint64_t lane_id = 0;
+  std::string name;                  // guarded by Tracer::Impl::mu
+};
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrFormat("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+// Chrome "ts" is in microseconds; keep nanosecond precision as a fraction.
+std::string FormatTs(int64_t ts_ns) {
+  if (ts_ns < 0) ts_ns = 0;
+  return StrFormat("%lld.%03lld", static_cast<long long>(ts_ns / 1000),
+                   static_cast<long long>(ts_ns % 1000));
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::mutex mu;
+  std::vector<TraceBuffer*> buffers;  // leaked, process lifetime
+  size_t default_capacity = size_t{1} << 15;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  }
+
+  TraceBuffer* RegisterThread() {
+    auto* b = new TraceBuffer;
+    std::lock_guard<std::mutex> lock(mu);
+    b->capacity = default_capacity;
+    b->lane_id = buffers.size();
+    buffers.push_back(b);
+    return b;
+  }
+
+  // The calling thread's lane, created on first use. The pointer outlives
+  // the thread (buffers are leaked), so export may run after writers exit.
+  TraceBuffer* CurrentBuffer() {
+    thread_local TraceBuffer* tl_buffer = nullptr;
+    if (tl_buffer == nullptr) tl_buffer = RegisterThread();
+    return tl_buffer;
+  }
+
+  static TraceEvent* EnsureSlots(TraceBuffer* b) {
+    TraceEvent* slots = b->slots.load(std::memory_order_acquire);
+    if (slots != nullptr) return slots;
+    // C++20 value-initialization zero-fills the atomics (kind == kNone).
+    auto* fresh = new TraceEvent[b->capacity]();
+    if (b->slots.compare_exchange_strong(slots, fresh,
+                                         std::memory_order_acq_rel)) {
+      return fresh;
+    }
+    delete[] fresh;  // only the owning thread allocates, but stay defensive
+    return slots;
+  }
+
+  void Emit(uint8_t kind, const char* cat, const char* name,
+            const char* arg_name, uint64_t arg_value) {
+    TraceBuffer* b = CurrentBuffer();
+    TraceEvent* slots = EnsureSlots(b);
+    uint64_t idx = b->head.load(std::memory_order_relaxed);  // single writer
+    TraceEvent& e = slots[idx & (b->capacity - 1)];
+    e.kind.store(kind, std::memory_order_relaxed);
+    e.ts_ns.store(NowNs(), std::memory_order_relaxed);
+    e.cat.store(cat, std::memory_order_relaxed);
+    e.name.store(name, std::memory_order_relaxed);
+    e.arg_name.store(arg_name, std::memory_order_relaxed);
+    e.arg_value.store(arg_value, std::memory_order_relaxed);
+    b->head.store(idx + 1, std::memory_order_release);
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer;  // leaked: safe during thread teardown
+  return *tracer;
+}
+
+void Tracer::SetBufferCapacity(size_t events) {
+  size_t cap = 8;
+  while (cap < events && cap < (size_t{1} << 24)) cap <<= 1;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->default_capacity = cap;
+}
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  TraceBuffer* b = impl_->CurrentBuffer();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  b->name = std::move(name);
+}
+
+void Tracer::Begin(const char* cat, const char* name, const char* arg_name,
+                   uint64_t arg_value) {
+  impl_->Emit(kBegin, cat, name, arg_name, arg_value);
+}
+
+void Tracer::End(const char* cat, const char* name, const char* arg_name,
+                 uint64_t arg_value) {
+  impl_->Emit(kEnd, cat, name, arg_name, arg_value);
+}
+
+void Tracer::Instant(const char* cat, const char* name, const char* arg_name,
+                     uint64_t arg_value) {
+  impl_->Emit(kInstant, cat, name, arg_name, arg_value);
+}
+
+void Tracer::Counter(const char* name, int64_t value) {
+  impl_->Emit(kCounter, "counter", name, nullptr,
+              static_cast<uint64_t>(value));
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  uint64_t dropped = 0;
+  for (TraceBuffer* b : impl_->buffers) {
+    uint64_t h = b->head.load(std::memory_order_relaxed);
+    if (h > b->capacity) dropped += h - b->capacity;
+  }
+  return dropped;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (TraceBuffer* b : impl_->buffers) {
+    TraceEvent* slots = b->slots.load(std::memory_order_acquire);
+    if (slots != nullptr) {
+      for (size_t i = 0; i < b->capacity; ++i) {
+        slots[i].kind.store(kNone, std::memory_order_relaxed);
+      }
+    }
+    b->head.store(0, std::memory_order_release);
+  }
+}
+
+std::string Tracer::ExportChromeJson(TraceSummary* summary) {
+  TraceSummary sum;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto emit_line = [&](const std::string& line) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append(line);
+  };
+
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  emit_line(
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"relspec\"}}");
+  ++sum.metadata;
+
+  for (TraceBuffer* b : impl_->buffers) {
+    uint64_t tid = b->lane_id;
+    std::string lane_name =
+        b->name.empty() ? StrFormat("thread-%llu", (unsigned long long)tid)
+                        : b->name;
+    std::string escaped_name;
+    AppendJsonEscaped(&escaped_name, lane_name);
+    emit_line(StrFormat(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"ts\":0,"
+        "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+        (unsigned long long)tid, escaped_name.c_str()));
+    emit_line(StrFormat(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":%llu,\"ts\":0,"
+        "\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%llu}}",
+        (unsigned long long)tid, (unsigned long long)tid));
+    sum.metadata += 2;
+
+    TraceEvent* slots = b->slots.load(std::memory_order_acquire);
+    if (slots == nullptr) continue;
+    ++sum.lanes;
+
+    // Snapshot the surviving window [h2 - cap, h2). The release store of
+    // h2 orders all slot writes at indices < h2 before our acquire load;
+    // slots being overwritten by a concurrent writer past h2 are excluded
+    // by the head re-check below.
+    uint64_t h2 = b->head.load(std::memory_order_acquire);
+    uint64_t begin = h2 > b->capacity ? h2 - b->capacity : 0;
+    std::vector<EventCopy> events;
+    events.reserve(static_cast<size_t>(h2 - begin));
+    std::vector<uint64_t> indices;
+    indices.reserve(static_cast<size_t>(h2 - begin));
+    for (uint64_t i = begin; i < h2; ++i) {
+      const TraceEvent& e = slots[i & (b->capacity - 1)];
+      EventCopy c;
+      c.kind = e.kind.load(std::memory_order_relaxed);
+      c.ts_ns = e.ts_ns.load(std::memory_order_relaxed);
+      c.cat = e.cat.load(std::memory_order_relaxed);
+      c.name = e.name.load(std::memory_order_relaxed);
+      c.arg_name = e.arg_name.load(std::memory_order_relaxed);
+      c.arg_value = e.arg_value.load(std::memory_order_relaxed);
+      events.push_back(c);
+      indices.push_back(i);
+    }
+    uint64_t h3 = b->head.load(std::memory_order_acquire);
+    uint64_t valid_from = h3 > b->capacity ? h3 - b->capacity : 0;
+    sum.dropped += valid_from;
+
+    // Repair what the ring (or a concurrent writer) broke: skip overwritten
+    // and orphaned events, then close any span still open at the lane's
+    // end. A slot racing an in-flight write can mix old and new field
+    // values (each field is an atomic, so each value is individually
+    // valid); clamping timestamps keeps the lane monotone regardless.
+    std::vector<const char*> open_cats;
+    std::vector<const char*> open_names;
+    int64_t last_ts = 0;
+    for (size_t k = 0; k < events.size(); ++k) {
+      if (indices[k] < valid_from) continue;  // overwritten during the copy
+      const EventCopy& c = events[k];
+      if (c.kind == kNone || c.name == nullptr) continue;
+      if (c.kind == kEnd && open_names.empty()) continue;  // B was dropped
+      int64_t ts = c.ts_ns < last_ts ? last_ts : c.ts_ns;
+      last_ts = ts;
+      std::string line =
+          StrFormat("{\"pid\":1,\"tid\":%llu,\"ts\":%s",
+                    (unsigned long long)tid, FormatTs(ts).c_str());
+      switch (c.kind) {
+        case kBegin:
+          line.append(StrFormat(",\"ph\":\"B\",\"cat\":\"%s\",\"name\":\"%s\"",
+                                c.cat, c.name));
+          open_cats.push_back(c.cat);
+          open_names.push_back(c.name);
+          ++sum.begins;
+          break;
+        case kEnd:
+          line.append(StrFormat(",\"ph\":\"E\",\"cat\":\"%s\",\"name\":\"%s\"",
+                                open_cats.back(), open_names.back()));
+          open_cats.pop_back();
+          open_names.pop_back();
+          ++sum.ends;
+          break;
+        case kInstant:
+          line.append(
+              StrFormat(",\"ph\":\"i\",\"s\":\"t\",\"cat\":\"%s\","
+                        "\"name\":\"%s\"",
+                        c.cat, c.name));
+          ++sum.instants;
+          break;
+        case kCounter:
+          line.append(StrFormat(
+              ",\"ph\":\"C\",\"name\":\"%s\",\"args\":{\"value\":%lld}",
+              c.name, (long long)static_cast<int64_t>(c.arg_value)));
+          ++sum.counters;
+          break;
+        default:
+          continue;
+      }
+      if (c.kind != kCounter && c.arg_name != nullptr) {
+        line.append(StrFormat(",\"args\":{\"%s\":%llu}", c.arg_name,
+                              (unsigned long long)c.arg_value));
+      }
+      line.push_back('}');
+      emit_line(line);
+    }
+    while (!open_names.empty()) {
+      emit_line(StrFormat(
+          "{\"pid\":1,\"tid\":%llu,\"ts\":%s,\"ph\":\"E\",\"cat\":\"%s\","
+          "\"name\":\"%s\"}",
+          (unsigned long long)tid, FormatTs(last_ts).c_str(),
+          open_cats.back(), open_names.back()));
+      open_cats.pop_back();
+      open_names.pop_back();
+      ++sum.ends;
+    }
+  }
+
+  out.append(StrFormat(
+      "\n],\"otherData\":{\"trace.dropped\":%llu,\"exporter\":\"relspec\"}}\n",
+      (unsigned long long)sum.dropped));
+
+  if (MetricsEnabled()) {
+    MetricsRegistry::Global().GetGauge("trace.dropped")->Set(
+        static_cast<int64_t>(sum.dropped));
+  }
+  if (summary != nullptr) *summary = sum;
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) {
+  std::string json = ExportChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open trace output file: %s", path.c_str()));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal(
+        StrFormat("short write to trace output file: %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct ParsedEvent {
+  std::string ph;
+  std::string name;
+  bool has_ts = false;
+  double ts = 0;
+  bool has_pid = false;
+  bool has_tid = false;
+  int64_t tid = 0;
+};
+
+struct LaneState {
+  double last_ts = 0;
+  bool any = false;
+  std::vector<std::string> open;  // names of unmatched B events
+};
+
+}  // namespace
+
+StatusOr<TraceSummary> ValidateChromeTraceJson(std::string_view json) {
+  TraceSummary sum;
+  JsonParser p(json);
+  std::map<int64_t, LaneState> lanes;
+  bool saw_events_array = false;
+
+  auto parse_event = [&]() -> Status {
+    ParsedEvent ev;
+    RELSPEC_RETURN_NOT_OK(p.ParseObject([&](const std::string& key) -> Status {
+      if (key == "ph") {
+        RELSPEC_ASSIGN_OR_RETURN(ev.ph, p.ParseString());
+      } else if (key == "name") {
+        RELSPEC_ASSIGN_OR_RETURN(ev.name, p.ParseString());
+      } else if (key == "ts") {
+        RELSPEC_ASSIGN_OR_RETURN(ev.ts, p.ParseNumber());
+        ev.has_ts = true;
+      } else if (key == "pid") {
+        RELSPEC_ASSIGN_OR_RETURN(int64_t pid, p.ParseInt());
+        (void)pid;
+        ev.has_pid = true;
+      } else if (key == "tid") {
+        RELSPEC_ASSIGN_OR_RETURN(ev.tid, p.ParseInt());
+        ev.has_tid = true;
+      } else {
+        RELSPEC_RETURN_NOT_OK(p.SkipValue());
+      }
+      return Status::OK();
+    }));
+    if (ev.ph.size() != 1 ||
+        std::string_view("BEiCM").find(ev.ph[0]) == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("trace event with unknown ph '%s'", ev.ph.c_str()));
+    }
+    if (!ev.has_pid || !ev.has_tid) {
+      return Status::InvalidArgument("trace event missing pid/tid");
+    }
+    if (ev.ph == "M") {
+      ++sum.metadata;
+      return Status::OK();
+    }
+    if (!ev.has_ts || ev.name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("%s event missing ts or name", ev.ph.c_str()));
+    }
+    LaneState& lane = lanes[ev.tid];
+    if (lane.any && ev.ts < lane.last_ts) {
+      return Status::InvalidArgument(StrFormat(
+          "timestamps not monotone on lane %lld (%.3f after %.3f)",
+          (long long)ev.tid, ev.ts, lane.last_ts));
+    }
+    lane.any = true;
+    lane.last_ts = ev.ts;
+    if (ev.ph == "B") {
+      lane.open.push_back(ev.name);
+      ++sum.begins;
+    } else if (ev.ph == "E") {
+      if (lane.open.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "E event '%s' without matching B on lane %lld", ev.name.c_str(),
+            (long long)ev.tid));
+      }
+      if (lane.open.back() != ev.name) {
+        return Status::InvalidArgument(StrFormat(
+            "E event '%s' does not match open B '%s' on lane %lld",
+            ev.name.c_str(), lane.open.back().c_str(), (long long)ev.tid));
+      }
+      lane.open.pop_back();
+      ++sum.ends;
+    } else if (ev.ph == "i") {
+      ++sum.instants;
+    } else {  // "C"
+      ++sum.counters;
+    }
+    return Status::OK();
+  };
+
+  RELSPEC_RETURN_NOT_OK(p.ParseObject([&](const std::string& key) -> Status {
+    if (key == "traceEvents") {
+      saw_events_array = true;
+      return p.ParseArray(parse_event);
+    }
+    if (key == "otherData") {
+      return p.ParseObject([&](const std::string& inner) -> Status {
+        if (inner == "trace.dropped") {
+          RELSPEC_ASSIGN_OR_RETURN(sum.dropped, p.ParseUint());
+          return Status::OK();
+        }
+        return p.SkipValue();
+      });
+    }
+    return p.SkipValue();
+  }));
+  if (!p.AtEnd()) {
+    return Status::InvalidArgument("trailing data after trace JSON object");
+  }
+  if (!saw_events_array) {
+    return Status::InvalidArgument("trace JSON has no traceEvents array");
+  }
+  for (const auto& [tid, lane] : lanes) {
+    if (!lane.open.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("B event '%s' never closed on lane %lld",
+                    lane.open.back().c_str(), (long long)tid));
+    }
+    ++sum.lanes;
+  }
+  return sum;
+}
+
+}  // namespace relspec

@@ -1,0 +1,206 @@
+// Event-level tracing: per-thread ring buffers of timestamped events,
+// exported as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing). Complements the aggregate registry in metrics.h: where
+// a counter answers "how many", a trace answers "when, on which thread, and
+// overlapping what".
+//
+// Design goals, in order:
+//
+//  1. Near-zero overhead when disabled. Recording is off by default; every
+//     macro below performs one relaxed atomic load (inlined, no function
+//     call) and branches away. No clock read, no allocation, no buffer
+//     touch happens while tracing is disabled (verified by
+//     bench/bench_trace.cc).
+//  2. Lock-free recording when enabled. Each thread owns a fixed-capacity
+//     ring buffer; recording is a handful of relaxed atomic stores plus one
+//     release store of the head — no lock, no contention with other lanes.
+//     When the ring wraps, the OLDEST events are dropped and the loss is
+//     reported via Tracer::dropped() and the `trace.dropped` metrics gauge;
+//     recording never blocks and never grows memory.
+//  3. Honest export. ExportChromeJson repairs what ring overflow broke
+//     (orphaned "E" events from a dropped prefix are discarded; spans still
+//     open at export time are closed at the lane's last timestamp), so the
+//     emitted JSON always satisfies the trace contract checked by
+//     ValidateChromeTraceJson: parseable, every "B" matched by an "E",
+//     timestamps monotone per lane.
+//
+// Event kinds (one ring slot each, all names/categories must be string
+// literals — they are stored by pointer, never copied):
+//
+//   RELSPEC_TRACE_SPAN(cat, name);               // RAII begin/end pair
+//   RELSPEC_TRACE_SPAN1(cat, name, "round", n);  // span with a numeric arg
+//   RELSPEC_TRACE_INSTANT(cat, name);            // zero-duration marker
+//   RELSPEC_TRACE_INSTANT1(cat, name, "code", v);
+//   RELSPEC_TRACE_COUNTER(name, value);          // time-series sample
+//
+// Lanes: every emitting thread gets a lane (tid in the exported JSON).
+// Tracer::SetCurrentThreadName names the calling thread's lane ("main",
+// "worker-3"); the TaskPool names its workers automatically. Unnamed lanes
+// export as "thread-N".
+
+#ifndef RELSPEC_BASE_TRACE_H_
+#define RELSPEC_BASE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace relspec {
+
+namespace trace_internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace trace_internal
+
+/// Turns event recording on or off for the whole process. Off by default.
+/// Buffers are not cleared by disabling: a stop/export/start cycle around a
+/// region of interest works as expected.
+void EnableEventTrace(bool on);
+
+/// The macros' fast-path guard: one inlined relaxed load.
+inline bool EventTraceEnabled() {
+  return trace_internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// Per-lane event totals of an exported or validated trace.
+struct TraceSummary {
+  uint64_t begins = 0;
+  uint64_t ends = 0;
+  uint64_t instants = 0;
+  uint64_t counters = 0;
+  uint64_t metadata = 0;
+  uint64_t lanes = 0;
+  uint64_t dropped = 0;
+
+  uint64_t total() const { return begins + ends + instants + counters; }
+};
+
+/// The process-wide tracer. Thread buffers are created lazily on a thread's
+/// first recorded event (or SetCurrentThreadName) and leaked on purpose, so
+/// export after a writer thread has exited is safe.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Ring capacity (events per thread) for buffers allocated AFTER the
+  /// call; existing buffers keep their size. Rounded up to a power of two,
+  /// minimum 8. Default: 32768 events (~2 MiB per recording thread).
+  void SetBufferCapacity(size_t events);
+
+  /// Names the calling thread's lane in the exported trace. Registers the
+  /// lane but does not allocate its ring (that happens on first event), so
+  /// it is cheap to call unconditionally at thread start.
+  void SetCurrentThreadName(std::string name);
+
+  /// Recording primitives behind the RELSPEC_TRACE_* macros. Callers are
+  /// expected to check EventTraceEnabled() first (the macros do); calling
+  /// while disabled records nothing. `cat`, `name` and `arg_name` must be
+  /// string literals.
+  void Begin(const char* cat, const char* name,
+             const char* arg_name = nullptr, uint64_t arg_value = 0);
+  void End(const char* cat, const char* name,
+           const char* arg_name = nullptr, uint64_t arg_value = 0);
+  void Instant(const char* cat, const char* name,
+               const char* arg_name = nullptr, uint64_t arg_value = 0);
+  void Counter(const char* name, int64_t value);
+
+  /// Events dropped to ring overflow across all lanes since the last
+  /// Reset(). Also exported as the `trace.dropped` gauge by
+  /// ExportChromeJson (when metrics are enabled) and embedded in the JSON's
+  /// otherData section.
+  uint64_t dropped() const;
+
+  /// Serializes every lane's surviving events as a Chrome trace-event JSON
+  /// object ({"traceEvents": [...], ...}). Safe to call while other threads
+  /// are still recording: a lane's concurrently-overwritten slots are
+  /// excluded by the head re-check, never emitted torn. `summary`, when
+  /// non-null, receives the exported event totals.
+  std::string ExportChromeJson(TraceSummary* summary = nullptr);
+
+  /// ExportChromeJson straight to a file.
+  Status WriteChromeJson(const std::string& path);
+
+  /// Zeroes every lane's ring and the drop accounting. Lane ids and names
+  /// survive (like MetricsRegistry::Reset).
+  void Reset();
+
+ private:
+  struct Impl;
+  Tracer();
+  ~Tracer() = delete;  // process-lifetime singleton
+  Impl* impl_;
+};
+
+/// Checks that `json` is a structurally valid Chrome trace-event file:
+/// parseable, "traceEvents" present, every event carrying ph/ts/pid (and
+/// tid+name where the phase requires them), B/E balanced per lane, and
+/// timestamps monotone per lane. Returns the event totals on success.
+/// Shared by tests/trace_test.cc and tools/trace_check.cc.
+StatusOr<TraceSummary> ValidateChromeTraceJson(std::string_view json);
+
+namespace internal {
+
+/// RAII begin/end pair; inert when tracing was disabled at construction.
+/// If tracing turns off mid-span the unmatched "B" is repaired at export.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name,
+            const char* arg_name = nullptr, uint64_t arg_value = 0) {
+    if (!EventTraceEnabled()) return;
+    cat_ = cat;
+    name_ = name;
+    Tracer::Global().Begin(cat, name, arg_name, arg_value);
+  }
+  ~TraceSpan() {
+    if (name_ == nullptr || !EventTraceEnabled()) return;
+    Tracer::Global().End(cat_, name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+};
+
+}  // namespace internal
+}  // namespace relspec
+
+#define RELSPEC_TRACE_CONCAT_INNER(a, b) a##b
+#define RELSPEC_TRACE_CONCAT(a, b) RELSPEC_TRACE_CONCAT_INNER(a, b)
+
+#define RELSPEC_TRACE_SPAN(cat, name)                                \
+  ::relspec::internal::TraceSpan RELSPEC_TRACE_CONCAT(relspec_trace_span_, \
+                                                      __LINE__)(cat, name)
+
+#define RELSPEC_TRACE_SPAN1(cat, name, arg_name, arg_value)          \
+  ::relspec::internal::TraceSpan RELSPEC_TRACE_CONCAT(relspec_trace_span_, \
+                                                      __LINE__)(           \
+      cat, name, arg_name, static_cast<uint64_t>(arg_value))
+
+#define RELSPEC_TRACE_INSTANT(cat, name)                     \
+  do {                                                       \
+    if (::relspec::EventTraceEnabled()) {                    \
+      ::relspec::Tracer::Global().Instant(cat, name);        \
+    }                                                        \
+  } while (0)
+
+#define RELSPEC_TRACE_INSTANT1(cat, name, arg_name, arg_value)            \
+  do {                                                                    \
+    if (::relspec::EventTraceEnabled()) {                                 \
+      ::relspec::Tracer::Global().Instant(cat, name, arg_name,            \
+                                          static_cast<uint64_t>(arg_value)); \
+    }                                                                     \
+  } while (0)
+
+#define RELSPEC_TRACE_COUNTER(name, value)                                \
+  do {                                                                    \
+    if (::relspec::EventTraceEnabled()) {                                 \
+      ::relspec::Tracer::Global().Counter(name,                           \
+                                          static_cast<int64_t>(value));   \
+    }                                                                     \
+  } while (0)
+
+#endif  // RELSPEC_BASE_TRACE_H_

@@ -77,6 +77,8 @@ size_t CongruenceClosure::NumClasses() {
 }
 
 void CongruenceClosure::DrainPending() {
+  if (pending_.empty()) return;  // keep no-op calls out of the event trace
+  RELSPEC_PHASE("cc.drain");
   RELSPEC_GAUGE_MAX("cc.pending_peak", pending_.size());
   while (!pending_.empty()) {
     // Sticky interrupt: once a breach is recorded, queued consequences stay

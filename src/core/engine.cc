@@ -13,10 +13,7 @@ namespace relspec {
 StatusOr<std::unique_ptr<FunctionalDatabase>> FunctionalDatabase::FromSource(
     std::string_view source, const EngineOptions& options) {
   ParseResult parsed;
-  {
-    RELSPEC_PHASE("parse");
-    RELSPEC_ASSIGN_OR_RETURN(parsed, Parse(source));
-  }
+  RELSPEC_ASSIGN_OR_RETURN(parsed, Parse(source));  // "parse" phase inside
   if (!parsed.queries.empty()) {
     return Status::InvalidArgument(
         "FromSource expects facts and rules only; answer queries through "

@@ -8,6 +8,7 @@
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
 #include "src/base/task_pool.h"
+#include "src/base/trace.h"
 
 namespace relspec {
 
@@ -156,6 +157,7 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
     ++out.rounds_;
     RELSPEC_COUNTER("fixpoint.rounds");
     RELSPEC_SCOPED_TIMER("fixpoint.round_ns");
+    RELSPEC_TRACE_SPAN1("fixpoint", "round", "round", out.rounds_);
     if (options.max_rounds > 0 && out.rounds_ > options.max_rounds) {
       RELSPEC_RETURN_NOT_OK(
           degrade(Status::ResourceExhausted("fixpoint round limit exceeded")));
@@ -277,6 +279,9 @@ StatusOr<Labeling> ComputeFixpoint(const GroundProgram& ground,
       break;
     }
     changed |= *chi_changed || out.shared_->ctx_changed;
+    RELSPEC_TRACE_COUNTER("fixpoint.nodes",
+                          out.trunk_paths_.size() + chi.num_entries());
+    RELSPEC_TRACE_COUNTER("fixpoint.chi_entries", chi.num_entries());
 
     // Node budget across trunk + chi table (the chi engine checks its own
     // growth mid-pass; this covers the combined footprint).

@@ -1,5 +1,6 @@
 #include "src/core/graph_spec.h"
 
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -85,6 +86,7 @@ std::string GraphSpecification::ToString() const {
 
 StatusOr<GraphSpecification> BuildGraphSpecification(
     const LabelGraph& graph, Labeling* labeling, const SymbolTable& symbols) {
+  RELSPEC_PHASE("graph_spec.build");
   GraphSpecification out;
   out.graph_ = graph;
   out.symbols_ = symbols;

@@ -12,6 +12,7 @@
 #include "src/base/governor.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
+#include "src/base/trace.h"
 #include "src/datalog/evaluator.h"
 
 namespace relspec {
@@ -398,9 +399,11 @@ std::shared_ptr<const QueryAnswer> QueryCache::Lookup(
   auto it = index_.find(FullKey(fingerprint, query_key));
   if (it == index_.end()) {
     RELSPEC_COUNTER("cache.miss");
+    RELSPEC_TRACE_INSTANT("cache", "miss");
     return nullptr;
   }
   RELSPEC_COUNTER("cache.hit");
+  RELSPEC_TRACE_INSTANT("cache", "hit");
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->answer;
 }

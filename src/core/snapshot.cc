@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -501,6 +502,7 @@ StatusOr<Section> FindSection(const std::vector<Section>& sections,
 // ---------------------------------------------------------------------------
 
 std::string Snapshot::Serialize(const GraphSpecification& spec) {
+  RELSPEC_PHASE("snapshot.save");
   Writer w;
   const LabelGraph& g = spec.graph();
   WriteMeta(g.trunk_depth(), g.frontier_depth(), g.unknown_cluster(),
@@ -541,6 +543,7 @@ StatusOr<Snapshot::Kind> Snapshot::PeekKind(std::string_view bytes) {
 }
 
 StatusOr<GraphSpecification> Snapshot::ParseGraphSpec(std::string_view bytes) {
+  RELSPEC_PHASE("snapshot.load");
   Kind kind;
   std::string_view body;
   RELSPEC_RETURN_NOT_OK(ReadHeader(bytes, &kind, &body));
@@ -629,6 +632,7 @@ StatusOr<GraphSpecification> Snapshot::ParseGraphSpec(std::string_view bytes) {
 // ---------------------------------------------------------------------------
 
 std::string Snapshot::Serialize(const EquationalSpecification& spec) {
+  RELSPEC_PHASE("snapshot.save");
   Writer w;
   WriteMeta(spec.trunk_depth(), /*frontier_depth=*/0,
             /*unknown_cluster=*/kInvalidId, spec.truncated(), spec.breach(),
@@ -651,6 +655,7 @@ std::string Snapshot::Serialize(const EquationalSpecification& spec) {
 
 StatusOr<EquationalSpecification> Snapshot::ParseEquationalSpec(
     std::string_view bytes) {
+  RELSPEC_PHASE("snapshot.load");
   Kind kind;
   std::string_view body;
   RELSPEC_RETURN_NOT_OK(ReadHeader(bytes, &kind, &body));

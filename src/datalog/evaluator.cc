@@ -11,6 +11,7 @@
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
 #include "src/base/task_pool.h"
+#include "src/base/trace.h"
 
 namespace relspec {
 namespace datalog {
@@ -348,6 +349,9 @@ StatusOr<EvalStats> EvaluateStratum(const std::vector<DRule>& rules,
   while (changed) {
     changed = false;
     ++stats.iterations;
+    RELSPEC_TRACE_SPAN1("datalog", "iteration", "iteration",
+                        stats.iterations);
+    RELSPEC_TRACE_COUNTER("datalog.tuples", db->TotalTuples());
     if (options.max_iterations > 0 && stats.iterations > options.max_iterations) {
       return Status::ResourceExhausted("evaluation iteration limit exceeded");
     }

@@ -6,6 +6,7 @@
 
 #include "src/ast/printer.h"
 #include "src/ast/validate.h"
+#include "src/base/metrics.h"
 #include "src/base/str_util.h"
 #include "src/parser/lexer.h"
 
@@ -514,6 +515,7 @@ StatusOr<Query> LowerQuery(Lowerer* lowerer, const Statement& stmt,
 }  // namespace
 
 StatusOr<ParseResult> Parse(std::string_view input) {
+  RELSPEC_PHASE("parse");
   RELSPEC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   TokenParser tp(std::move(tokens));
   RELSPEC_ASSIGN_OR_RETURN(std::vector<Statement> statements,

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # CTest driver for the resource governor's CLI contract.
 #
-# Usage: check_governor.sh CLI_BINARY EXAMPLES_DIR MODE
+# Usage: check_governor.sh CLI_BINARY EXAMPLES_DIR MODE [TRACE_CHECK_BINARY]
 #
 # MODE deadline: the divergent program must exit with the dedicated
 #   resource-exhaustion code (7) and do so promptly — within the
-#   --deadline-ms budget plus scheduling slack.
+#   --deadline-ms budget plus scheduling slack. The --stats and --trace-out
+#   files must both be flushed (and be valid) despite the breach, so
+#   truncated runs stay diagnosable; the trace is validated with
+#   TRACE_CHECK_BINARY when one is given.
 # MODE partial: with --allow-partial the same program must exit 0, emit a
 #   well-formed truncated specification, and report breach metrics in the
 #   --stats snapshot.
@@ -14,21 +17,35 @@ set -u
 cli="$1"
 examples="$2"
 mode="$3"
+trace_check="${4:-}"
 prog="$examples/diverge.rsp"
 
 fail() { echo "FAIL: $*" >&2; exit 1; }
 
 case "$mode" in
   deadline)
+    stats=$(mktemp) trace=$(mktemp)
+    trap 'rm -f "$stats" "$trace"' EXIT
+    rm -f "$stats" "$trace"
     start_ms=$(($(date +%s%N) / 1000000))
-    "$cli" "$prog" --info --deadline-ms 1000
+    "$cli" "$prog" --info --deadline-ms 1000 \
+        --stats="$stats" --trace-out="$trace"
     code=$?
     end_ms=$(($(date +%s%N) / 1000000))
     elapsed=$((end_ms - start_ms))
     [ "$code" -eq 7 ] || fail "expected exit 7 (resource exhaustion), got $code"
     # 1000 ms budget + generous slack for process startup and teardown.
     [ "$elapsed" -lt 10000 ] || fail "took ${elapsed} ms to honor a 1000 ms deadline"
-    echo "PASS: exit 7 after ${elapsed} ms"
+    # Diagnosability on breach: both snapshots flushed and well-formed.
+    [ -s "$stats" ] || fail "--stats file not flushed on exit 7"
+    grep -q "governor.breach" "$stats" \
+      || fail "--stats snapshot on exit 7 lacks governor.breach"
+    [ -s "$trace" ] || fail "--trace-out file not flushed on exit 7"
+    if [ -n "$trace_check" ]; then
+      "$trace_check" "$trace" --min-events 1 --require-lane main \
+        || fail "--trace-out JSON from a breached run failed validation"
+    fi
+    echo "PASS: exit 7 after ${elapsed} ms; stats + trace flushed"
     ;;
   partial)
     out=$("$cli" "$prog" --spec eq --max-nodes 2000 --allow-partial --stats 2>/dev/null)

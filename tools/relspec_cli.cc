@@ -25,6 +25,10 @@
 //     --stats[=FILE]            dump a JSON metrics snapshot on exit
 //                               (stdout when no FILE is given)
 //     --trace                   log per-phase begin/end lines to stderr
+//     --trace-out FILE          write a Chrome trace-event JSON timeline
+//                               (open in Perfetto / chrome://tracing);
+//                               flushed on every exit path, including
+//                               governor breaches (exit 7)
 //     --threads N               worker threads for fixpoint evaluation
 //                               (default 1; results are byte-identical for
 //                               any N — see docs/ARCHITECTURE.md)
@@ -60,6 +64,7 @@
 #include "src/base/logging.h"
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
+#include "src/base/trace.h"
 #include "src/core/engine.h"
 #include "src/core/explain.h"
 #include "src/core/query.h"
@@ -138,6 +143,10 @@ void PrintHelp(const char* argv0) {
       "  --stats[=FILE]                dump a JSON metrics snapshot on exit\n"
       "  --trace                       log per-phase begin/end lines to\n"
       "                                stderr\n"
+      "  --trace-out FILE              write a Chrome trace-event JSON\n"
+      "                                timeline (open in Perfetto or\n"
+      "                                chrome://tracing); flushed on every\n"
+      "                                exit path, including breaches\n"
       "  --threads N                   worker threads for fixpoint\n"
       "                                evaluation (default 1; results are\n"
       "                                byte-identical for any N -- see\n"
@@ -272,12 +281,14 @@ int RunCli(int argc, char** argv) {
       }
       options.fixpoint.num_threads = n;
     } else if (flag == "--deadline-ms" || flag == "--max-tuples" ||
-               flag == "--max-nodes" || flag == "--max-depth") {
+               flag == "--max-nodes" || flag == "--max-depth" ||
+               flag == "--trace-out") {
       next();  // value consumed; parsed in main before RunCli starts
     } else if (flag.rfind("--deadline-ms=", 0) == 0 ||
                flag.rfind("--max-tuples=", 0) == 0 ||
                flag.rfind("--max-nodes=", 0) == 0 ||
                flag.rfind("--max-depth=", 0) == 0 ||
+               flag.rfind("--trace-out=", 0) == 0 ||
                flag == "--allow-partial" || flag == "--stats" ||
                flag.rfind("--stats=", 0) == 0 || flag == "--trace") {
       // Handled in main before RunCli starts.
@@ -507,6 +518,7 @@ int main(int argc, char** argv) {
   // and the snapshot is emitted no matter how RunCli exits.
   bool want_stats = false;
   std::string stats_file;
+  std::string trace_file;
   GovernorLimits limits;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -523,6 +535,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--trace") {
       EnableTracing(true);
       if (GetLogLevel() > LogLevel::kInfo) SetLogLevel(LogLevel::kInfo);
+    } else if (flag == "--trace-out" || flag.rfind("--trace-out=", 0) == 0) {
+      trace_file = value_of("--trace-out");
     } else if (flag == "--deadline-ms" || flag.rfind("--deadline-ms=", 0) == 0) {
       limits.deadline_ms = atoll(value_of("--deadline-ms").c_str());
     } else if (flag == "--max-tuples" || flag.rfind("--max-tuples=", 0) == 0) {
@@ -536,6 +550,10 @@ int main(int argc, char** argv) {
     }
   }
   if (want_stats) EnableMetrics(true);
+  if (!trace_file.empty()) {
+    Tracer::Global().SetCurrentThreadName("main");
+    EnableEventTrace(true);
+  }
   failpoint::InitFromEnv();
 
   // The governor arms its deadline at construction, so it is created after
@@ -551,6 +569,20 @@ int main(int argc, char** argv) {
   }
   governor.RecordMetrics();
   g_governor = nullptr;
+
+  // The trace is written before the stats snapshot so the trace.dropped
+  // gauge the exporter records is included in the --stats JSON. Both files
+  // are emitted on every exit path — including resource breaches (exit 7) —
+  // so truncated runs stay diagnosable.
+  if (!trace_file.empty()) {
+    EnableEventTrace(false);
+    Status written = Tracer::Global().WriteChromeJson(trace_file);
+    if (!written.ok()) {
+      RELSPEC_LOG(kError) << "cannot write --trace-out file " << trace_file
+                          << ": " << written.ToString();
+      if (code == kExitOk) code = kExitIo;
+    }
+  }
 
   if (want_stats) {
     std::string json = MetricsRegistry::Global().Snapshot().ToJson();

@@ -16,7 +16,8 @@
 #
 # --tsan builds with -DRELSPEC_SANITIZE=thread (default dir: build-tsan) and
 # runs the concurrency-sensitive test binaries (task pool, evaluator,
-# fixpoint, engine) under ThreadSanitizer, then exits. See docs/TUNING.md.
+# fixpoint, engine, event tracer) under ThreadSanitizer, then exits. See
+# docs/TUNING.md.
 #
 # --asan builds with -DRELSPEC_SANITIZE=address,undefined (default dir:
 # build-asan) and runs the fault-injection suites (failpoint, governor,
@@ -75,10 +76,10 @@ if [[ "${1:-}" == "--tsan" ]]; then
       -DRELSPEC_WERROR=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
       parallel_test datalog_test fixpoint_test engine_test \
-      failpoint_test governor_test differential_test
+      failpoint_test governor_test differential_test trace_test
   echo "== tsan tests =="
   for t in parallel_test datalog_test fixpoint_test engine_test \
-           failpoint_test governor_test differential_test; do
+           failpoint_test governor_test differential_test trace_test; do
     echo "-- $t"
     "$BUILD_DIR"/tests/"$t"
   done
@@ -165,6 +166,8 @@ WHITELIST = {
     "--benchmark_format", "--benchmark_out", "--gtest_filter",
     "--output-on-failure", "--test-dir", "--tsan", "--asan", "--fuzz",
     "--build", "--target",
+    # tools/trace_check flags (documented in OBSERVABILITY.md):
+    "--min-events", "--require-lane",
 }
 
 problems = []

@@ -1,0 +1,139 @@
+// trace_check: validate a Chrome trace-event JSON file produced by
+// relspec_cli --trace-out (or any tool emitting the same subset).
+//
+//   trace_check FILE [--min-events N] [--require-lane NAME]
+//
+// Checks the structural contract (parseable, every "B" matched by an "E",
+// timestamps monotone per lane) via the same ValidateChromeTraceJson used by
+// tests/trace_test.cc, then prints a one-line summary:
+//
+//   trace ok: 12 begins 12 ends 3 instants 5 counters 2 lanes 0 dropped
+//
+// Exit codes: 0 valid, 1 invalid or constraint unmet, 2 usage/IO error.
+// --min-events bounds total non-metadata events from below; --require-lane
+// asserts a thread_name metadata record with the given name exists (e.g.
+// "main", "worker-1").
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/base/trace.h"
+
+using namespace relspec;
+
+namespace {
+
+// Collects the thread_name metadata values, which ValidateChromeTraceJson
+// does not surface.
+std::vector<std::string> LaneNames(std::string_view json) {
+  std::vector<std::string> names;
+  JsonParser p(json);
+  auto parse_event = [&]() -> Status {
+    bool is_thread_name = false;
+    std::string arg_name;
+    RELSPEC_RETURN_NOT_OK(p.ParseObject([&](const std::string& key) -> Status {
+      if (key == "name") {
+        RELSPEC_ASSIGN_OR_RETURN(std::string name, p.ParseString());
+        if (name == "thread_name") is_thread_name = true;
+        return Status::OK();
+      }
+      if (key == "args") {
+        return p.ParseObject([&](const std::string& inner) -> Status {
+          if (inner == "name") {
+            RELSPEC_ASSIGN_OR_RETURN(arg_name, p.ParseString());
+            return Status::OK();
+          }
+          return p.SkipValue();
+        });
+      }
+      return p.SkipValue();
+    }));
+    if (is_thread_name && !arg_name.empty()) names.push_back(arg_name);
+    return Status::OK();
+  };
+  Status st = p.ParseObject([&](const std::string& key) -> Status {
+    if (key == "traceEvents") return p.ParseArray(parse_event);
+    return p.SkipValue();
+  });
+  (void)st;  // structural errors already reported by the validator
+  return names;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  long min_events = -1;
+  std::vector<std::string> required_lanes;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--min-events" && i + 1 < argc) {
+      min_events = atol(argv[++i]);
+    } else if (arg == "--require-lane" && i + 1 < argc) {
+      required_lanes.push_back(argv[++i]);
+    } else if (arg[0] == '-') {
+      fprintf(stderr,
+              "usage: %s FILE [--min-events N] [--require-lane NAME]\n",
+              argv[0]);
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    fprintf(stderr, "usage: %s FILE [--min-events N] [--require-lane NAME]\n",
+            argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string json = ss.str();
+
+  StatusOr<TraceSummary> summary = ValidateChromeTraceJson(json);
+  if (!summary.ok()) {
+    fprintf(stderr, "trace_check: %s: %s\n", path.c_str(),
+            summary.status().ToString().c_str());
+    return 1;
+  }
+  if (min_events >= 0 &&
+      summary->total() < static_cast<uint64_t>(min_events)) {
+    fprintf(stderr,
+            "trace_check: %s: %llu events, expected at least %ld\n",
+            path.c_str(), (unsigned long long)summary->total(), min_events);
+    return 1;
+  }
+  std::vector<std::string> lanes = LaneNames(json);
+  for (const std::string& want : required_lanes) {
+    bool found = false;
+    for (const std::string& lane : lanes) {
+      if (lane == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      fprintf(stderr, "trace_check: %s: no lane named \"%s\"\n", path.c_str(),
+              want.c_str());
+      return 1;
+    }
+  }
+  printf(
+      "trace ok: %llu begins %llu ends %llu instants %llu counters "
+      "%llu lanes %llu dropped\n",
+      (unsigned long long)summary->begins, (unsigned long long)summary->ends,
+      (unsigned long long)summary->instants,
+      (unsigned long long)summary->counters, (unsigned long long)summary->lanes,
+      (unsigned long long)summary->dropped);
+  return 0;
+}
