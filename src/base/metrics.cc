@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -52,6 +53,42 @@ void Histogram::Record(uint64_t v) {
 uint64_t Histogram::min() const {
   uint64_t m = min_.load(std::memory_order_relaxed);
   return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0;
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The target cumulative rank. Walk the (sorted, sparse) buckets until the
+  // running count reaches it, then interpolate linearly inside that bucket's
+  // value range [2^(e-1), 2^e).
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  double value = 0.0;
+  for (const auto& [exp, n] : buckets) {
+    const double lo = exp == 0 ? 0.0 : std::ldexp(1.0, exp - 1);
+    const double hi =
+        exp == 0 ? 0.0
+                 : (exp >= 64 ? 18446744073709551615.0  // UINT64_MAX
+                              : std::ldexp(1.0, exp) - 1.0);
+    const double before = static_cast<double>(cum);
+    cum += n;
+    value = hi;  // carried forward if rounding never reaches `target`
+    if (static_cast<double>(cum) >= target) {
+      double frac =
+          n == 0 ? 1.0 : (target - before) / static_cast<double>(n);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      value = lo + frac * (hi - lo);
+      break;
+    }
+  }
+  // Clamp into the observed range: exact for single-sample histograms,
+  // immune to interpolation overshoot at the extremes, and UB-free at
+  // UINT64_MAX (never casts a double >= 2^64).
+  if (value <= static_cast<double>(min)) return min;
+  if (value >= static_cast<double>(max)) return max;
+  return static_cast<uint64_t>(value);
 }
 
 void Histogram::Reset() {
@@ -192,6 +229,12 @@ const HistogramSnapshot* MetricsSnapshot::histogram(
 
 namespace {
 
+// JSON labels for HistogramSnapshot::kReportedQuantiles, index-aligned.
+constexpr const char* kQuantileLabels[] = {"p50", "p90", "p95", "p99",
+                                           "p999"};
+static_assert(std::size(kQuantileLabels) ==
+              std::size(HistogramSnapshot::kReportedQuantiles));
+
 void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
   for (char ch : s) {
@@ -254,7 +297,15 @@ std::string MetricsSnapshot::ToJson(bool pretty) const {
       out += StrFormat("[%d, %llu]", h.buckets[i].first,
                        static_cast<unsigned long long>(h.buckets[i].second));
     }
-    out += "]}";
+    out += "], \"quantiles\": {";
+    for (size_t i = 0; i < std::size(kQuantileLabels); ++i) {
+      if (i > 0) out += ", ";
+      out += StrFormat(
+          "\"%s\": %llu", kQuantileLabels[i],
+          static_cast<unsigned long long>(h.ValueAtQuantile(
+              HistogramSnapshot::kReportedQuantiles[i])));
+    }
+    out += "}}";
   }
   out += first ? "}" : section_close;
   out += section_sep + "\"phases\": {";
@@ -300,6 +351,14 @@ StatusOr<MetricsSnapshot> MetricsSnapshot::FromJson(std::string_view json) {
         hs.name = name;
         RELSPEC_RETURN_NOT_OK(
             p.ParseObject([&](const std::string& field) -> Status {
+              if (field == "quantiles") {
+                // Derived from the buckets (ToJson recomputes them), so the
+                // values are validated as well-formed numbers and dropped:
+                // the parsed snapshot re-emits byte-identical quantiles.
+                return p.ParseObject([&](const std::string&) -> Status {
+                  return p.ParseUint().status();
+                });
+              }
               if (field == "buckets") {
                 if (!p.Eat('[')) return p.Error("expected '['");
                 while (!p.Peek(']')) {

@@ -137,6 +137,17 @@ struct HistogramSnapshot {
   /// (bucket exponent, count) for every non-empty bucket: exponent e covers
   /// samples in [2^(e-1), 2^e); e == 0 covers exactly 0.
   std::vector<std::pair<int, uint64_t>> buckets;
+
+  /// The quantiles ToJson surfaces under "quantiles" (as pN keys: p50 is
+  /// q = 0.50, p999 is q = 0.999).
+  static constexpr double kReportedQuantiles[] = {0.50, 0.90, 0.95, 0.99,
+                                                  0.999};
+
+  /// Value at quantile q in [0, 1], linearly interpolated inside the log
+  /// bucket containing the target rank and clamped to [min, max] (so a
+  /// single-sample histogram returns the sample exactly). Monotone in q;
+  /// 0 for an empty histogram. q outside [0, 1] is clamped.
+  uint64_t ValueAtQuantile(double q) const;
 };
 
 struct PhaseSnapshot {

@@ -128,9 +128,11 @@ std::string QueryAnswer::ToString() const {
 // ---------------------------------------------------------------------------
 
 StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase* db,
-                                             const Query& query) {
+                                             const Query& query,
+                                             ResourceGovernor* governor) {
   RELSPEC_PHASE("query.incremental");
   RELSPEC_COUNTER("query.incremental_answers");
+  if (governor != nullptr) RELSPEC_RETURN_NOT_OK(governor->Check());
   RELSPEC_RETURN_NOT_OK(ValidateQuery(query, db->program().symbols));
   if (!IsUniformQuery(query)) {
     return Status::InvalidArgument(
@@ -239,9 +241,16 @@ StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase* db,
     out.graph_ = graph;
     out.alphabet_ = ground.alphabet();
     out.per_cluster_.resize(graph.num_clusters());
+    uint64_t answer_tuples = 0;
     for (uint32_t c = 0; c < graph.num_clusters(); ++c) {
+      // The per-cluster join is the unit of work; poll the per-request
+      // governor here so a deadline cuts a huge answer off mid-flight.
+      if (governor != nullptr) {
+        RELSPEC_RETURN_NOT_OK(governor->CheckTuples(answer_tuples));
+      }
       RELSPEC_ASSIGN_OR_RETURN(out.per_cluster_[c],
                                join_against(&graph.cluster(c).label));
+      answer_tuples += out.per_cluster_[c].size();
     }
     if (!out.functional_) {
       // The functional variable is existential: flatten to a finite set.
@@ -266,9 +275,11 @@ StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase* db,
 // ---------------------------------------------------------------------------
 
 StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase* db,
-                                           const Query& query) {
+                                           const Query& query,
+                                           ResourceGovernor* governor) {
   RELSPEC_PHASE("query.recompute");
   RELSPEC_COUNTER("query.recompute_answers");
+  if (governor != nullptr) RELSPEC_RETURN_NOT_OK(governor->Check());
   RELSPEC_RETURN_NOT_OK(ValidateQuery(query, db->program().symbols));
   static std::atomic<int> counter{0};
   std::string pred_name = StrFormat("$query%d", counter++);
@@ -298,8 +309,14 @@ StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase* db,
   query_rule.head = std::move(head);
   extended.rules.push_back(std::move(query_rule));
 
-  RELSPEC_ASSIGN_OR_RETURN(std::unique_ptr<FunctionalDatabase> sub,
-                           FunctionalDatabase::FromProgram(std::move(extended)));
+  // The recompute method pays a full sub-pipeline (ground/fixpoint/Q); the
+  // per-request governor rides it through the existing engine plumbing, so
+  // a deadline or node budget interrupts the rebuild cooperatively.
+  EngineOptions sub_options;
+  sub_options.governor = governor;
+  RELSPEC_ASSIGN_OR_RETURN(
+      std::unique_ptr<FunctionalDatabase> sub,
+      FunctionalDatabase::FromProgram(std::move(extended), sub_options));
   RELSPEC_ASSIGN_OR_RETURN(PredId qpred,
                            sub->program().symbols.FindPredicate(pred_name));
 
@@ -358,15 +375,20 @@ size_t QueryAnswer::ApproxBytes() const {
   return n;
 }
 
-StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query) {
-  if (IsUniformQuery(query)) return AnswerQueryIncremental(db, query);
-  return AnswerQueryRecompute(db, query);
+StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query,
+                                  ResourceGovernor* governor) {
+  if (IsUniformQuery(query)) {
+    return AnswerQueryIncremental(db, query, governor);
+  }
+  return AnswerQueryRecompute(db, query, governor);
 }
 
-StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query) {
+StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query,
+                     ResourceGovernor* governor) {
   RELSPEC_PHASE("query.yesno");
   RELSPEC_COUNTER("query.yesno_checks");
-  RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerQuery(db, query));
+  RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer,
+                           AnswerQuery(db, query, governor));
   return !answer.IsEmpty();
 }
 
@@ -447,15 +469,18 @@ void QueryCache::Clear() {
 }
 
 StatusOr<std::shared_ptr<const QueryAnswer>> AnswerQueryCached(
-    FunctionalDatabase* db, const Query& query, QueryCache* cache) {
+    FunctionalDatabase* db, const Query& query, QueryCache* cache,
+    ResourceGovernor* governor) {
   if (cache == nullptr) {
-    RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerQuery(db, query));
+    RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer,
+                             AnswerQuery(db, query, governor));
     return std::make_shared<const QueryAnswer>(std::move(answer));
   }
   uint64_t fp = db->Fingerprint();
   std::string key = ToString(query, db->program().symbols);
   if (auto hit = cache->Lookup(fp, key)) return hit;
-  RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer, AnswerQuery(db, query));
+  RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer,
+                           AnswerQuery(db, query, governor));
   auto shared = std::make_shared<const QueryAnswer>(std::move(answer));
   cache->Insert(fp, key, shared);
   return shared;

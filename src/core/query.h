@@ -92,9 +92,11 @@ class QueryAnswer {
 
  private:
   friend StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase*,
-                                                      const Query&);
+                                                      const Query&,
+                                                      ResourceGovernor*);
   friend StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase*,
-                                                    const Query&);
+                                                    const Query&,
+                                                    ResourceGovernor*);
 
   bool functional_ = false;
   std::vector<std::string> columns_;
@@ -107,19 +109,31 @@ class QueryAnswer {
   SymbolTable symbols_;
 };
 
-/// General method: extend Z with a QUERY rule and rebuild.
+/// General method: extend Z with a QUERY rule and rebuild. The optional
+/// `governor` bounds THIS answer only (per-request deadline/budgets for a
+/// serving loop): it governs the sub-pipeline the recompute method builds,
+/// and is polled per cluster by the incremental method. A breach surfaces
+/// as the governor's sticky Status (kDeadlineExceeded / kResourceExhausted
+/// / kCancelled), never as process state — callers decide whether that is
+/// an error reply or fatal. Pass nullptr (the default) for ungoverned
+/// answers; distinct from EngineOptions::governor, which governs the
+/// engine *build*.
 StatusOr<QueryAnswer> AnswerQueryRecompute(FunctionalDatabase* db,
-                                           const Query& query);
+                                           const Query& query,
+                                           ResourceGovernor* governor = nullptr);
 
 /// Incremental method for uniform queries (Theorem 5.1).
-StatusOr<QueryAnswer> AnswerQueryIncremental(FunctionalDatabase* db,
-                                             const Query& query);
+StatusOr<QueryAnswer> AnswerQueryIncremental(
+    FunctionalDatabase* db, const Query& query,
+    ResourceGovernor* governor = nullptr);
 
 /// Dispatches: incremental for uniform queries, recompute otherwise.
-StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query);
+StatusOr<QueryAnswer> AnswerQuery(FunctionalDatabase* db, const Query& query,
+                                  ResourceGovernor* governor = nullptr);
 
 /// "Does Z and D imply the (existentially closed) query?"
-StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query);
+StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query,
+                     ResourceGovernor* governor = nullptr);
 
 // ---------------------------------------------------------------------------
 // Query-answer cache
@@ -183,9 +197,11 @@ class QueryCache {
 /// AnswerQuery through `cache`: the key is (db->Fingerprint(), the query
 /// printed in normal form), so textually different spellings of the same
 /// normalized query share an entry. With a null cache this is exactly
-/// AnswerQuery.
+/// AnswerQuery. The per-request `governor` is consulted only on the miss
+/// path (a hit is a map lookup — pointless to breach).
 StatusOr<std::shared_ptr<const QueryAnswer>> AnswerQueryCached(
-    FunctionalDatabase* db, const Query& query, QueryCache* cache);
+    FunctionalDatabase* db, const Query& query, QueryCache* cache,
+    ResourceGovernor* governor = nullptr);
 
 }  // namespace relspec
 

@@ -204,5 +204,100 @@ TEST_F(MetricsTest, ConcurrentIncrementsAreLossless) {
   EXPECT_EQ(snap.gauge("test.concurrent_peak"), kIters - 1);
 }
 
+// --- HistogramSnapshot::ValueAtQuantile -------------------------------------
+
+HistogramSnapshot SnapshotOf(const char* name) {
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const HistogramSnapshot* hs = snap.histogram(name);
+  EXPECT_NE(hs, nullptr);
+  return *hs;
+}
+
+TEST_F(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  MetricsRegistry::Global().GetHistogram("test.q_empty");
+  HistogramSnapshot hs = SnapshotOf("test.q_empty");
+  EXPECT_EQ(hs.ValueAtQuantile(0.0), 0u);
+  EXPECT_EQ(hs.ValueAtQuantile(0.5), 0u);
+  EXPECT_EQ(hs.ValueAtQuantile(1.0), 0u);
+}
+
+TEST_F(MetricsTest, QuantileOfSingleSampleIsExact) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.q_single");
+  h->Record(12345);
+  (void)h;
+  HistogramSnapshot hs = SnapshotOf("test.q_single");
+  // The min/max clamp makes every quantile of a one-sample histogram exact,
+  // despite the log-bucket interpolation.
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(hs.ValueAtQuantile(q), 12345u) << "q=" << q;
+  }
+}
+
+TEST_F(MetricsTest, QuantileHandlesOverflowBucket) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.q_overflow");
+  h->Record(1);
+  h->Record(UINT64_MAX);  // lands in the top bucket [2^63, 2^64)
+  HistogramSnapshot hs = SnapshotOf("test.q_overflow");
+  EXPECT_EQ(hs.ValueAtQuantile(0.25), 1u);
+  // The top-bucket value is clamped to max, never overflowed past uint64.
+  EXPECT_EQ(hs.ValueAtQuantile(1.0), UINT64_MAX);
+  uint64_t p99 = hs.ValueAtQuantile(0.99);
+  EXPECT_GE(p99, 1u);
+  EXPECT_LE(p99, UINT64_MAX);
+}
+
+TEST_F(MetricsTest, QuantilesAreMonotoneAndBounded) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.q_mono");
+  // A deliberately lumpy distribution across many buckets, zeros included.
+  uint64_t x = 9876543210u;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    h->Record(x >> (i % 60));
+  }
+  h->Record(0);
+  HistogramSnapshot hs = SnapshotOf("test.q_mono");
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    uint64_t v = hs.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "quantiles must be monotone at q=" << q;
+    EXPECT_GE(v, hs.min);
+    EXPECT_LE(v, hs.max);
+    prev = v;
+  }
+  EXPECT_EQ(hs.ValueAtQuantile(1.0), hs.max);
+}
+
+TEST_F(MetricsTest, QuantileInterpolatesWithinBucket) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.q_interp");
+  // 100 samples spread over bucket 7 ([64, 128)): interpolated quantiles
+  // must stay inside the bucket and span it roughly linearly.
+  for (uint64_t v = 0; v < 100; ++v) h->Record(64 + (v * 64) / 100);
+  HistogramSnapshot hs = SnapshotOf("test.q_interp");
+  uint64_t p10 = hs.ValueAtQuantile(0.10);
+  uint64_t p90 = hs.ValueAtQuantile(0.90);
+  EXPECT_GE(p10, 64u);
+  EXPECT_LE(p90, 127u);
+  EXPECT_LT(p10, p90);
+}
+
+TEST_F(MetricsTest, JsonCarriesQuantilesAndRoundTripsThem) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram("test.q_json");
+  for (uint64_t v = 1; v <= 500; ++v) h->Record(v);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  // Quantiles are derived from the buckets, so a parse/re-emit cycle must
+  // reproduce them byte-identically.
+  StatusOr<MetricsSnapshot> parsed = MetricsSnapshot::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ToJson(), json);
+  const HistogramSnapshot* hs = parsed->histogram("test.q_json");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->ValueAtQuantile(0.5),
+            snap.histogram("test.q_json")->ValueAtQuantile(0.5));
+  (void)h;
+}
+
 }  // namespace
 }  // namespace relspec

@@ -6,6 +6,7 @@
 #include <algorithm>
 
 #include "src/ast/validate.h"
+#include "src/base/governor.h"
 #include "src/core/engine.h"
 #include "src/core/query.h"
 #include "src/parser/parser.h"
@@ -235,6 +236,96 @@ TEST(Query, RepeatedQueriesDoNotInterfere) {
     ASSERT_TRUE(list.ok());
     EXPECT_EQ(list->size(), 3u);  // days 0, 2, 4
   }
+}
+
+// --- per-request governors --------------------------------------------------
+
+TEST(Query, NullGovernorLeavesAnswersUnchanged) {
+  auto db = BuildMeets();
+  auto q = ParseQuery("?(t, x) Meets(t, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+  auto without = AnswerQuery(db.get(), *q);
+  auto with = AnswerQuery(db.get(), *q, nullptr);
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(without->NumSpecTuples(), with->NumSpecTuples());
+}
+
+TEST(Query, GenerousGovernorDoesNotBreach) {
+  auto db = BuildMeets();
+  auto q = ParseQuery("?(t, x) Meets(t, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+  GovernorLimits limits;
+  limits.max_tuples = 1000000;
+  ResourceGovernor governor(limits);
+  auto ans = AnswerQuery(db.get(), *q, &governor);
+  ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+  EXPECT_FALSE(ans->IsEmpty());
+}
+
+TEST(Query, TinyTupleBudgetBreachesIncremental) {
+  auto db = BuildMeets();
+  // Uniform query -> incremental path, which polls CheckTuples per cluster.
+  auto q = ParseQuery("?(t, x) Meets(t, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+  GovernorLimits limits;
+  limits.max_tuples = 1;
+  ResourceGovernor governor(limits);
+  auto ans = AnswerQueryIncremental(db.get(), *q, &governor);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_TRUE(ans.status().IsResourceBreach()) << ans.status().ToString();
+  // The breach is per-request state: a fresh governor (or none) answers.
+  auto retry = AnswerQueryIncremental(db.get(), *q);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(Query, PreBreachedGovernorRejectsRecompute) {
+  auto db = BuildMeets();
+  // Non-uniform -> recompute path; the governor rides the sub-build.
+  auto q = ParseQuery("?(x) Meets(t+1, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+  GovernorLimits limits;
+  ResourceGovernor governor(limits);
+  governor.RequestCancel();
+  auto ans = AnswerQueryRecompute(db.get(), *q, &governor);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_TRUE(ans.status().IsResourceBreach()) << ans.status().ToString();
+}
+
+TEST(Query, TinyNodeBudgetBreachesRecompute) {
+  auto db = BuildMeets();
+  auto q = ParseQuery("?(x) Meets(t+1, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+  GovernorLimits limits;
+  limits.max_nodes = 1;  // the QUERY-extended sub-build needs more
+  ResourceGovernor governor(limits);
+  auto ans = AnswerQueryRecompute(db.get(), *q, &governor);
+  ASSERT_FALSE(ans.ok());
+  EXPECT_TRUE(ans.status().IsResourceBreach()) << ans.status().ToString();
+  // The database itself is untouched: ungoverned answers still work.
+  auto retry = AnswerQueryRecompute(db.get(), *q);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(Query, CachedHitSkipsGovernorMissConsultsIt) {
+  auto db = BuildMeets();
+  auto q = ParseQuery("?(t, x) Meets(t, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+  QueryCache cache;
+  // Populate the cache ungoverned.
+  auto first = AnswerQueryCached(db.get(), *q, &cache);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // A hit must not consult the (breached) governor.
+  GovernorLimits limits;
+  ResourceGovernor breached(limits);
+  breached.RequestCancel();
+  auto hit = AnswerQueryCached(db.get(), *q, &cache, &breached);
+  EXPECT_TRUE(hit.ok()) << hit.status().ToString();
+  // A miss with the same breached governor is rejected.
+  cache.Clear();
+  auto miss = AnswerQueryCached(db.get(), *q, &cache, &breached);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_TRUE(miss.status().IsResourceBreach()) << miss.status().ToString();
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+// bench_compare: the CI perf-regression gate.
+//
+// Diffs two relspec-bench-v1 JSON reports (e.g. the committed
+// BENCH_baseline.json against a fresh BENCH_serve.json) suite by suite and
+// exits non-zero when any metric regressed past its relative threshold.
+// See docs/SERVING.md for the report schema.
+//
+//   bench_compare BASELINE.json CURRENT.json [flags]
+//
+// Schema (both files):
+//
+//   {"suites": {"<suite>": {
+//      "thresholds": {"default": 0.25, "<metric>": 0.5},
+//      "metrics": {"<metric>": {"value": 123, "dir": "lower"}}}}}
+//
+// Other top-level fields are ignored, so BENCH_serve.json (which embeds its
+// suite next to the human-readable report) is consumed directly.
+//
+// For a metric with dir "lower" (lower is better — latencies), a regression
+// is current > baseline * (1 + threshold); for dir "higher" (throughput),
+// current < baseline * (1 - threshold). The threshold for a metric is the
+// first of: --threshold METRIC=REL, --default-threshold, the *current*
+// file's per-metric threshold, its suite "default", then 0.25.
+//
+// Metrics present only in the current report are reported as "new" and do
+// not gate (so reports can grow fields); a suite present in the current
+// report but missing from the baseline is an error — a silently vanishing
+// baseline must not turn the gate green.
+//
+// Exit codes: 0 no regression, 1 regression, 2 usage / I/O / malformed
+// report / missing suite.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/base/status.h"
+#include "src/base/str_util.h"
+
+namespace relspec {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+
+struct Metric {
+  double value = 0.0;
+  bool higher_is_better = false;
+};
+
+struct Suite {
+  std::map<std::string, double> thresholds;  // may contain "default"
+  std::map<std::string, Metric> metrics;
+};
+
+struct Report {
+  std::map<std::string, Suite> suites;
+};
+
+void PrintHelp() {
+  printf(
+      "bench_compare - diff two relspec-bench-v1 reports, fail on "
+      "regression\n"
+      "\n"
+      "usage: bench_compare BASELINE.json CURRENT.json [flags]\n"
+      "\n"
+      "  --suite NAME                  gate only this suite (repeatable;\n"
+      "                                default: every suite in CURRENT)\n"
+      "  --threshold METRIC=REL        per-metric relative threshold\n"
+      "                                override, e.g. p99_ns=0.2\n"
+      "  --default-threshold REL       threshold for metrics without a\n"
+      "                                --threshold override\n"
+      "  --help                        this text\n"
+      "\n"
+      "exit: 0 ok, 1 regression, 2 usage/IO/malformed report/missing "
+      "suite\n");
+}
+
+int Fail(const std::string& msg) {
+  fprintf(stderr, "bench_compare: %s\n", msg.c_str());
+  return kExitError;
+}
+
+Status ParseMetric(JsonParser* p, Metric* m) {
+  bool saw_value = false;
+  RELSPEC_RETURN_NOT_OK(p->ParseObject([&](const std::string& f) -> Status {
+    if (f == "value") {
+      RELSPEC_ASSIGN_OR_RETURN(m->value, p->ParseNumber());
+      saw_value = true;
+      return Status::OK();
+    }
+    if (f == "dir") {
+      RELSPEC_ASSIGN_OR_RETURN(std::string dir, p->ParseString());
+      if (dir != "lower" && dir != "higher") {
+        return p->Error("metric dir must be \"lower\" or \"higher\"");
+      }
+      m->higher_is_better = dir == "higher";
+      return Status::OK();
+    }
+    return p->SkipValue();
+  }));
+  if (!saw_value) return p->Error("metric without \"value\"");
+  return Status::OK();
+}
+
+Status ParseSuite(JsonParser* p, Suite* s) {
+  return p->ParseObject([&](const std::string& f) -> Status {
+    if (f == "thresholds") {
+      return p->ParseObject([&](const std::string& name) -> Status {
+        RELSPEC_ASSIGN_OR_RETURN(double t, p->ParseNumber());
+        s->thresholds[name] = t;
+        return Status::OK();
+      });
+    }
+    if (f == "metrics") {
+      return p->ParseObject([&](const std::string& name) -> Status {
+        return ParseMetric(p, &s->metrics[name]);
+      });
+    }
+    return p->SkipValue();
+  });
+}
+
+StatusOr<Report> ParseReport(std::string_view text) {
+  Report r;
+  JsonParser p(text);
+  RELSPEC_RETURN_NOT_OK(p.ParseObject([&](const std::string& f) -> Status {
+    if (f == "suites") {
+      return p.ParseObject([&](const std::string& name) -> Status {
+        return ParseSuite(&p, &r.suites[name]);
+      });
+    }
+    return p.SkipValue();
+  }));
+  if (!p.AtEnd()) return p.Error("trailing content after report object");
+  return r;
+}
+
+StatusOr<Report> LoadReport(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseReport(buf.str());
+}
+
+int Run(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::set<std::string> only_suites;
+  std::map<std::string, double> overrides;
+  double default_threshold = -1.0;
+
+  auto value_of = [&](int* i, const char* flag) -> std::string {
+    std::string arg = argv[*i];
+    std::string prefix = std::string(flag) + "=";
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+    if (*i + 1 < argc) return argv[++*i];
+    return "";
+  };
+  auto matches = [&](const char* arg, const char* flag) {
+    return strcmp(arg, flag) == 0 ||
+           std::string(arg).rfind(std::string(flag) + "=", 0) == 0;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp();
+      return kExitOk;
+    } else if (matches(argv[i], "--suite")) {
+      only_suites.insert(value_of(&i, "--suite"));
+    } else if (matches(argv[i], "--threshold")) {
+      std::string spec = value_of(&i, "--threshold");
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Fail("bad --threshold (want METRIC=REL): " + spec);
+      }
+      overrides[spec.substr(0, eq)] = atof(spec.c_str() + eq + 1);
+    } else if (matches(argv[i], "--default-threshold")) {
+      default_threshold = atof(value_of(&i, "--default-threshold").c_str());
+    } else if (arg.rfind("--", 0) == 0) {
+      return Fail("unknown flag " + arg + " (--help for usage)");
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    return Fail("want exactly BASELINE.json and CURRENT.json (--help)");
+  }
+
+  StatusOr<Report> baseline = LoadReport(positional[0]);
+  if (!baseline.ok()) {
+    return Fail(positional[0] + ": " + baseline.status().ToString());
+  }
+  StatusOr<Report> current = LoadReport(positional[1]);
+  if (!current.ok()) {
+    return Fail(positional[1] + ": " + current.status().ToString());
+  }
+
+  for (const std::string& s : only_suites) {
+    if (current->suites.find(s) == current->suites.end()) {
+      return Fail("suite \"" + s + "\" not in " + positional[1]);
+    }
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [suite_name, cur] : current->suites) {
+    if (!only_suites.empty() && only_suites.find(suite_name) == only_suites.end()) {
+      continue;
+    }
+    auto base_it = baseline->suites.find(suite_name);
+    if (base_it == baseline->suites.end()) {
+      return Fail("suite \"" + suite_name + "\" missing from baseline " +
+                  positional[0]);
+    }
+    const Suite& base = base_it->second;
+    printf("suite %s\n", suite_name.c_str());
+
+    auto threshold_for = [&](const std::string& metric) {
+      auto ov = overrides.find(metric);
+      if (ov != overrides.end()) return ov->second;
+      if (default_threshold >= 0) return default_threshold;
+      auto th = cur.thresholds.find(metric);
+      if (th != cur.thresholds.end()) return th->second;
+      th = cur.thresholds.find("default");
+      if (th != cur.thresholds.end()) return th->second;
+      return 0.25;
+    };
+
+    for (const auto& [name, m] : cur.metrics) {
+      auto bm = base.metrics.find(name);
+      if (bm == base.metrics.end()) {
+        printf("  %-16s %14.3f  (new, no baseline)\n", name.c_str(), m.value);
+        continue;
+      }
+      const double bv = bm->second.value;
+      const double t = threshold_for(name);
+      if (bv == 0.0) {
+        // No meaningful relative comparison against a zero baseline.
+        printf("  %-16s %14.3f -> %14.3f  skipped (zero baseline)\n",
+               name.c_str(), bv, m.value);
+        continue;
+      }
+      ++compared;
+      const double ratio = m.value / bv;
+      bool regressed = m.higher_is_better ? m.value < bv * (1.0 - t)
+                                          : m.value > bv * (1.0 + t);
+      printf("  %-16s %14.3f -> %14.3f  (%+.1f%%, %s, allowed %.0f%%)%s\n",
+             name.c_str(), bv, m.value, (ratio - 1.0) * 100.0,
+             m.higher_is_better ? "higher=better" : "lower=better", t * 100.0,
+             regressed ? "  REGRESSION" : "");
+      if (regressed) ++regressions;
+    }
+  }
+
+  if (compared == 0) {
+    return Fail("no comparable metrics (empty or disjoint reports)");
+  }
+  if (regressions > 0) {
+    fprintf(stderr, "bench_compare: %d regression(s)\n", regressions);
+    return kExitRegression;
+  }
+  printf("bench_compare: OK (%d metric(s) within thresholds)\n", compared);
+  return kExitOk;
+}
+
+}  // namespace
+}  // namespace relspec
+
+int main(int argc, char** argv) { return relspec::Run(argc, argv); }

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json — the committed perf baseline the CI perf
+# gate (tools/bench_compare) diffs fresh runs against. See docs/SERVING.md.
+#
+# Usage: tools/regen_baseline.sh [BUILD_DIR]   (default: build)
+#
+# Three suites:
+#   bench_query  representative E18 microbenchmarks (cache, snapshot warm
+#                start) from bench/bench_query.cc
+#   bench_trace  representative E19 tracer-ablation numbers from
+#                bench/bench_trace.cc
+#   bench_serve  a fixed-seed serving session from relspec_bench_serve
+#                (the same flags the CI perf job uses)
+#
+# Thresholds are deliberately generous (default 3.0 = 4x allowed) because
+# CI runs on shared 1-core containers where absolute times swing wildly;
+# the gate exists to catch order-of-magnitude regressions, not 10% drifts.
+# Rerun this script on the reference machine and commit the result whenever
+# an intentional perf change lands.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+    bench_query --target bench_trace --target relspec_bench_serve >/dev/null
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== bench_query =="
+"$BUILD_DIR"/bench/bench_query \
+    --benchmark_filter='BM_Query_(Incremental|CachedWarm)/8$|BM_Query_(ColdStartPipeline|WarmStartSnapshot)/14$' \
+    --benchmark_min_time=0.05 --benchmark_format=json \
+    > "$TMP/query.json"
+
+echo "== bench_trace =="
+"$BUILD_DIR"/bench/bench_trace \
+    --benchmark_filter='BM_Trace_Disabled_CallSite$|BM_Trace_Enabled_Idle$|BM_Trace_Export$' \
+    --benchmark_min_time=0.05 --benchmark_format=json \
+    > "$TMP/trace.json"
+
+echo "== bench_serve =="
+"$BUILD_DIR"/tools/relspec_bench_serve \
+    --qps 1500 --requests 3000 --clients 2 --seed 42 --population 64 \
+    --slow-ms 5 --out "$TMP/serve.json"
+
+python3 - "$TMP/query.json" "$TMP/trace.json" "$TMP/serve.json" \
+    BENCH_baseline.json <<'EOF'
+import json, sys
+
+def suite_from_gbench(path):
+    """Google-benchmark JSON -> {metric: {value, dir}} (real_time, ns)."""
+    metrics = {}
+    with open(path) as f:
+        for b in json.load(f)["benchmarks"]:
+            name = b["name"].replace("/", "_")
+            assert b["time_unit"] in ("ns", "us", "ms"), b["time_unit"]
+            scale = {"ns": 1, "us": 1e3, "ms": 1e6}[b["time_unit"]]
+            metrics[name + "_ns"] = {
+                "value": round(b["real_time"] * scale, 3),
+                "dir": "lower",
+            }
+    return metrics
+
+baseline = {
+    "schema": "relspec-bench-v1",
+    "note": "committed perf baseline; regenerate with tools/regen_baseline.sh "
+            "and commit whenever an intentional perf change lands",
+    "suites": {
+        "bench_query": {
+            "thresholds": {"default": 3.0},
+            "metrics": suite_from_gbench(sys.argv[1]),
+        },
+        "bench_trace": {
+            "thresholds": {"default": 3.0},
+            "metrics": suite_from_gbench(sys.argv[2]),
+        },
+        # The serve report already carries its suite in gate-ready form.
+        "bench_serve": json.load(open(sys.argv[3]))["suites"]["bench_serve"],
+    },
+}
+with open(sys.argv[4], "w") as f:
+    json.dump(baseline, f, indent=2)
+    f.write("\n")
+total = sum(len(s["metrics"]) for s in baseline["suites"].values())
+print(f"wrote {sys.argv[4]}: {len(baseline['suites'])} suites, "
+      f"{total} metrics")
+EOF

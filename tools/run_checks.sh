@@ -13,6 +13,7 @@
 #        tools/run_checks.sh --tsan [BUILD_DIR]
 #        tools/run_checks.sh --asan [BUILD_DIR]
 #        tools/run_checks.sh --fuzz [BUILD_DIR]
+#        tools/run_checks.sh --bench [BUILD_DIR]
 #
 # --tsan builds with -DRELSPEC_SANITIZE=thread (default dir: build-tsan) and
 # runs the concurrency-sensitive test binaries (task pool, evaluator,
@@ -30,6 +31,11 @@
 # inputs with the RSNP magic route to the snapshot loader). Under gcc this
 # is the standalone mutation driver; under clang, libFuzzer. Budget
 # override: RELSPEC_FUZZ_SECONDS.
+#
+# --bench builds the serving harness and the perf gate (default dir: build),
+# runs a short fixed-seed serve session, and diffs the fresh BENCH_serve.json
+# against the committed BENCH_baseline.json with tools/bench_compare. See
+# docs/SERVING.md.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -63,6 +69,28 @@ if [[ "${1:-}" == "--fuzz" ]]; then
   "$BUILD_DIR"/tests/fuzz_parser examples/programs/*.rsp \
       tests/fuzz_corpus/snapshots/*.rsnp
   echo "== fuzz smoke passed =="
+  exit 0
+fi
+
+if [[ "${1:-}" == "--bench" ]]; then
+  BUILD_DIR="${2:-build}"
+  echo "== bench configure + build ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+      relspec_bench_serve --target bench_compare --target trace_check
+  echo "== serve session (fixed seed) =="
+  SERVE_DIR="$(mktemp -d)"
+  trap 'rm -rf "$SERVE_DIR"' EXIT
+  "$BUILD_DIR"/tools/relspec_bench_serve \
+      --qps 1500 --requests 3000 --clients 2 --seed 42 --population 64 \
+      --slow-ms 5 --out "$SERVE_DIR/BENCH_serve.json" \
+      --trace-out "$SERVE_DIR/serve_trace.json"
+  "$BUILD_DIR"/tools/trace_check "$SERVE_DIR/serve_trace.json" \
+      --min-events 10 --require-lane main
+  echo "== perf gate vs BENCH_baseline.json =="
+  "$BUILD_DIR"/tools/bench_compare BENCH_baseline.json \
+      "$SERVE_DIR/BENCH_serve.json" --suite bench_serve
+  echo "== bench checks passed =="
   exit 0
 fi
 
@@ -151,13 +179,23 @@ EOF
 
 echo "== docs drift check =="
 HELP_FILE="$(mktemp)"
-trap 'rm -f "$STATS_FILE" "$BENCH_ERR_FILE" "$HELP_FILE"' EXIT
+SERVE_HELP_FILE="$(mktemp)"
+COMPARE_HELP_FILE="$(mktemp)"
+trap 'rm -f "$STATS_FILE" "$BENCH_ERR_FILE" "$HELP_FILE" \
+    "$SERVE_HELP_FILE" "$COMPARE_HELP_FILE"' EXIT
 "$BUILD_DIR"/tools/relspec_cli --help > "$HELP_FILE"
-python3 - "$HELP_FILE" README.md docs/*.md <<'EOF'
+"$BUILD_DIR"/tools/relspec_bench_serve --help > "$SERVE_HELP_FILE"
+"$BUILD_DIR"/tools/bench_compare --help > "$COMPARE_HELP_FILE"
+python3 - "$HELP_FILE" "$SERVE_HELP_FILE" "$COMPARE_HELP_FILE" \
+    README.md docs/*.md <<'EOF'
 import re, sys
 
 help_text = open(sys.argv[1]).read()
 help_flags = set(re.findall(r"--[a-z][a-z_-]*", help_text))
+# The serving harness and perf gate have their own --help; docs may
+# reference any flag from the three tools' combined surface.
+serve_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[2]).read()))
+compare_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[3]).read()))
 
 # Flags that legitimately appear in the docs but belong to other tools
 # (google-benchmark, ctest, cmake, this script) or are flag *prefixes*.
@@ -168,30 +206,42 @@ WHITELIST = {
     "--build", "--target",
     # tools/trace_check flags (documented in OBSERVABILITY.md):
     "--min-events", "--require-lane",
+    # run_checks.sh's own mode flag (documented in docs/SERVING.md):
+    "--bench",
 }
 
+all_tool_flags = help_flags | serve_flags | compare_flags
 problems = []
 doc_flags = set()
-for path in sys.argv[2:]:
+for path in sys.argv[4:]:
     text = open(path).read()
     for flag in set(re.findall(r"--[a-z][a-z_-]*", text)):
         if flag in WHITELIST:
             continue
         doc_flags.add(flag)
-        if flag not in help_flags:
-            problems.append(f"{path} documents {flag}, absent from --help")
+        if flag not in all_tool_flags:
+            problems.append(f"{path} documents {flag}, absent from every "
+                            "tool's --help")
 
 # Every CLI flag must be documented in README.md (the flag table).
-readme = open(sys.argv[2]).read()
+readme = open(sys.argv[4]).read()
 for flag in sorted(help_flags - {"--help"}):
     if flag not in readme:
         problems.append(f"--help lists {flag}, absent from README.md")
+
+# Every serving-harness / perf-gate flag must appear in docs/SERVING.md.
+serving = open("docs/SERVING.md").read()
+for flag in sorted((serve_flags | compare_flags) - {"--help"}):
+    if flag not in serving:
+        problems.append(f"tool --help lists {flag}, absent from "
+                        "docs/SERVING.md")
 
 for p in problems:
     print("DRIFT:", p, file=sys.stderr)
 if problems:
     sys.exit(1)
 print(f"docs drift OK: {len(help_flags)} CLI flags, "
+      f"{len(serve_flags | compare_flags)} serve/gate flags, "
       f"{len(doc_flags)} doc mentions consistent")
 EOF
 
