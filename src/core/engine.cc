@@ -1,10 +1,13 @@
 #include "src/core/engine.h"
 
+#include <algorithm>
+
 #include "src/ast/printer.h"
 #include "src/ast/validate.h"
 #include "src/base/failpoint.h"
 #include "src/base/governor.h"
 #include "src/base/metrics.h"
+#include "src/base/str_util.h"
 #include "src/core/verify.h"
 #include "src/parser/parser.h"
 
@@ -105,6 +108,247 @@ StatusOr<GraphSpecification> FunctionalDatabase::BuildGraphSpec() {
 
 StatusOr<EquationalSpecification> FunctionalDatabase::BuildEquationalSpec() {
   return BuildEquationalSpecification(graph_, &labeling_, program_.symbols);
+}
+
+namespace {
+
+// True when `base` is an id-for-id prefix of `ext`: every symbol of `base`
+// exists in `ext` under the same id, name and metadata. ParseQuery interns
+// helper variables (and sometimes constants) into the engine's program, and
+// outstanding Query objects hold those ids — when this holds, the engine can
+// keep the extended table across a delta commit and those queries stay valid.
+bool IsSymbolPrefix(const SymbolTable& base, const SymbolTable& ext) {
+  if (base.num_predicates() > ext.num_predicates() ||
+      base.num_functions() > ext.num_functions() ||
+      base.num_constants() > ext.num_constants() ||
+      base.num_variables() > ext.num_variables()) {
+    return false;
+  }
+  for (PredId p = 0; p < base.num_predicates(); ++p) {
+    const PredicateInfo& a = base.predicate(p);
+    const PredicateInfo& b = ext.predicate(p);
+    if (a.name != b.name || a.arity != b.arity ||
+        a.functional != b.functional) {
+      return false;
+    }
+  }
+  for (FuncId f = 0; f < base.num_functions(); ++f) {
+    if (base.function(f).name != ext.function(f).name ||
+        base.function(f).arity != ext.function(f).arity) {
+      return false;
+    }
+  }
+  for (ConstId c = 0; c < base.num_constants(); ++c) {
+    if (base.constant_name(c) != ext.constant_name(c)) return false;
+  }
+  for (VarId v = 0; v < base.num_variables(); ++v) {
+    if (base.variable_name(v) != ext.variable_name(v)) return false;
+  }
+  return true;
+}
+
+// Applies one edit to `facts`, in batch order: insert appends (unless the
+// fact is already present), delete erases the first equal fact. Returns
+// false for a noop. This is exactly the program a from-scratch rebuild
+// would see, which is what makes ApplyDeltas ≡ FromProgram(edited program).
+bool EditFacts(std::vector<Atom>* facts, const Atom& fact, bool insert,
+               DeltaStats* stats) {
+  auto it = std::find(facts->begin(), facts->end(), fact);
+  if (insert) {
+    if (it != facts->end()) {
+      ++stats->noops;
+      return false;
+    }
+    facts->push_back(fact);
+    ++stats->inserted;
+  } else {
+    if (it == facts->end()) {
+      ++stats->noops;
+      return false;
+    }
+    facts->erase(it);
+    ++stats->deleted;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<DeltaStats> FunctionalDatabase::ApplyDeltas(
+    const std::vector<FactDelta>& deltas, const EngineOptions& options) {
+  RELSPEC_PHASE("delta.apply");
+  DeltaStats stats;
+  Program next = original_;
+  for (const FactDelta& d : deltas) {
+    if (!d.fact.IsGround()) {
+      return Status::InvalidArgument("delta facts must be ground atoms");
+    }
+    EditFacts(&next.facts, d.fact, d.insert, &stats);
+  }
+  if (stats.inserted == 0 && stats.deleted == 0) {
+    RELSPEC_COUNTER("delta.noop_batches");
+    return stats;  // nothing changed: state and fingerprint stay intact
+  }
+  return ApplyEditedProgram(std::move(next), stats, options);
+}
+
+StatusOr<DeltaStats> FunctionalDatabase::ApplyDeltaText(
+    std::string_view text, const EngineOptions& options) {
+  RELSPEC_PHASE("delta.apply");
+  DeltaStats stats;
+  Program next = original_;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    // Trim and skip blanks/comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    bool insert;
+    if (line.front() == '+') {
+      insert = true;
+    } else if (line.front() == '-') {
+      insert = false;
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "delta line %zu: expected '+ Fact.' or '- Fact.'", line_no));
+    }
+    line.remove_prefix(1);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (!line.empty() && line.back() == '.') line.remove_suffix(1);
+    // Parse against the edited program copy: new constants/functions intern
+    // into `next.symbols` exactly as they would when rebuilding from the
+    // edited source; unknown predicates are rejected by ParseQuery.
+    std::string wrapped = "? " + std::string(line) + ".";
+    StatusOr<Query> q = ParseQuery(wrapped, &next);
+    if (!q.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "delta line %zu: %s", line_no, q.status().ToString().c_str()));
+    }
+    if (q->atoms.size() != 1 || !q->atoms[0].IsGround()) {
+      return Status::InvalidArgument(StrFormat(
+          "delta line %zu: expected a single ground fact", line_no));
+    }
+    EditFacts(&next.facts, q->atoms[0], insert, &stats);
+  }
+  if (stats.inserted == 0 && stats.deleted == 0) {
+    RELSPEC_COUNTER("delta.noop_batches");
+    return stats;
+  }
+  return ApplyEditedProgram(std::move(next), stats, options);
+}
+
+StatusOr<DeltaStats> FunctionalDatabase::ApplyEditedProgram(
+    Program next, DeltaStats stats, const EngineOptions& options) {
+  {
+    RELSPEC_PHASE("validate");
+    RELSPEC_RETURN_NOT_OK(ValidateProgram(next));
+    RELSPEC_RETURN_NOT_OK(CheckDomainIndependence(next));
+  }
+  // Re-run the front of the pipeline on the edited program. Everything up to
+  // the commit below works on temporaries: an error leaves *this unchanged.
+  Program transformed = next;
+  NormalizeStats nstats;
+  MixedToPureStats pstats;
+  RELSPEC_ASSIGN_OR_RETURN(nstats, NormalizeProgram(&transformed));
+  RELSPEC_ASSIGN_OR_RETURN(pstats, MixedToPure(&transformed));
+  ProgramInfo info = Analyze(transformed);
+  GroundProgram next_ground;
+  {
+    RELSPEC_PHASE("ground");
+    RELSPEC_FAILPOINT("ground.build");
+    if (options.governor != nullptr) {
+      RELSPEC_RETURN_NOT_OK(options.governor->Check());
+    }
+    RELSPEC_ASSIGN_OR_RETURN(next_ground, Ground(transformed, options.ground));
+  }
+  FixpointOptions fixpoint = options.fixpoint;
+  LabelGraphOptions graph = options.graph;
+  if (options.governor != nullptr) {
+    fixpoint.governor = options.governor;
+    graph.governor = options.governor;
+  }
+  if (options.allow_partial) {
+    fixpoint.allow_partial = true;
+    graph.allow_partial = true;
+  }
+
+  if (truncated() || !next_ground.SameUniverse(*ground_)) {
+    // Rebuild path: the edit changed the grounded universe (or the current
+    // state is a truncated under-approximation there is nothing sound to
+    // repair from). Build into temporaries, then commit.
+    stats.rebuilt = true;
+    RELSPEC_COUNTER("delta.rebuilds");
+    auto ng = std::make_unique<GroundProgram>(std::move(next_ground));
+    Labeling labeling;
+    RELSPEC_ASSIGN_OR_RETURN(labeling, ComputeFixpoint(*ng, fixpoint));
+    LabelGraph lg;
+    RELSPEC_ASSIGN_OR_RETURN(lg, BuildLabelGraph(&labeling, graph));
+    labeling_ = std::move(labeling);  // frees the state bound to old ground_
+    graph_ = std::move(lg);
+    ground_ = std::move(ng);
+  } else {
+    // Repair path: identical universe, so AtomIdx/CtxIdx bitsets line up and
+    // the labeling can be patched in place. Base-fact diffs use multiset
+    // semantics (grounding may legitimately emit duplicates).
+    std::vector<std::pair<Path, AtomIdx>> removed_pinned =
+        ground_->pinned_facts();
+    for (const auto& f : next_ground.pinned_facts()) {
+      auto it = std::find(removed_pinned.begin(), removed_pinned.end(), f);
+      if (it != removed_pinned.end()) removed_pinned.erase(it);
+    }
+    std::vector<CtxIdx> removed_global = ground_->global_facts();
+    for (CtxIdx g : next_ground.global_facts()) {
+      auto it = std::find(removed_global.begin(), removed_global.end(), g);
+      if (it != removed_global.end()) removed_global.erase(it);
+    }
+    // *ground_ is address-stable: assigning through the pointer keeps the
+    // labeling's and chi engine's GroundProgram* valid across the swap.
+    *ground_ = std::move(next_ground);
+    DeltaRepairStats repair;
+    RELSPEC_ASSIGN_OR_RETURN(
+        repair, labeling_.ApplyFactDeltas(removed_pinned, removed_global,
+                                          fixpoint));
+    stats.deleted_bits = repair.deleted_bits;
+    stats.chi_reset = repair.chi_reset;
+    stats.rederive_rounds = repair.rounds;
+    RELSPEC_ASSIGN_OR_RETURN(graph_, BuildLabelGraph(&labeling_, graph));
+  }
+
+  // Keep the old (extended) symbol table when the rebuilt one is an
+  // id-for-id prefix of it, so Query objects parsed against
+  // mutable_program() before the delta keep resolving. On the repair path
+  // the transformed table always comes out identical to the pre-delta base
+  // table (same rules, same symbols, deterministic passes), making this a
+  // strict extension; if the edit introduced genuinely new symbols the
+  // prefix check fails and the fresh table wins (outstanding queries must
+  // then be re-parsed, as documented on ApplyDeltas).
+  if (IsSymbolPrefix(transformed.symbols, program_.symbols)) {
+    transformed.symbols = program_.symbols;
+  }
+  original_ = std::move(next);
+  program_ = std::move(transformed);
+  info_ = std::move(info);
+  normalize_stats_ = nstats;
+  purify_stats_ = pstats;
+  fingerprint_ = 0;  // effective delta: re-key the query cache
+  RELSPEC_COUNTER("delta.batches_applied");
+  RELSPEC_COUNTER_ADD("delta.facts_inserted", stats.inserted);
+  RELSPEC_COUNTER_ADD("delta.facts_deleted", stats.deleted);
+  return stats;
 }
 
 uint64_t FunctionalDatabase::Fingerprint() const {

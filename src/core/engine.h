@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/ast/ast.h"
 #include "src/base/status.h"
@@ -46,6 +47,31 @@ struct EngineOptions {
   /// fixpoint and Algorithm Q, so a resource breach yields a truncated (but
   /// sound and queryable) database instead of an error.
   bool allow_partial = false;
+};
+
+/// One base-fact edit (paper Section 5): insert (`+`) or delete (`-`) a
+/// ground fact, given as an Atom over the database's *original* symbols.
+struct FactDelta {
+  bool insert = true;
+  Atom fact;
+};
+
+/// What one ApplyDeltas/ApplyDeltaText batch did.
+struct DeltaStats {
+  /// Facts actually added to / removed from the program (a second insert of
+  /// a present fact, or a delete of an absent one, is a noop).
+  size_t inserted = 0;
+  size_t deleted = 0;
+  size_t noops = 0;
+  /// True if the edit changed the grounded universe (new atoms, constants,
+  /// rule instances, or trunk depth) and the engine fell back to a full
+  /// rebuild instead of an in-place repair.
+  bool rebuilt = false;
+  /// Repair-path details (zero/false on the rebuild path); see
+  /// DeltaRepairStats in src/core/fixpoint.h.
+  bool chi_reset = false;
+  size_t deleted_bits = 0;
+  size_t rederive_rounds = 0;
 };
 
 /// A fully materialized functional deductive database with a finitely
@@ -87,6 +113,41 @@ class FunctionalDatabase {
   /// Builds the (B, R) equational specification (Section 3.5).
   StatusOr<EquationalSpecification> BuildEquationalSpec();
 
+  /// Applies a batch of base-fact deltas in order, maintaining the least
+  /// fixpoint incrementally (paper Section 5; docs/INCREMENTAL.md).
+  /// Equivalent to rebuilding from the edited program — after the call,
+  /// `FromProgram(original_program())` yields a byte-identical database —
+  /// but repairs the existing labeling/chi-table/spec in place whenever the
+  /// grounded universe is unchanged (semi-naive re-derivation for inserts,
+  /// DRed for deletes), falling back to a full rebuild otherwise.
+  ///
+  /// An all-noop batch leaves the database (and its Fingerprint) untouched;
+  /// any effective batch invalidates the fingerprint, so stale QueryCache
+  /// entries miss. Validation errors leave the database unchanged (strong
+  /// guarantee). A resource breach mid-repair without allow_partial leaves
+  /// it in an unspecified state — discard it; with allow_partial it degrades
+  /// to a truncated-but-sound database like the build pipeline does.
+  ///
+  /// Delta atoms must be ground and use this database's original symbols
+  /// (predicates, constants, functions); facts mentioning symbols unknown to
+  /// the program can only come in through ApplyDeltaText, which interns them.
+  ///
+  /// Query objects previously parsed via mutable_program() stay valid across
+  /// a batch as long as the edit introduces no new symbols (the engine keeps
+  /// the extended symbol table whenever the rebuilt one is an id-for-id
+  /// prefix of it). A batch that interns new symbols commits a fresh table:
+  /// re-parse outstanding queries after it.
+  StatusOr<DeltaStats> ApplyDeltas(const std::vector<FactDelta>& deltas,
+                                   const EngineOptions& options = {});
+
+  /// Parses and applies a delta file: one edit per line, `+ Fact(args).` or
+  /// `- Fact(args).`, with `#` comments and blank lines ignored. Facts may
+  /// mention new constants (the active domain grows → full rebuild) but not
+  /// new predicates. Line numbers are reported in errors; a parse or
+  /// validation error leaves the database unchanged.
+  StatusOr<DeltaStats> ApplyDeltaText(std::string_view text,
+                                      const EngineOptions& options = {});
+
   /// Checks the quotient-model certificate (Proposition 3.2): the computed
   /// finite structure is a model of Z and D, hence equals LFP(Z, D).
   /// FailedPrecondition on a truncated database — a partial fixpoint is a
@@ -117,6 +178,14 @@ class FunctionalDatabase {
 
  private:
   FunctionalDatabase() = default;
+
+  /// Shared tail of ApplyDeltas/ApplyDeltaText: `next` is the edited
+  /// original-form program with `stats` counting the edits already applied
+  /// to it. Validates, re-grounds, and either repairs in place (same
+  /// universe) or rebuilds, then commits every member and resets the
+  /// fingerprint.
+  StatusOr<DeltaStats> ApplyEditedProgram(Program next, DeltaStats stats,
+                                          const EngineOptions& options);
 
   Program original_;
   Program program_;

@@ -7,6 +7,7 @@
 
 #include "src/ast/validate.h"
 #include "src/base/governor.h"
+#include "src/base/metrics.h"
 #include "src/core/engine.h"
 #include "src/core/query.h"
 #include "src/parser/parser.h"
@@ -326,6 +327,109 @@ TEST(Query, CachedHitSkipsGovernorMissConsultsIt) {
   auto miss = AnswerQueryCached(db.get(), *q, &cache, &breached);
   ASSERT_FALSE(miss.ok());
   EXPECT_TRUE(miss.status().IsResourceBreach()) << miss.status().ToString();
+}
+
+// --- delta-driven cache invalidation (docs/INCREMENTAL.md) ------------------
+
+// Counter-reading fixture: the registry is process-global, so start clean
+// and leave metrics disabled for the next suite.
+class DeltaCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    EnableMetrics(true);
+  }
+  void TearDown() override {
+    EnableMetrics(false);
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(DeltaCacheTest, EffectiveDeltaInvalidatesFingerprintAndCache) {
+  auto db = BuildMeets();
+  uint64_t fp_before = db->Fingerprint();
+  auto q = ParseQuery("?(t, x) Meets(t, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+
+  QueryCache cache;
+  auto cold = AnswerQueryCached(db.get(), *q, &cache);
+  auto warm = AnswerQueryCached(db.get(), *q, &cache);
+  ASSERT_TRUE(cold.ok() && warm.ok());
+  EXPECT_EQ(cold->get(), warm->get());
+  {
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    EXPECT_EQ(snap.counter("cache.miss"), 1u);
+    EXPECT_EQ(snap.counter("cache.hit"), 1u);
+  }
+
+  auto stats = db->ApplyDeltaText("+ Meets(0, Jan).\n");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->inserted, 1u);
+  EXPECT_NE(db->Fingerprint(), fp_before)
+      << "an effective delta must change the fingerprint";
+
+  // The stale entry is keyed under the old fingerprint: same query, same
+  // cache, but a miss — and the recomputed answer reflects the new fact.
+  auto after = AnswerQueryCached(db.get(), *q, &cache);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(after->get(), warm->get());
+  {
+    MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+    EXPECT_EQ(snap.counter("cache.miss"), 2u);
+    EXPECT_EQ(snap.counter("cache.hit"), 1u);
+  }
+
+  auto direct = AnswerQuery(db.get(), *q);
+  ASSERT_TRUE(direct.ok());
+  auto e_cached = (*after)->Enumerate(5, 100000);
+  auto e_direct = direct->Enumerate(5, 100000);
+  ASSERT_TRUE(e_cached.ok() && e_direct.ok());
+  EXPECT_EQ(*e_cached, *e_direct);
+}
+
+TEST_F(DeltaCacheTest, NoopDeltaKeepsFingerprintAndHits) {
+  auto db = BuildMeets();
+  uint64_t fp_before = db->Fingerprint();
+  auto q = ParseQuery("?(t, x) Meets(t, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+  QueryCache cache;
+  auto cold = AnswerQueryCached(db.get(), *q, &cache);
+  ASSERT_TRUE(cold.ok());
+
+  // Inserting a present fact and deleting an absent one are both noops: the
+  // batch must not touch the engine or the fingerprint.
+  auto stats = db->ApplyDeltaText("+ Meets(0, Tony).\n- Next(Tony, Felix).\n");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->inserted, 0u);
+  EXPECT_EQ(stats->deleted, 0u);
+  EXPECT_EQ(stats->noops, 2u);
+  EXPECT_EQ(db->Fingerprint(), fp_before);
+
+  auto warm = AnswerQueryCached(db.get(), *q, &cache);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cold->get(), warm->get()) << "noop batch must keep cache hits";
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("cache.hit"), 1u);
+  EXPECT_EQ(snap.counter("cache.miss"), 1u);
+}
+
+TEST_F(DeltaCacheTest, StaleEntriesAgeOutThroughLru) {
+  auto db = BuildMeets();
+  QueryCache::Options copts;
+  copts.max_entries = 1;  // the stale entry must be evicted, not retained
+  QueryCache cache(copts);
+  auto q = ParseQuery("?(t, x) Meets(t, x).", db->mutable_program());
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(AnswerQueryCached(db.get(), *q, &cache).ok());
+
+  auto stats = db->ApplyDeltaText("+ Meets(0, Jan).\n");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Re-answering under the new fingerprint inserts a second entry; with
+  // max_entries=1 the stale one is the LRU victim.
+  ASSERT_TRUE(AnswerQueryCached(db.get(), *q, &cache).ok());
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("cache.evict"), 1u);
+  EXPECT_EQ(snap.counter("cache.miss"), 2u);
 }
 
 }  // namespace

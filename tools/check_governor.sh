@@ -12,6 +12,10 @@
 # MODE partial: with --allow-partial the same program must exit 0, emit a
 #   well-formed truncated specification, and report breach metrics in the
 #   --stats snapshot.
+# MODE delta: warm-start from a snapshot, then apply a base-fact delta that
+#   makes the fixpoint diverge (docs/INCREMENTAL.md). The snapshot handshake
+#   must pass, the breached delta application must exit 7, and --stats /
+#   --trace-out must be flushed exactly like a breached build.
 set -u
 
 cli="$1"
@@ -64,6 +68,33 @@ case "$mode" in
     "$cli" "$prog" --load-spec "$tmp" --fact "B(0, b0)" 2>/dev/null | grep -q "true" \
       || fail "truncated spec did not answer the seed fact after reload"
     echo "PASS: truncated spec well-formed, breach metrics present"
+    ;;
+  delta)
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    # Without its seed fact the subset family converges instantly; the
+    # delta re-inserts the seed, so the *repair* is what diverges.
+    sed '/^B(0, b0)\./d' "$prog" > "$work/seedless.rsp"
+    "$cli" "$work/seedless.rsp" --save-snapshot "$work/seed.snap" >/dev/null \
+      || fail "building the seedless program failed"
+    printf '+ B(0, b0).\n' > "$work/deltas.txt"
+    "$cli" "$work/seedless.rsp" --load-snapshot "$work/seed.snap" \
+        --apply-deltas "$work/deltas.txt" --deadline-ms 1000 \
+        --stats="$work/stats.json" --trace-out="$work/trace.json" >/dev/null
+    code=$?
+    [ "$code" -eq 7 ] || fail "expected exit 7 from a breached delta, got $code"
+    # Diagnosability on breach, same contract as MODE deadline.
+    [ -s "$work/stats.json" ] || fail "--stats not flushed on delta breach"
+    grep -q "governor.breach" "$work/stats.json" \
+      || fail "--stats snapshot on delta breach lacks governor.breach"
+    grep -q "delta.apply" "$work/stats.json" \
+      || fail "--stats snapshot lacks the delta.apply phase"
+    [ -s "$work/trace.json" ] || fail "--trace-out not flushed on delta breach"
+    if [ -n "$trace_check" ]; then
+      "$trace_check" "$work/trace.json" --min-events 1 --require-lane main \
+        || fail "--trace-out JSON from a breached delta run failed validation"
+    fi
+    echo "PASS: delta breach exit 7; handshake + stats + trace flushed"
     ;;
   *)
     fail "unknown mode '$mode'"

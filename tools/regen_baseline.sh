@@ -4,11 +4,14 @@
 #
 # Usage: tools/regen_baseline.sh [BUILD_DIR]   (default: build)
 #
-# Three suites:
+# Four suites:
 #   bench_query  representative E18 microbenchmarks (cache, snapshot warm
 #                start) from bench/bench_query.cc
 #   bench_trace  representative E19 tracer-ablation numbers from
 #                bench/bench_trace.cc
+#   bench_delta  representative E21 incremental-maintenance numbers
+#                (shallow repair vs full recompute, noop batch) from
+#                bench/bench_delta.cc
 #   bench_serve  a fixed-seed serving session from relspec_bench_serve
 #                (the same flags the CI perf job uses)
 #
@@ -23,7 +26,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-    bench_query --target bench_trace --target relspec_bench_serve >/dev/null
+    bench_query --target bench_trace --target bench_delta \
+    --target relspec_bench_serve >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -40,13 +44,19 @@ echo "== bench_trace =="
     --benchmark_min_time=0.05 --benchmark_format=json \
     > "$TMP/trace.json"
 
+echo "== bench_delta =="
+"$BUILD_DIR"/bench/bench_delta \
+    --benchmark_filter='BM_Delta_(ShallowRepair|FullRecompute)/14$|BM_Delta_NoopBatch$' \
+    --benchmark_min_time=0.05 --benchmark_format=json \
+    > "$TMP/delta.json"
+
 echo "== bench_serve =="
 "$BUILD_DIR"/tools/relspec_bench_serve \
     --qps 1500 --requests 3000 --clients 2 --seed 42 --population 64 \
     --slow-ms 5 --out "$TMP/serve.json"
 
-python3 - "$TMP/query.json" "$TMP/trace.json" "$TMP/serve.json" \
-    BENCH_baseline.json <<'EOF'
+python3 - "$TMP/query.json" "$TMP/trace.json" "$TMP/delta.json" \
+    "$TMP/serve.json" BENCH_baseline.json <<'EOF'
 import json, sys
 
 def suite_from_gbench(path):
@@ -76,14 +86,18 @@ baseline = {
             "thresholds": {"default": 3.0},
             "metrics": suite_from_gbench(sys.argv[2]),
         },
+        "bench_delta": {
+            "thresholds": {"default": 3.0},
+            "metrics": suite_from_gbench(sys.argv[3]),
+        },
         # The serve report already carries its suite in gate-ready form.
-        "bench_serve": json.load(open(sys.argv[3]))["suites"]["bench_serve"],
+        "bench_serve": json.load(open(sys.argv[4]))["suites"]["bench_serve"],
     },
 }
-with open(sys.argv[4], "w") as f:
+with open(sys.argv[5], "w") as f:
     json.dump(baseline, f, indent=2)
     f.write("\n")
 total = sum(len(s["metrics"]) for s in baseline["suites"].values())
-print(f"wrote {sys.argv[4]}: {len(baseline['suites'])} suites, "
+print(f"wrote {sys.argv[5]}: {len(baseline['suites'])} suites, "
       f"{total} metrics")
 EOF

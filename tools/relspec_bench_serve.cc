@@ -21,6 +21,10 @@
 //   uncached    AnswerQuery with no cache (incremental or recompute,
 //               depending on the key's query shape)
 //   snapshot    warm-start: parse the binary snapshot, then one Holds
+//   update      FunctionalDatabase::ApplyDeltas toggling one base fact
+//               (delete if present, re-insert otherwise) on this lane's
+//               engine — incremental maintenance under live load
+//               (docs/INCREMENTAL.md); weight 0 by default
 //
 // Each client lane owns its own FunctionalDatabase, GraphSpecification and
 // QueryCache (the cache and parts of the engine are documented
@@ -76,10 +80,11 @@ enum RequestType : uint8_t {
   kCached = 1,
   kUncached = 2,
   kSnapshot = 3,
+  kUpdate = 4,
 };
 constexpr const char* kTypeNames[] = {"membership", "cached", "uncached",
-                                      "snapshot"};
-constexpr int kNumTypes = 4;
+                                      "snapshot", "update"};
+constexpr int kNumTypes = 5;
 
 struct Options {
   std::string program_file;  // empty: builtin rotation program
@@ -91,7 +96,9 @@ struct Options {
   uint64_t seed = 42;
   double zipf = 0.99;
   int population = 64;
-  uint64_t mix[kNumTypes] = {60, 25, 10, 5};
+  // The default update weight is 0 so existing seeds keep byte-identical
+  // schedules (BuildSchedule draws `pick % weight_sum` and the sum stays 100).
+  uint64_t mix[kNumTypes] = {60, 25, 10, 5, 0};
   int64_t slow_ms = 10;
   int64_t deadline_ms = 0;          // per-request; 0 = off
   uint64_t request_max_tuples = 0;  // per-request; 0 = off
@@ -127,7 +134,10 @@ void PrintHelp() {
       "                                (default 64)\n"
       "  --mix T=W,...                 request-type weights, e.g.\n"
       "                                membership=60,cached=25,uncached=10,\n"
-      "                                snapshot=5 (the default)\n"
+      "                                snapshot=5,update=0 (the default;\n"
+      "                                update requests apply base-fact deltas\n"
+      "                                and run ungoverned, see\n"
+      "                                docs/INCREMENTAL.md)\n"
       "\n"
       "per-request SLO:\n"
       "  --deadline-ms N               per-request deadline; a breach is an\n"
@@ -250,6 +260,10 @@ struct Workload {
   std::vector<std::string> queries;
   /// Serialized graph-spec snapshot (warm-start requests re-parse it).
   std::string snapshot_bytes;
+  /// Per-key base fact for update requests (taken from the program's own
+  /// facts, so every delta is valid and the grounded universe never grows).
+  /// Empty when the update weight is 0.
+  std::vector<Atom> delta_facts;
 };
 
 std::string RenderTerm(const std::string& func_name, const std::string& base) {
@@ -358,6 +372,20 @@ StatusOr<Workload> BuildWorkload(const Options& opt, std::string source) {
     if (head == "?(") head += "t";  // degenerate: keep at least one column
     w.queries.push_back(head + ") " + body + ").");
   }
+
+  if (opt.mix[kUpdate] > 0) {
+    const std::vector<Atom>& facts = db->original_program().facts;
+    if (facts.empty()) {
+      return Status::InvalidArgument(
+          "update requests need a program with base facts");
+    }
+    w.delta_facts.reserve(static_cast<size_t>(opt.population));
+    for (int k = 0; k < opt.population; ++k) {
+      uint64_t rng = opt.seed ^ (0x5bd1e9955bd1e995ULL + static_cast<uint64_t>(k));
+      SplitMix64(&rng);
+      w.delta_facts.push_back(facts[SplitMix64(&rng) % facts.size()]);
+    }
+  }
   return w;
 }
 
@@ -368,13 +396,16 @@ struct ClientState {
   GraphSpecification spec;
   std::unique_ptr<QueryCache> cache;
   std::vector<Query> queries;  // parsed against this client's program
+  /// Update-toggle state per key: true while the key's delta fact is present
+  /// in this lane's program (all facts start present).
+  std::vector<uint8_t> fact_present;
 
   uint64_t done = 0;
   uint64_t ok = 0;
   uint64_t errors = 0;
   uint64_t breaches = 0;
   uint64_t slow = 0;
-  uint64_t by_type[kNumTypes] = {0, 0, 0, 0};
+  uint64_t by_type[kNumTypes] = {};
   uint64_t answers_hash = 0x6a09e667f3bcc908ULL;
   uint64_t last_end_ns = 0;
   Status fatal;  // setup failure for this lane
@@ -390,6 +421,7 @@ Status SetupClient(const Workload& w, ClientState* c) {
                              ParseQuery(text, c->db->mutable_program()));
     c->queries.push_back(std::move(q));
   }
+  c->fact_present.assign(w.delta_facts.size(), 1);
   return Status::OK();
 }
 
@@ -426,6 +458,22 @@ Status ExecuteRequest(const Workload& w, const Request& r,
       if (!spec.ok()) return spec.status();
       const Workload::Probe& p = w.probes[r.key];
       MixAnswer(c, spec->Holds(p.path, p.pred, p.args) ? 1 : 0);
+      return Status::OK();
+    }
+    case kUpdate: {
+      // Toggle this key's base fact: delete while present, re-insert after.
+      // Updates run *ungoverned* (the per-request governor is ignored): a
+      // breach mid-repair leaves the engine in an unspecified state, which
+      // would corrupt this lane for every later request. The update latency
+      // histogram is the SLO signal instead.
+      FactDelta d;
+      d.insert = c->fact_present[r.key] == 0;
+      d.fact = w.delta_facts[r.key];
+      auto stats = c->db->ApplyDeltas({d});
+      if (!stats.ok()) return stats.status();
+      c->fact_present[r.key] = d.insert ? 1 : 0;
+      MixAnswer(c, c->db->Fingerprint() ^ (stats->rebuilt ? 1 : 0) ^
+                       (stats->deleted_bits << 1));
       return Status::OK();
     }
   }
@@ -517,7 +565,7 @@ std::string BuildReport(const Options& opt, const std::string& program_label,
                         const std::vector<ClientState>& clients,
                         const MetricsSnapshot& snap, double achieved_qps) {
   uint64_t done = 0, ok = 0, errors = 0, breaches = 0, slow = 0;
-  uint64_t by_type[kNumTypes] = {0, 0, 0, 0};
+  uint64_t by_type[kNumTypes] = {};
   uint64_t answers_hash = 0x243f6a8885a308d3ULL;
   for (const ClientState& c : clients) {
     done += c.done;

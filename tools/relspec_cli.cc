@@ -15,7 +15,18 @@
 //     --save-snapshot FILE      binary snapshot of the graph specification
 //                               (versioned, checksummed; docs/SNAPSHOT_FORMAT.md)
 //     --load-snapshot FILE      warm start: answer --fact from a binary
-//                               snapshot, skipping ground/fixpoint/Q
+//                               snapshot, skipping ground/fixpoint/Q.
+//                               With a PROGRAM positional, the snapshot is
+//                               instead verified byte-identical against the
+//                               built engine (a stale snapshot fails), and
+//                               the engine then serves everything — the
+//                               warm-start handshake for --apply-deltas
+//     --apply-deltas FILE       apply "+ Fact." / "- Fact." base-fact
+//                               deltas to the built engine (incremental
+//                               maintenance, paper section 5; file format
+//                               and semantics in docs/INCREMENTAL.md);
+//                               queries/specs/snapshots then reflect the
+//                               updated database
 //     --enumerate DEPTH         horizon for printing query answers (default 6)
 //     --prove "T1" "T2"         prove two ground terms congruent (Cl(R))
 //     --periodic "OnCall(t, a)" the [CI88] periodic-set answer (one symbol)
@@ -132,7 +143,14 @@ void PrintHelp(const char* argv0) {
       "                                see docs/SNAPSHOT_FORMAT.md)\n"
       "  --load-snapshot FILE          warm start: answer --fact from a\n"
       "                                binary snapshot, skipping\n"
-      "                                ground/fixpoint/Q\n"
+      "                                ground/fixpoint/Q; with a PROGRAM\n"
+      "                                positional, verify the snapshot\n"
+      "                                against the built engine instead\n"
+      "                                (the --apply-deltas warm-start\n"
+      "                                handshake, docs/INCREMENTAL.md)\n"
+      "  --apply-deltas FILE           apply \"+ Fact.\" / \"- Fact.\" deltas\n"
+      "                                to the built engine (incremental\n"
+      "                                maintenance; docs/INCREMENTAL.md)\n"
       "  --enumerate DEPTH             horizon for printing query answers\n"
       "                                (default 6)\n"
       "  --prove \"T1\" \"T2\"             prove two ground terms congruent\n"
@@ -233,6 +251,7 @@ int RunCli(int argc, char** argv) {
   std::vector<std::string> facts, queries, explains, periodics;
   std::vector<std::pair<std::string, std::string>> proofs;
   std::string spec_kind, save_spec, load_spec, save_snapshot, load_snapshot;
+  std::string apply_deltas;
   bool want_info = false, want_verify = false;
   int horizon = 6;
   EngineOptions options;
@@ -262,6 +281,8 @@ int RunCli(int argc, char** argv) {
       save_snapshot = next();
     } else if (flag == "--load-snapshot") {
       load_snapshot = next();
+    } else if (flag == "--apply-deltas") {
+      apply_deltas = next();
     } else if (flag == "--enumerate") {
       horizon = atoi(next());
     } else if (flag == "--merged-frontier") {
@@ -299,12 +320,19 @@ int RunCli(int argc, char** argv) {
   options.governor = g_governor;
   options.allow_partial = g_allow_partial;
 
+  if (!load_spec.empty() && !load_snapshot.empty()) {
+    return UsageError("--load-spec and --load-snapshot are exclusive");
+  }
   // Spec-only mode: answer membership from a serialized specification
-  // (text --load-spec or binary --load-snapshot), skipping parse/ground/
-  // fixpoint/Q entirely.
-  if (!load_spec.empty() || !load_snapshot.empty()) {
-    if (!load_spec.empty() && !load_snapshot.empty()) {
-      return UsageError("--load-spec and --load-snapshot are exclusive");
+  // (text --load-spec or binary --load-snapshot without a PROGRAM), skipping
+  // parse/ground/fixpoint/Q entirely. A saved spec has no rules, so deltas
+  // cannot be applied here; --load-snapshot *with* a PROGRAM takes the
+  // engine path below, where the snapshot is verified instead of served.
+  if (!load_spec.empty() || (!load_snapshot.empty() && program_path.empty())) {
+    if (!apply_deltas.empty()) {
+      return UsageError(
+          "--apply-deltas needs rules: give the PROGRAM positional "
+          "alongside --load-snapshot (see docs/INCREMENTAL.md)");
     }
     StatusOr<GraphSpecification> spec = Status::Internal("unreachable");
     if (!load_spec.empty()) {
@@ -357,6 +385,52 @@ int RunCli(int argc, char** argv) {
   if ((*db)->truncated()) {
     RELSPEC_LOG(kWarning) << "partial result (sound under-approximation): "
                           << (*db)->breach().ToString();
+  }
+
+  // Warm-start handshake: a PROGRAM + --load-snapshot run verifies the
+  // snapshot is byte-identical to the engine just built from the program —
+  // i.e. the snapshot really is this database's pre-delta state — before
+  // any deltas are applied. A stale or foreign snapshot fails (exit 6).
+  if (!load_snapshot.empty()) {
+    auto bytes = ReadFile(load_snapshot, /*binary=*/true);
+    if (!bytes.ok()) return Fail(kExitIo, bytes.status());
+    auto spec = (*db)->BuildGraphSpec();
+    if (!spec.ok()) return Fail(EngineExitCode(spec.status()), spec.status());
+    if (Snapshot::Serialize(*spec) != *bytes) {
+      RELSPEC_LOG(kError) << "snapshot " << load_snapshot
+                          << " does not match the engine built from "
+                          << program_path << " (stale or foreign snapshot)";
+      return kExitVerify;
+    }
+    printf("snapshot verified against %s (%zu bytes)\n", program_path.c_str(),
+           bytes->size());
+  }
+
+  // Incremental maintenance (paper section 5): apply base-fact deltas to
+  // the built engine. Everything after this point — facts, queries, specs,
+  // --save-snapshot — reflects the updated database.
+  if (!apply_deltas.empty()) {
+    auto text = ReadFile(apply_deltas);
+    if (!text.ok()) return Fail(kExitIo, text.status());
+    auto stats = (*db)->ApplyDeltaText(*text, options);
+    if (!stats.ok()) {
+      return Fail(EngineExitCode(stats.status()), stats.status());
+    }
+    printf(
+        "deltas applied: +%zu -%zu (%zu noops), %s%s\n", stats->inserted,
+        stats->deleted, stats->noops,
+        stats->rebuilt
+            ? "universe changed -> full rebuild"
+            : StrFormat("incremental repair (%zu bits retracted, %zu "
+                        "re-derivation rounds%s)",
+                        stats->deleted_bits, stats->rederive_rounds,
+                        stats->chi_reset ? ", chi table reset" : "")
+                  .c_str(),
+        (*db)->truncated() ? " [truncated]" : "");
+    if ((*db)->truncated()) {
+      RELSPEC_LOG(kWarning) << "partial result (sound under-approximation): "
+                            << (*db)->breach().ToString();
+    }
   }
 
   if (want_info) {

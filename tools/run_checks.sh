@@ -236,6 +236,25 @@ for flag in sorted((serve_flags | compare_flags) - {"--help"}):
         problems.append(f"tool --help lists {flag}, absent from "
                         "docs/SERVING.md")
 
+# The incremental-update surface (paper Section 5) must be documented in
+# docs/INCREMENTAL.md: every delta/warm-start CLI flag, plus the serving
+# harness's update request type. The list below is pinned on purpose — a
+# flag dropped from --help without being dropped here is also drift.
+incremental = open("docs/INCREMENTAL.md").read()
+DELTA_FLAGS = {"--apply-deltas", "--load-snapshot", "--save-snapshot"}
+for flag in sorted(DELTA_FLAGS):
+    if flag not in help_flags:
+        problems.append(f"docs-drift list pins {flag}, absent from the "
+                        "CLI's --help")
+    if flag not in incremental:
+        problems.append(f"delta flag {flag} absent from docs/INCREMENTAL.md")
+if "update=" not in open(sys.argv[2]).read():
+    problems.append("serve --help no longer documents the update request "
+                    "type (mix update=N)")
+if "update" not in incremental:
+    problems.append("serve update request type absent from "
+                    "docs/INCREMENTAL.md")
+
 for p in problems:
     print("DRIFT:", p, file=sys.stderr)
 if problems:
