@@ -1,5 +1,8 @@
 #include "src/base/failpoint.h"
 
+#include <csignal>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
 #include <map>
@@ -13,13 +16,27 @@ namespace relspec {
 namespace failpoint {
 namespace {
 
-enum class Action { kOff, kError, kAlloc, kCancel, kDeadline, kOneInN };
+enum class Action { kOff, kError, kAlloc, kCancel, kDeadline, kOneInN, kAbort };
 
 struct Site {
   Action action = Action::kOff;
-  uint64_t period = 0;  // kOneInN: fire on every `period`-th hit
+  uint64_t period = 0;  // kOneInN: fire on every `period`-th hit;
+                        // kAbort: SIGKILL on exactly the `period`-th hit
   uint64_t hits = 0;
 };
+
+uint64_t ParseDigits(std::string_view digits, bool* ok) {
+  uint64_t n = 0;
+  *ok = !digits.empty();
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      *ok = false;
+      return 0;
+    }
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return n;
+}
 
 // The registry is mutex-guarded rather than lock-free: sites only evaluate
 // while the framework is active, which happens in tests and debugging
@@ -45,14 +62,12 @@ StatusOr<Site> ParseAction(std::string_view site, std::string_view action) {
   } else if (action == "deadline") {
     s.action = Action::kDeadline;
   } else if (action.size() > 3 && action.substr(0, 3) == "1in") {
-    uint64_t n = 0;
-    for (char c : action.substr(3)) {
-      if (c < '0' || c > '9') {
-        return Status::InvalidArgument(
-            StrFormat("failpoint '%s': bad period in action '%s'",
-                      std::string(site).c_str(), std::string(action).c_str()));
-      }
-      n = n * 10 + static_cast<uint64_t>(c - '0');
+    bool ok = false;
+    uint64_t n = ParseDigits(action.substr(3), &ok);
+    if (!ok) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint '%s': bad period in action '%s'",
+                    std::string(site).c_str(), std::string(action).c_str()));
     }
     if (n == 0) {
       return Status::InvalidArgument(
@@ -61,10 +76,23 @@ StatusOr<Site> ParseAction(std::string_view site, std::string_view action) {
     }
     s.action = Action::kOneInN;
     s.period = n;
+  } else if (action.size() >= 5 && action.substr(0, 5) == "abort") {
+    uint64_t n = 1;
+    if (action.size() > 5) {
+      bool ok = false;
+      n = ParseDigits(action.substr(5), &ok);
+      if (!ok || n == 0) {
+        return Status::InvalidArgument(
+            StrFormat("failpoint '%s': bad hit number in action '%s'",
+                      std::string(site).c_str(), std::string(action).c_str()));
+      }
+    }
+    s.action = Action::kAbort;
+    s.period = n;
   } else {
     return Status::InvalidArgument(StrFormat(
         "failpoint '%s': unknown action '%s' (want "
-        "error|alloc|cancel|deadline|1inN|off)",
+        "error|alloc|cancel|deadline|1inN|abort[N]|off)",
         std::string(site).c_str(), std::string(action).c_str()));
   }
   return s;
@@ -172,6 +200,15 @@ Status Evaluate(const char* site) {
             "failpoint '%s' fired (hit %llu, period %llu)", site,
             static_cast<unsigned long long>(s.hits),
             static_cast<unsigned long long>(s.period)));
+      }
+      break;
+    case Action::kAbort:
+      if (s.hits == s.period) {
+        // Die exactly here, as if `kill -9`-ed: no atexit handlers, no
+        // buffered-stream flush, no destructor runs. SIGKILL cannot be
+        // caught, so this models a power-cut/OOM-kill at this boundary.
+        ::kill(::getpid(), SIGKILL);
+        ::_exit(137);  // unreachable unless kill() itself failed
       }
       break;
   }

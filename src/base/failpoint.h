@@ -21,6 +21,10 @@
 //   deadline  inject Status::DeadlineExceeded   (deadline-expiry path)
 //   1inN      inject Status::Internal on every Nth hit (deterministic, not
 //             random, so failures are reproducible), e.g. "1in20"
+//   abort     raise SIGKILL on the first hit — the process dies as if
+//             `kill -9`-ed mid-operation. Crash-recovery tests use this to
+//             kill a child exactly at a WAL write/fsync/rename boundary.
+//   abortN    same, but on the Nth hit, e.g. "abort3"
 //   off       count hits but never fire (site tracing)
 //
 // Every evaluated site — configured or not — gets a hit counter, so tests

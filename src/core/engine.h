@@ -32,6 +32,7 @@
 #include "src/core/label_graph.h"
 #include "src/core/mixed_to_pure.h"
 #include "src/core/normalize.h"
+#include "src/core/wal.h"
 
 namespace relspec {
 
@@ -74,6 +75,30 @@ struct DeltaStats {
   size_t rederive_rounds = 0;
 };
 
+/// Durability knobs for OpenDurable (docs/DURABILITY.md).
+struct DurableOptions {
+  WalOptions wal;
+  /// Auto-checkpoint (snapshot + log rotation) after this many logged
+  /// batches; 0 = only when Checkpoint() is called explicitly.
+  uint64_t checkpoint_every = 0;
+};
+
+/// What OpenDurable's recovery did, for operators and tests.
+struct RecoveryStats {
+  /// No usable log existed; a fresh one was created at the requested path.
+  bool created = false;
+  /// The current (checkpoint, log) pair was missing or torn; recovery fell
+  /// back one generation to the `.prev` pair left by the last rotation.
+  bool used_fallback = false;
+  /// The engine was rebuilt from a checkpoint rather than the program
+  /// source (and the checkpoint's embedded snapshot matched byte for byte).
+  bool checkpoint_loaded = false;
+  uint64_t replayed_batches = 0;
+  uint64_t replayed_bytes = 0;
+  /// Torn/corrupt tail bytes physically truncated from the log.
+  uint64_t truncated_bytes = 0;
+};
+
 /// A fully materialized functional deductive database with a finitely
 /// represented least fixpoint. Movable, not copyable.
 class FunctionalDatabase {
@@ -84,6 +109,26 @@ class FunctionalDatabase {
   /// Builds from an already-constructed program (takes a copy).
   static StatusOr<std::unique_ptr<FunctionalDatabase>> FromProgram(
       Program program, const EngineOptions& options = {});
+
+  /// Opens a durable engine: builds the newest recoverable state anchored at
+  /// `wal_path` and arms a write-ahead log so LogAndApplyDeltas survives a
+  /// crash (docs/DURABILITY.md).
+  ///
+  /// Recovery prefers the current (checkpoint, log) pair and falls back one
+  /// generation (`.prev`) if the current pair is torn; a log is paired with
+  /// whichever base (checkpoint, previous checkpoint, or `program_source`)
+  /// matches the base fingerprint stamped in its header. The log's torn
+  /// tail is physically truncated, surviving batches replay through
+  /// ApplyDeltaText — the same code that applied them live — and the engine
+  /// fingerprint is checked against every record's stamp, so recovery
+  /// converges on a byte-identical engine or fails loudly. When no log
+  /// exists yet, a fresh one is created from the built program. A log whose
+  /// chain matches none of the candidate bases (e.g. `program_source`
+  /// changed) is never clobbered: FailedPrecondition.
+  static StatusOr<std::unique_ptr<FunctionalDatabase>> OpenDurable(
+      std::string_view program_source, const std::string& wal_path,
+      const DurableOptions& durable = {}, const EngineOptions& options = {},
+      RecoveryStats* recovery = nullptr);
 
   /// The program as given (before normalization and purification).
   const Program& original_program() const { return original_; }
@@ -148,6 +193,34 @@ class FunctionalDatabase {
   StatusOr<DeltaStats> ApplyDeltaText(std::string_view text,
                                       const EngineOptions& options = {});
 
+  /// ApplyDeltaText + durability: applies the batch in memory, then appends
+  /// it to the WAL under the configured fsync policy. OK means *applied and
+  /// logged* — under FsyncMode::kAlways it is an acknowledgment that the
+  /// batch survives any crash from here on. Even an all-noop batch is
+  /// logged: parsing it may have interned new symbols, and interning order
+  /// is engine state a replay must reproduce byte for byte. If the append
+  /// or fsync fails the batch stays applied in memory but the log is
+  /// poisoned: every later call fails, and the honest move is to discard
+  /// this engine and OpenDurable again. FailedPrecondition when the engine
+  /// was not opened durable.
+  StatusOr<DeltaStats> LogAndApplyDeltas(std::string_view delta_text,
+                                         const EngineOptions& options = {});
+
+  /// Anchors the current state durably and rotates the log: writes a
+  /// checkpoint (program text + spec snapshot + fingerprint) and a fresh
+  /// empty log as `.tmp` files, then atomically renames the old pair to
+  /// `.prev` and the new pair into place. A crash at any step leaves at
+  /// least one recoverable generation (the crash matrix in
+  /// tests/crash_recovery_test.cc walks every boundary). Also the repair
+  /// path after a poisoned log: a successful Checkpoint re-arms logging.
+  Status Checkpoint();
+
+  /// True when this engine was opened via OpenDurable.
+  bool durable() const { return !wal_path_.empty(); }
+  /// The armed log (null when not durable or after Checkpoint failed
+  /// mid-rotation).
+  const DeltaWal* wal() const { return wal_.get(); }
+
   /// Checks the quotient-model certificate (Proposition 3.2): the computed
   /// finite structure is a model of Z and D, hence equals LFP(Z, D).
   /// FailedPrecondition on a truncated database — a partial fixpoint is a
@@ -187,6 +260,12 @@ class FunctionalDatabase {
   StatusOr<DeltaStats> ApplyEditedProgram(Program next, DeltaStats stats,
                                           const EngineOptions& options);
 
+  /// Checkpoint body. With `rotate_prev` the old (checkpoint, log) pair is
+  /// renamed to `.prev` before the new pair is installed; without it the new
+  /// pair is installed in place — used when recovery rebuilt the current
+  /// generation from `.prev`, which must survive until the install lands.
+  Status CheckpointImpl(bool rotate_prev);
+
   Program original_;
   Program program_;
   ProgramInfo info_;
@@ -196,6 +275,12 @@ class FunctionalDatabase {
   Labeling labeling_;
   LabelGraph graph_;
   mutable uint64_t fingerprint_ = 0;  // 0 = not yet computed
+
+  // Durability state (empty/null unless opened via OpenDurable).
+  std::string wal_path_;
+  DurableOptions durable_options_;
+  std::unique_ptr<DeltaWal> wal_;
+  uint64_t batches_since_checkpoint_ = 0;
 };
 
 }  // namespace relspec

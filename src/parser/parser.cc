@@ -514,7 +514,9 @@ StatusOr<Query> LowerQuery(Lowerer* lowerer, const Statement& stmt,
 
 }  // namespace
 
-StatusOr<ParseResult> Parse(std::string_view input) {
+namespace {
+
+StatusOr<ParseResult> ParseSeeded(std::string_view input, SymbolTable seed) {
   RELSPEC_PHASE("parse");
   RELSPEC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
   TokenParser tp(std::move(tokens));
@@ -522,6 +524,7 @@ StatusOr<ParseResult> Parse(std::string_view input) {
                            tp.ParseStatements());
 
   ParseResult result;
+  result.program.symbols = std::move(seed);
   Lowerer lowerer(&result.program);
   RELSPEC_RETURN_NOT_OK(lowerer.InferFunctionalPredicates(statements));
   for (const Statement& stmt : statements) {
@@ -560,8 +563,21 @@ StatusOr<ParseResult> Parse(std::string_view input) {
   return result;
 }
 
+}  // namespace
+
+StatusOr<ParseResult> Parse(std::string_view input) {
+  return ParseSeeded(input, SymbolTable());
+}
+
 StatusOr<Program> ParseProgram(std::string_view input) {
   RELSPEC_ASSIGN_OR_RETURN(ParseResult result, Parse(input));
+  return std::move(result.program);
+}
+
+StatusOr<Program> ParseProgram(std::string_view input,
+                               SymbolTable seed_symbols) {
+  RELSPEC_ASSIGN_OR_RETURN(ParseResult result,
+                           ParseSeeded(input, std::move(seed_symbols)));
   return std::move(result.program);
 }
 

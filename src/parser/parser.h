@@ -52,6 +52,17 @@ StatusOr<ParseResult> Parse(std::string_view input);
 /// allowed but dropped). Convenience for tests and examples.
 StatusOr<Program> ParseProgram(std::string_view input);
 
+/// Like ParseProgram, but interning into `seed_symbols` (moved in): names
+/// already present keep their ids, and nothing in the seed is renumbered.
+/// Symbol ids are assigned by first appearance, so a program rendered with
+/// ToString does not generally re-parse to the engine's historical interning
+/// order (facts move under delete/re-insert, and noop edits intern symbols
+/// no surviving fact mentions). Durable checkpoint recovery (src/core/wal.h)
+/// stores the engine's table and seeds the re-parse with it so the rebuilt
+/// engine is byte-identical.
+StatusOr<Program> ParseProgram(std::string_view input,
+                               SymbolTable seed_symbols);
+
 /// Parses a single query against an existing program's symbol table. The
 /// query may mention only predicates already present in the program.
 StatusOr<Query> ParseQuery(std::string_view input, Program* program);

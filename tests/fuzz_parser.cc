@@ -14,16 +14,25 @@
 // never crash, hang, or trip a sanitizer. The parser's recursion depth guard
 // (kMaxTermDepth) is what makes deeply nested inputs safe.
 //
-// Inputs starting with the "RSNP" magic route to the binary snapshot loader
-// instead (seed corpus: tests/fuzz_corpus/snapshots/*.rsnp). There the
-// invariant is the same — truncated sections, bad checksums, wrong
-// versions, and out-of-range ids must all come back as InvalidArgument.
+// Inputs starting with a binary magic route to the matching binary decoder
+// instead of the parser; there the invariant is the same — truncated
+// sections, bad checksums, wrong versions, and out-of-range ids must all
+// come back as InvalidArgument:
+//
+//  * "RSNP" → the snapshot loader (tests/fuzz_corpus/snapshots/*.rsnp);
+//  * "RWAL" → the delta-log scanner (tests/fuzz_corpus/wal/*.rwal). Torn
+//    tails are by-design not errors, so the scanner additionally must
+//    report them consistently, never read past the buffer, and never
+//    accept a record whose checksum does not hold;
+//  * "RCKP" → the checkpoint parser (tests/fuzz_corpus/wal/*.rckp), whose
+//    symbol-table sections carry attacker-controlled counts and lengths.
 
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
 
 #include "src/core/snapshot.h"
+#include "src/core/wal.h"
 #include "src/parser/parser.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
@@ -36,6 +45,16 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     (void)graph;
     auto eq = relspec::Snapshot::ParseEquationalSpec(input);
     (void)eq;
+    return 0;
+  }
+  if (input.size() >= 4 && input.substr(0, 4) == "RWAL") {
+    auto scan = relspec::DeltaWal::ScanBytes(input);
+    (void)scan;
+    return 0;
+  }
+  if (input.size() >= 4 && input.substr(0, 4) == "RCKP") {
+    auto ckpt = relspec::ParseCheckpoint(input);
+    (void)ckpt;
     return 0;
   }
   // The result (well-formed or error Status) is irrelevant; surviving is

@@ -432,5 +432,41 @@ TEST_F(DeltaCacheTest, StaleEntriesAgeOutThroughLru) {
   EXPECT_EQ(snap.counter("cache.miss"), 2u);
 }
 
+// Regression: a batch whose tail line is invalid must leave the engine fully
+// untouched, even when earlier lines were valid, effective edits. The whole
+// batch is validated before any mutation — a partial application here would
+// desynchronize the WAL replay path, which logs batches all-or-nothing.
+TEST_F(DeltaCacheTest, InvalidTailLineLeavesWholeBatchUnapplied) {
+  auto db = BuildMeets();
+  const uint64_t fp_before = db->Fingerprint();
+  const size_t constants_before = db->program().symbols.num_constants();
+  const size_t predicates_before = db->program().symbols.num_predicates();
+
+  // Three failure shapes after two valid effective edits: garbage syntax, a
+  // non-ground fact, and an unknown predicate.
+  const char* bad_batches[] = {
+      "+ Meets(0, Jan).\n- Next(Tony, Jan).\nnot a delta line\n",
+      "+ Meets(0, Jan).\n- Next(Tony, Jan).\n+ Meets(t, x).\n",
+      "+ Meets(0, Jan).\n- Next(Tony, Jan).\n+ Zorp(0, Tony).\n",
+  };
+  for (const char* batch : bad_batches) {
+    auto stats = db->ApplyDeltaText(batch);
+    ASSERT_FALSE(stats.ok()) << batch;
+    EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument) << batch;
+    EXPECT_EQ(db->Fingerprint(), fp_before)
+        << "rejected batch mutated the engine: " << batch;
+    // No phantom symbols may leak from the abandoned batch's parse.
+    EXPECT_EQ(db->program().symbols.num_constants(), constants_before);
+    EXPECT_EQ(db->program().symbols.num_predicates(), predicates_before);
+  }
+
+  // The engine is still healthy: the same valid prefix applies cleanly.
+  auto stats = db->ApplyDeltaText("+ Meets(0, Jan).\n- Next(Tony, Jan).\n");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->inserted, 1u);
+  EXPECT_EQ(stats->deleted, 1u);
+  EXPECT_NE(db->Fingerprint(), fp_before);
+}
+
 }  // namespace
 }  // namespace relspec

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "src/core/engine.h"
 #include "src/core/snapshot.h"
@@ -164,6 +168,129 @@ TEST(SnapshotTest, AppendedGarbageIsRejected) {
   auto spec = Snapshot::ParseGraphSpec(bin);
   EXPECT_FALSE(spec.ok());
   EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Forged length prefixes
+// ---------------------------------------------------------------------------
+//
+// The checksum stops accidental corruption, but an adversarial file can carry
+// a *valid* checksum over absurd length and count fields. These tests reseal
+// the header checksum after planting huge values and verify the parser stays
+// bounds-checked: InvalidArgument, never a crash or a multi-gigabyte
+// allocation driven by a 4-byte prefix. The checksum below reimplements the
+// documented chained-splitmix algorithm, which doubles as a wire-format pin.
+
+constexpr size_t kSnapHeaderSize = 20;  // magic | version | kind | checksum
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t BodyChecksum(std::string_view bytes) {
+  uint64_t h = Mix64(0x243f6a8885a308d3ull ^ bytes.size());
+  size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes.data() + i, 8);
+    h = Mix64(h ^ word);
+  }
+  if (i < bytes.size()) {
+    uint64_t word = 0;
+    std::memcpy(&word, bytes.data() + i, bytes.size() - i);
+    h = Mix64(h ^ word);
+  }
+  return h;
+}
+
+void SealChecksum(std::string* bin) {
+  uint64_t sum =
+      BodyChecksum(std::string_view(*bin).substr(kSnapHeaderSize));
+  for (int i = 0; i < 8; ++i) {
+    (*bin)[12 + i] = static_cast<char>(sum >> (8 * i));
+  }
+}
+
+void PatchU32(std::string* bin, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) (*bin)[off + i] = static_cast<char>(v >> (8 * i));
+}
+
+void PatchU64(std::string* bin, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; ++i) (*bin)[off + i] = static_cast<char>(v >> (8 * i));
+}
+
+// Sanity check for the attacks below: resealing an untouched file is a
+// byte-level no-op, so the test's checksum matches the library's.
+TEST(SnapshotTest, TestChecksumMatchesLibraryChecksum) {
+  auto g = BuildGraph(kMeets);
+  ASSERT_TRUE(g.ok());
+  std::string bin = Snapshot::Serialize(*g);
+  std::string resealed = bin;
+  SealChecksum(&resealed);
+  EXPECT_EQ(bin, resealed);
+}
+
+// Every section's u64 length field, replaced with values far beyond the file
+// (and with all-ones), must be rejected after the checksum passes.
+TEST(SnapshotTest, ForgedSectionLengthBeyondFileIsRejected) {
+  auto g = BuildGraph(kMeets);
+  ASSERT_TRUE(g.ok());
+  const std::string bin = Snapshot::Serialize(*g);
+  // Walk the section framing: u32 tag | u64 len | payload, starting at the
+  // body. Collect each length field's offset and true value.
+  std::vector<std::pair<size_t, uint64_t>> len_fields;
+  size_t pos = kSnapHeaderSize;
+  while (pos + 12 <= bin.size()) {
+    uint64_t len = 0;
+    std::memcpy(&len, bin.data() + pos + 4, 8);
+    len_fields.emplace_back(pos + 4, len);
+    pos += 12 + len;
+  }
+  ASSERT_EQ(pos, bin.size());
+  ASSERT_GT(len_fields.size(), 2u);
+  for (auto [off, true_len] : len_fields) {
+    const uint64_t evils[] = {~0ull, 1ull << 40,
+                              static_cast<uint64_t>(bin.size()), true_len + 1};
+    for (uint64_t evil : evils) {
+      std::string forged = bin;
+      PatchU64(&forged, off, evil);
+      SealChecksum(&forged);
+      auto spec = Snapshot::ParseGraphSpec(forged);
+      EXPECT_FALSE(spec.ok()) << "len field at " << off << " = " << evil;
+      EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument)
+          << "len field at " << off;
+    }
+  }
+}
+
+// Overwrite every 4-byte-aligned word of the body with 0xffffffff and reseal.
+// Count fields become absurd (4 billion symbols from a few-hundred-byte
+// file); the parser must bail bounds-checked. Offsets landing inside string
+// payloads or boolean flags may legitimately still parse — then the result
+// must serialize to a stable canonical form (serialize-parse-serialize is a
+// fixed point), never a silently unstable spec.
+TEST(SnapshotTest, ForgedCountWordsNeverCrashOrOverAllocate) {
+  auto g = BuildGraph(kMeets);
+  ASSERT_TRUE(g.ok());
+  const std::string bin = Snapshot::Serialize(*g);
+  for (size_t off = kSnapHeaderSize; off + 4 <= bin.size(); off += 4) {
+    std::string forged = bin;
+    PatchU32(&forged, off, 0xffffffffu);
+    SealChecksum(&forged);
+    auto spec = Snapshot::ParseGraphSpec(forged);
+    if (spec.ok()) {
+      std::string canon = Snapshot::Serialize(*spec);
+      auto again = Snapshot::ParseGraphSpec(canon);
+      ASSERT_TRUE(again.ok()) << "word at " << off;
+      EXPECT_EQ(Snapshot::Serialize(*again), canon) << "word at " << off;
+    } else {
+      EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument)
+          << "word at " << off;
+    }
+  }
 }
 
 }  // namespace

@@ -16,6 +16,10 @@
 #   makes the fixpoint diverge (docs/INCREMENTAL.md). The snapshot handshake
 #   must pass, the breached delta application must exit 7, and --stats /
 #   --trace-out must be flushed exactly like a breached build.
+# MODE sigterm: SIGTERM takes the same cooperative-cancellation path as
+#   SIGINT — the divergent program must unwind cleanly with exit 7 (not die
+#   on the default signal disposition, which would be 143), promptly, with
+#   --stats and --trace-out flushed. A supervisor's TERM is not data loss.
 set -u
 
 cli="$1"
@@ -95,6 +99,35 @@ case "$mode" in
         || fail "--trace-out JSON from a breached delta run failed validation"
     fi
     echo "PASS: delta breach exit 7; handshake + stats + trace flushed"
+    ;;
+  sigterm)
+    stats=$(mktemp) trace=$(mktemp)
+    trap 'rm -f "$stats" "$trace"' EXIT
+    rm -f "$stats" "$trace"
+    # A huge deadline keeps the governor armed without ever firing: the only
+    # thing that can stop this run is the signal.
+    "$cli" "$prog" --info --deadline-ms 600000 \
+        --stats="$stats" --trace-out="$trace" &
+    pid=$!
+    sleep 1
+    kill -TERM "$pid" 2>/dev/null || fail "process exited before SIGTERM"
+    term_ms=$(($(date +%s%N) / 1000000))
+    wait "$pid"
+    code=$?
+    end_ms=$(($(date +%s%N) / 1000000))
+    elapsed=$((end_ms - term_ms))
+    # 143 (128+15) would mean the default disposition killed us mid-write.
+    [ "$code" -eq 7 ] || fail "expected exit 7 (cooperative cancel), got $code"
+    [ "$elapsed" -lt 10000 ] || fail "took ${elapsed} ms to honor SIGTERM"
+    [ -s "$stats" ] || fail "--stats file not flushed on SIGTERM"
+    grep -q "governor.breach" "$stats" \
+      || fail "--stats snapshot on SIGTERM lacks governor.breach"
+    [ -s "$trace" ] || fail "--trace-out file not flushed on SIGTERM"
+    if [ -n "$trace_check" ]; then
+      "$trace_check" "$trace" --min-events 1 --require-lane main \
+        || fail "--trace-out JSON from a SIGTERM'd run failed validation"
+    fi
+    echo "PASS: SIGTERM cancelled cooperatively in ${elapsed} ms; stats + trace flushed"
     ;;
   *)
     fail "unknown mode '$mode'"

@@ -4,7 +4,7 @@
 #
 # Usage: tools/regen_baseline.sh [BUILD_DIR]   (default: build)
 #
-# Four suites:
+# Six suites:
 #   bench_query  representative E18 microbenchmarks (cache, snapshot warm
 #                start) from bench/bench_query.cc
 #   bench_trace  representative E19 tracer-ablation numbers from
@@ -12,8 +12,15 @@
 #   bench_delta  representative E21 incremental-maintenance numbers
 #                (shallow repair vs full recompute, noop batch) from
 #                bench/bench_delta.cc
+#   bench_wal    representative E26 durability numbers from
+#                bench/bench_wal.cc — only the fsync-free paths (append,
+#                scan, durable update with fsync=off, recovery): device
+#                sync latency on shared runners is too noisy to gate
 #   bench_serve  a fixed-seed serving session from relspec_bench_serve
 #                (the same flags the CI perf job uses)
+#   bench_serve_durable  the same schedule served through per-lane WALs
+#                (update mix, fsync=batch, checkpoint rotation) — the CI
+#                durable replay, which also recovery-checks every lane
 #
 # Thresholds are deliberately generous (default 3.0 = 4x allowed) because
 # CI runs on shared 1-core containers where absolute times swing wildly;
@@ -27,7 +34,7 @@ BUILD_DIR="${1:-build}"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
     bench_query --target bench_trace --target bench_delta \
-    --target relspec_bench_serve >/dev/null
+    --target bench_wal --target relspec_bench_serve >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -50,13 +57,28 @@ echo "== bench_delta =="
     --benchmark_min_time=0.05 --benchmark_format=json \
     > "$TMP/delta.json"
 
+echo "== bench_wal =="
+"$BUILD_DIR"/bench/bench_wal \
+    --benchmark_filter='BM_Wal_Append/0$|BM_Wal_ScanBytes/512$|BM_Wal_DurableUpdate/0$|BM_Wal_Recover/16$' \
+    --benchmark_min_time=0.05 --benchmark_format=json \
+    > "$TMP/wal.json"
+
 echo "== bench_serve =="
 "$BUILD_DIR"/tools/relspec_bench_serve \
     --qps 1500 --requests 3000 --clients 2 --seed 42 --population 64 \
     --slow-ms 5 --out "$TMP/serve.json"
 
+echo "== bench_serve_durable =="
+"$BUILD_DIR"/tools/relspec_bench_serve \
+    --qps 1500 --requests 1500 --clients 2 --seed 42 --population 64 \
+    --slow-ms 5 \
+    --mix membership=40,cached=25,uncached=10,snapshot=5,update=20 \
+    --wal "$TMP/serve_wal" --fsync batch --checkpoint-every 64 \
+    --suite-name bench_serve_durable --out "$TMP/serve_durable.json"
+
 python3 - "$TMP/query.json" "$TMP/trace.json" "$TMP/delta.json" \
-    "$TMP/serve.json" BENCH_baseline.json <<'EOF'
+    "$TMP/wal.json" "$TMP/serve.json" "$TMP/serve_durable.json" \
+    BENCH_baseline.json <<'EOF'
 import json, sys
 
 def suite_from_gbench(path):
@@ -90,14 +112,20 @@ baseline = {
             "thresholds": {"default": 3.0},
             "metrics": suite_from_gbench(sys.argv[3]),
         },
-        # The serve report already carries its suite in gate-ready form.
-        "bench_serve": json.load(open(sys.argv[4]))["suites"]["bench_serve"],
+        "bench_wal": {
+            "thresholds": {"default": 3.0},
+            "metrics": suite_from_gbench(sys.argv[4]),
+        },
+        # The serve reports already carry their suites in gate-ready form.
+        "bench_serve": json.load(open(sys.argv[5]))["suites"]["bench_serve"],
+        "bench_serve_durable":
+            json.load(open(sys.argv[6]))["suites"]["bench_serve_durable"],
     },
 }
-with open(sys.argv[5], "w") as f:
+with open(sys.argv[7], "w") as f:
     json.dump(baseline, f, indent=2)
     f.write("\n")
 total = sum(len(s["metrics"]) for s in baseline["suites"].values())
-print(f"wrote {sys.argv[5]}: {len(baseline['suites'])} suites, "
+print(f"wrote {sys.argv[7]}: {len(baseline['suites'])} suites, "
       f"{total} metrics")
 EOF

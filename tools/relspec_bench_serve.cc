@@ -26,6 +26,14 @@
 //               engine — incremental maintenance under live load
 //               (docs/INCREMENTAL.md); weight 0 by default
 //
+// Durable updates (--wal PREFIX): each lane opens its engine through a
+// write-ahead log at PREFIX.laneN.rwal and update requests go through
+// LogAndApplyDeltas, so the update latency quantiles include the WAL append
+// and fsync cost under the --fsync policy (docs/DURABILITY.md). After the
+// run, every lane's log is closed and recovered from scratch; a recovered
+// fingerprint that differs from the lane's final in-memory fingerprint is a
+// harness failure, so the report doubles as a durability check.
+//
 // Each client lane owns its own FunctionalDatabase, GraphSpecification and
 // QueryCache (the cache and parts of the engine are documented
 // not-thread-safe); lanes are scheduled through the existing TaskPool so
@@ -55,6 +63,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/ast/printer.h"
 #include "src/base/governor.h"
 #include "src/base/metrics.h"
 #include "src/base/status.h"
@@ -64,6 +73,7 @@
 #include "src/core/engine.h"
 #include "src/core/query.h"
 #include "src/core/snapshot.h"
+#include "src/core/wal.h"
 #include "src/parser/parser.h"
 #include "src/term/path.h"
 
@@ -103,10 +113,20 @@ struct Options {
   int64_t deadline_ms = 0;          // per-request; 0 = off
   uint64_t request_max_tuples = 0;  // per-request; 0 = off
   std::string out_file = "BENCH_serve.json";
+  /// Suite name for the embedded relspec-bench-v1 block; a durable CI
+  /// replay sets its own name so bench_compare gates it against the
+  /// matching baseline suite instead of the plain-serve numbers.
+  std::string suite_name = "bench_serve";
   std::string trace_file;
   std::string stats_file;  // "-" = stdout
   bool want_stats = false;
   std::string dump_requests_file;
+  /// Durable updates: when set, lane i serves through a WAL at
+  /// PREFIX.lane<i>.rwal and update requests are logged before they are
+  /// acknowledged (stale logs from earlier runs are removed first, so the
+  /// schedule stays deterministic).
+  std::string wal_prefix;
+  DurableOptions durable;
 };
 
 void PrintHelp() {
@@ -139,6 +159,17 @@ void PrintHelp() {
       "                                and run ungoverned, see\n"
       "                                docs/INCREMENTAL.md)\n"
       "\n"
+      "durable updates:\n"
+      "  --wal PREFIX                  open each lane's engine through a\n"
+      "                                write-ahead log at PREFIX.laneN.rwal;\n"
+      "                                update requests are logged before they\n"
+      "                                are acknowledged, and every lane's log\n"
+      "                                is recovered and fingerprint-checked\n"
+      "                                after the run (docs/DURABILITY.md)\n"
+      "  --fsync always|batch|off      WAL durability policy (default always)\n"
+      "  --checkpoint-every N          checkpoint + rotate a lane's log after\n"
+      "                                every N logged batches (default 0)\n"
+      "\n"
       "per-request SLO:\n"
       "  --deadline-ms N               per-request deadline; a breach is an\n"
       "                                error reply, not a process exit\n"
@@ -151,6 +182,10 @@ void PrintHelp() {
       "output:\n"
       "  --out FILE                    machine-readable report (default\n"
       "                                BENCH_serve.json)\n"
+      "  --suite-name NAME             suite name for the report's embedded\n"
+      "                                relspec-bench-v1 block (default\n"
+      "                                bench_serve; the CI durable replay\n"
+      "                                uses bench_serve_durable)\n"
       "  --dump-requests FILE          write the precomputed schedule, one\n"
       "                                'seq arrival_us type key' line per\n"
       "                                request (determinism checks)\n"
@@ -264,6 +299,9 @@ struct Workload {
   /// facts, so every delta is valid and the grounded universe never grows).
   /// Empty when the update weight is 0.
   std::vector<Atom> delta_facts;
+  /// The same facts rendered as source text — durable lanes log deltas
+  /// through LogAndApplyDeltas, which takes delta *text*.
+  std::vector<std::string> delta_fact_text;
 };
 
 std::string RenderTerm(const std::string& func_name, const std::string& base) {
@@ -380,10 +418,13 @@ StatusOr<Workload> BuildWorkload(const Options& opt, std::string source) {
           "update requests need a program with base facts");
     }
     w.delta_facts.reserve(static_cast<size_t>(opt.population));
+    w.delta_fact_text.reserve(static_cast<size_t>(opt.population));
     for (int k = 0; k < opt.population; ++k) {
       uint64_t rng = opt.seed ^ (0x5bd1e9955bd1e995ULL + static_cast<uint64_t>(k));
       SplitMix64(&rng);
       w.delta_facts.push_back(facts[SplitMix64(&rng) % facts.size()]);
+      w.delta_fact_text.push_back(
+          ToString(w.delta_facts.back(), db->original_program().symbols));
     }
   }
   return w;
@@ -409,10 +450,26 @@ struct ClientState {
   uint64_t answers_hash = 0x6a09e667f3bcc908ULL;
   uint64_t last_end_ns = 0;
   Status fatal;  // setup failure for this lane
+  std::string wal_path;  // durable mode: this lane's log
 };
 
-Status SetupClient(const Workload& w, ClientState* c) {
-  RELSPEC_ASSIGN_OR_RETURN(c->db, FunctionalDatabase::FromSource(w.source));
+Status SetupClient(const Options& opt, const Workload& w, size_t lane,
+                   ClientState* c) {
+  if (opt.wal_prefix.empty()) {
+    RELSPEC_ASSIGN_OR_RETURN(c->db, FunctionalDatabase::FromSource(w.source));
+  } else {
+    c->wal_path = StrFormat("%s.lane%zu.rwal", opt.wal_prefix.c_str(), lane);
+    // The bench always starts from a clean log: a stale WAL from an earlier
+    // run would replay into this lane and break schedule determinism.
+    const char* suffixes[] = {"", ".prev", ".tmp", ".ckpt", ".ckpt.prev",
+                              ".ckpt.tmp"};
+    for (const char* suffix : suffixes) {
+      std::remove((c->wal_path + suffix).c_str());
+    }
+    RELSPEC_ASSIGN_OR_RETURN(
+        c->db,
+        FunctionalDatabase::OpenDurable(w.source, c->wal_path, opt.durable));
+  }
   RELSPEC_ASSIGN_OR_RETURN(c->spec, c->db->BuildGraphSpec());
   c->cache = std::make_unique<QueryCache>();
   c->queries.reserve(w.queries.size());
@@ -466,12 +523,22 @@ Status ExecuteRequest(const Workload& w, const Request& r,
       // breach mid-repair leaves the engine in an unspecified state, which
       // would corrupt this lane for every later request. The update latency
       // histogram is the SLO signal instead.
-      FactDelta d;
-      d.insert = c->fact_present[r.key] == 0;
-      d.fact = w.delta_facts[r.key];
-      auto stats = c->db->ApplyDeltas({d});
+      const bool insert = c->fact_present[r.key] == 0;
+      StatusOr<DeltaStats> stats = Status::Internal("unreachable");
+      if (c->db->durable()) {
+        // Logged before acknowledged: the measured latency includes the WAL
+        // append and (policy-dependent) fsync.
+        stats = c->db->LogAndApplyDeltas(
+            StrFormat("%c %s.\n", insert ? '+' : '-',
+                      w.delta_fact_text[r.key].c_str()));
+      } else {
+        FactDelta d;
+        d.insert = insert;
+        d.fact = w.delta_facts[r.key];
+        stats = c->db->ApplyDeltas({d});
+      }
       if (!stats.ok()) return stats.status();
-      c->fact_present[r.key] = d.insert ? 1 : 0;
+      c->fact_present[r.key] = insert ? 1 : 0;
       MixAnswer(c, c->db->Fingerprint() ^ (stats->rebuilt ? 1 : 0) ^
                        (stats->deleted_bits << 1));
       return Status::OK();
@@ -603,10 +670,16 @@ std::string BuildReport(const Options& opt, const std::string& program_label,
   out += "},\n";
   out += StrFormat(
       "    \"slow_ms\": %lld, \"deadline_ms\": %lld, "
-      "\"request_max_tuples\": %llu\n",
+      "\"request_max_tuples\": %llu,\n",
       static_cast<long long>(opt.slow_ms),
       static_cast<long long>(opt.deadline_ms),
       static_cast<unsigned long long>(opt.request_max_tuples));
+  out += StrFormat(
+      "    \"wal\": {\"enabled\": %s, \"fsync\": \"%s\", "
+      "\"checkpoint_every\": %llu}\n",
+      opt.wal_prefix.empty() ? "false" : "true",
+      FsyncModeName(opt.durable.wal.fsync),
+      static_cast<unsigned long long>(opt.durable.checkpoint_every));
   out += "  },\n";
   out += StrFormat("  \"request_seq_hash\": \"0x%016llx\",\n",
                    static_cast<unsigned long long>(seq_hash));
@@ -649,7 +722,8 @@ std::string BuildReport(const Options& opt, const std::string& program_label,
   // Embedded relspec-bench-v1 suite: bench_compare consumes this report
   // directly. Thresholds are generous (shared CI runners); tests that want
   // a tight gate override them with bench_compare --threshold.
-  out += "  \"suites\": {\n    \"bench_serve\": {\n";
+  out += StrFormat("  \"suites\": {\n    \"%s\": {\n",
+                   opt.suite_name.c_str());
   out +=
       "      \"thresholds\": {\"default\": 3.0, \"achieved_qps\": 0.6},\n"
       "      \"metrics\": {\n";
@@ -730,6 +804,16 @@ int Run(int argc, char** argv) {
       if (!ParseMix(value_of(&i, "--mix"), opt.mix)) {
         return Usage("bad --mix (want e.g. membership=60,cached=25)");
       }
+    } else if (matches(argv[i], "--wal")) {
+      opt.wal_prefix = value_of(&i, "--wal");
+    } else if (matches(argv[i], "--fsync")) {
+      std::string value = value_of(&i, "--fsync");
+      auto mode = ParseFsyncMode(value);
+      if (!mode.ok()) return Usage("--fsync expects always|batch|off");
+      opt.durable.wal.fsync = *mode;
+    } else if (matches(argv[i], "--checkpoint-every")) {
+      opt.durable.checkpoint_every = strtoull(
+          value_of(&i, "--checkpoint-every").c_str(), nullptr, 10);
     } else if (matches(argv[i], "--slow-ms")) {
       opt.slow_ms = atoll(value_of(&i, "--slow-ms").c_str());
     } else if (matches(argv[i], "--deadline-ms")) {
@@ -739,6 +823,8 @@ int Run(int argc, char** argv) {
           strtoull(value_of(&i, "--request-max-tuples").c_str(), nullptr, 10);
     } else if (matches(argv[i], "--out")) {
       opt.out_file = value_of(&i, "--out");
+    } else if (matches(argv[i], "--suite-name")) {
+      opt.suite_name = value_of(&i, "--suite-name");
     } else if (matches(argv[i], "--dump-requests")) {
       opt.dump_requests_file = value_of(&i, "--dump-requests");
     } else if (matches(argv[i], "--trace-out")) {
@@ -821,8 +907,8 @@ int Run(int argc, char** argv) {
   std::vector<ClientState> clients(static_cast<size_t>(opt.clients));
   {
     RELSPEC_PHASE("serve.setup");
-    for (ClientState& c : clients) {
-      Status st = SetupClient(*workload, &c);
+    for (size_t lane = 0; lane < clients.size(); ++lane) {
+      Status st = SetupClient(opt, *workload, lane, &clients[lane]);
       if (!st.ok()) {
         fprintf(stderr, "relspec_bench_serve: client setup failed: %s\n",
                 st.ToString().c_str());
@@ -856,6 +942,41 @@ int Run(int argc, char** argv) {
                      });
   }
   auto wall1 = std::chrono::steady_clock::now();
+
+  // Durable mode closes every lane's log and proves recovery: reopening the
+  // WAL from scratch must rebuild an engine with the lane's exact final
+  // fingerprint. A mismatch is a harness failure, not a metric.
+  if (!opt.wal_prefix.empty()) {
+    RELSPEC_PHASE("serve.recover_verify");
+    uint64_t replayed = 0;
+    for (size_t lane = 0; lane < clients.size(); ++lane) {
+      ClientState& c = clients[lane];
+      const uint64_t want = c.db->Fingerprint();
+      c.db.reset();  // closes (and syncs) the lane's log
+      RecoveryStats rec;
+      auto re = FunctionalDatabase::OpenDurable(workload->source, c.wal_path,
+                                                opt.durable, EngineOptions(),
+                                                &rec);
+      if (!re.ok()) {
+        fprintf(stderr,
+                "relspec_bench_serve: lane %zu WAL recovery failed: %s\n",
+                lane, re.status().ToString().c_str());
+        return kExitParse;
+      }
+      if ((*re)->Fingerprint() != want) {
+        fprintf(stderr,
+                "relspec_bench_serve: lane %zu recovered fingerprint "
+                "mismatch (wal %s)\n",
+                lane, c.wal_path.c_str());
+        return kExitParse;
+      }
+      replayed += rec.replayed_batches;
+    }
+    fprintf(stderr,
+            "serve: wal recovery verified on %zu lanes (%llu batches "
+            "replayed)\n",
+            clients.size(), static_cast<unsigned long long>(replayed));
+  }
 
   uint64_t span_ns = 0;
   for (const ClientState& c : clients) span_ns = std::max(span_ns, c.last_end_ns);

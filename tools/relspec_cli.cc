@@ -27,6 +27,17 @@
 //                               and semantics in docs/INCREMENTAL.md);
 //                               queries/specs/snapshots then reflect the
 //                               updated database
+//     --wal FILE                durable mode: open the engine through a
+//                               write-ahead log at FILE (docs/DURABILITY.md).
+//                               Recovery replays surviving batches first;
+//                               --apply-deltas batches are logged before
+//                               they are acknowledged
+//     --fsync always|batch|off  WAL durability policy (default always:
+//                               an applied batch survives kill -9)
+//     --checkpoint-every N      checkpoint + rotate the log after every N
+//                               logged batches (default 0: never)
+//     --recover                 print what recovery did (base, replayed
+//                               batches, truncated tail) after --wal opens
 //     --enumerate DEPTH         horizon for printing query answers (default 6)
 //     --prove "T1" "T2"         prove two ground terms congruent (Cl(R))
 //     --periodic "OnCall(t, a)" the [CI88] periodic-set answer (one symbol)
@@ -52,8 +63,9 @@
 //                               instead of failing
 //     --help                    print the flag summary and exit
 //
-//   SIGINT requests cooperative cancellation: the engine unwinds cleanly
-//   (exit code 7, or a truncated result with --allow-partial).
+//   SIGINT and SIGTERM request cooperative cancellation: the engine unwinds
+//   cleanly — stats, trace, and WAL are flushed on the way out (exit code 7,
+//   or a truncated result with --allow-partial).
 //
 //   Diagnostics go to stderr through the logger; stdout carries only the
 //   requested output (and the --stats JSON when no FILE is given). Exit
@@ -76,7 +88,9 @@
 #include "src/base/metrics.h"
 #include "src/base/str_util.h"
 #include "src/base/trace.h"
+#include "src/ast/printer.h"
 #include "src/core/engine.h"
+#include "src/core/wal.h"
 #include "src/core/explain.h"
 #include "src/core/query.h"
 #include "src/core/snapshot.h"
@@ -108,12 +122,14 @@ int EngineExitCode(const Status& status) {
   return status.IsResourceBreach() ? kExitResource : kExitEngine;
 }
 
-// Set by main before RunCli; the SIGINT handler requests cooperative
-// cancellation through it (a relaxed atomic store — async-signal-safe).
+// Set by main before RunCli; the SIGINT/SIGTERM handler requests cooperative
+// cancellation through it (a relaxed atomic store — async-signal-safe). Both
+// signals take the same clean path: the engine unwinds, the WAL closes, and
+// stats/trace flush before exit 7 — a supervisor's TERM is not data loss.
 ResourceGovernor* g_governor = nullptr;
 bool g_allow_partial = false;
 
-extern "C" void HandleSigint(int) {
+extern "C" void HandleShutdownSignal(int) {
   if (g_governor != nullptr) g_governor->RequestCancel();
 }
 
@@ -151,6 +167,19 @@ void PrintHelp(const char* argv0) {
       "  --apply-deltas FILE           apply \"+ Fact.\" / \"- Fact.\" deltas\n"
       "                                to the built engine (incremental\n"
       "                                maintenance; docs/INCREMENTAL.md)\n"
+      "  --wal FILE                    durable mode: open through a\n"
+      "                                write-ahead log at FILE, replaying\n"
+      "                                surviving batches first; deltas are\n"
+      "                                logged before they are acknowledged\n"
+      "                                (docs/DURABILITY.md)\n"
+      "  --fsync always|batch|off      WAL durability policy (default\n"
+      "                                always: an applied batch survives\n"
+      "                                kill -9)\n"
+      "  --checkpoint-every N          checkpoint + rotate the log after\n"
+      "                                every N logged batches (default 0:\n"
+      "                                never)\n"
+      "  --recover                     print what recovery did (base,\n"
+      "                                replayed batches, truncated tail)\n"
       "  --enumerate DEPTH             horizon for printing query answers\n"
       "                                (default 6)\n"
       "  --prove \"T1\" \"T2\"             prove two ground terms congruent\n"
@@ -252,6 +281,10 @@ int RunCli(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> proofs;
   std::string spec_kind, save_spec, load_spec, save_snapshot, load_snapshot;
   std::string apply_deltas;
+  std::string wal_path;
+  DurableOptions durable;
+  bool want_recover_report = false;
+  bool fsync_given = false, checkpoint_given = false;
   bool want_info = false, want_verify = false;
   int horizon = 6;
   EngineOptions options;
@@ -283,6 +316,29 @@ int RunCli(int argc, char** argv) {
       load_snapshot = next();
     } else if (flag == "--apply-deltas") {
       apply_deltas = next();
+    } else if (flag == "--wal") {
+      wal_path = next();
+    } else if (flag == "--fsync") {
+      std::string value = next();
+      auto mode = ParseFsyncMode(value);
+      if (!mode.ok()) {
+        return UsageError("--fsync expects always|batch|off, got \"" + value +
+                          "\"");
+      }
+      durable.wal.fsync = *mode;
+      fsync_given = true;
+    } else if (flag == "--checkpoint-every") {
+      std::string value = next();
+      long long n = atoll(value.c_str());
+      if (n < 0) {
+        return UsageError(
+            "--checkpoint-every expects a non-negative integer, got \"" +
+            value + "\"");
+      }
+      durable.checkpoint_every = static_cast<uint64_t>(n);
+      checkpoint_given = true;
+    } else if (flag == "--recover") {
+      want_recover_report = true;
     } else if (flag == "--enumerate") {
       horizon = atoi(next());
     } else if (flag == "--merged-frontier") {
@@ -322,6 +378,23 @@ int RunCli(int argc, char** argv) {
 
   if (!load_spec.empty() && !load_snapshot.empty()) {
     return UsageError("--load-spec and --load-snapshot are exclusive");
+  }
+  if (wal_path.empty() && (fsync_given || checkpoint_given ||
+                           want_recover_report)) {
+    return UsageError(
+        "--fsync / --checkpoint-every / --recover only apply to durable "
+        "mode: add --wal FILE");
+  }
+  if (!wal_path.empty()) {
+    if (program_path.empty()) {
+      return UsageError("--wal needs the PROGRAM.rsp positional (recovery "
+                        "anchors generation-0 logs to the program)");
+    }
+    if (!load_spec.empty() || !load_snapshot.empty()) {
+      return UsageError(
+          "--wal is exclusive with --load-spec / --load-snapshot: the WAL's "
+          "own checkpoint is the durable warm start (docs/DURABILITY.md)");
+    }
   }
   // Spec-only mode: answer membership from a serialized specification
   // (text --load-spec or binary --load-snapshot without a PROGRAM), skipping
@@ -380,8 +453,40 @@ int RunCli(int argc, char** argv) {
   if (!parsed.ok()) return Fail(kExitParse, parsed.status());
   std::vector<Query> file_queries = parsed->queries;
 
-  auto db = FunctionalDatabase::FromProgram(std::move(parsed->program), options);
+  StatusOr<std::unique_ptr<FunctionalDatabase>> db =
+      Status::Internal("unreachable");
+  RecoveryStats recovery;
+  if (wal_path.empty()) {
+    db = FunctionalDatabase::FromProgram(std::move(parsed->program), options);
+  } else {
+    // Durable mode anchors on the rendered program, not the raw file:
+    // comments and "? ..." query statements then never shift the recovery
+    // fingerprint, and the same bytes re-anchor the log on every run.
+    db = FunctionalDatabase::OpenDurable(ToString(parsed->program), wal_path,
+                                         durable, options, &recovery);
+    if (db.ok() && !file_queries.empty()) {
+      // The recovered engine's symbol table is its own (replayed batches may
+      // have interned symbols the program file never mentions), so file
+      // queries re-parse against it below instead of using the parsed ids.
+      std::vector<std::string> rendered;
+      for (const Query& q : file_queries) {
+        rendered.push_back(ToString(q, parsed->program.symbols));
+      }
+      queries.insert(queries.begin(), rendered.begin(), rendered.end());
+      file_queries.clear();
+    }
+  }
   if (!db.ok()) return Fail(EngineExitCode(db.status()), db.status());
+  if (!wal_path.empty() && want_recover_report) {
+    printf("recovery: %s base=%s replayed=%llu batches (%llu bytes) "
+           "truncated_tail=%llu bytes%s\n",
+           recovery.created ? "fresh log" : "recovered",
+           recovery.checkpoint_loaded ? "checkpoint" : "program",
+           static_cast<unsigned long long>(recovery.replayed_batches),
+           static_cast<unsigned long long>(recovery.replayed_bytes),
+           static_cast<unsigned long long>(recovery.truncated_bytes),
+           recovery.used_fallback ? " [fell back one generation]" : "");
+  }
   if ((*db)->truncated()) {
     RELSPEC_LOG(kWarning) << "partial result (sound under-approximation): "
                           << (*db)->breach().ToString();
@@ -412,7 +517,11 @@ int RunCli(int argc, char** argv) {
   if (!apply_deltas.empty()) {
     auto text = ReadFile(apply_deltas);
     if (!text.ok()) return Fail(kExitIo, text.status());
-    auto stats = (*db)->ApplyDeltaText(*text, options);
+    // Durable mode logs the batch before acknowledging it: under
+    // --fsync always, this printf implies the batch survives kill -9.
+    auto stats = wal_path.empty()
+                     ? (*db)->ApplyDeltaText(*text, options)
+                     : (*db)->LogAndApplyDeltas(*text, options);
     if (!stats.ok()) {
       return Fail(EngineExitCode(stats.status()), stats.status());
     }
@@ -634,7 +743,8 @@ int main(int argc, char** argv) {
   // flag parsing and immediately before the governed run.
   ResourceGovernor governor(limits);
   g_governor = &governor;
-  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
 
   int code;
   {

@@ -25,12 +25,14 @@
 # parser) under ASan+UBSan: every injected unwind path must be leak- and
 # UB-free. See docs/ROBUSTNESS.md.
 #
-# --fuzz builds the parser/snapshot fuzz target (-DRELSPEC_FUZZ=ON, default
-# dir: build-fuzz) and runs a 30-second smoke over the example-program seeds
-# plus the binary snapshot corpus (tests/fuzz_corpus/snapshots/*.rsnp —
-# inputs with the RSNP magic route to the snapshot loader). Under gcc this
-# is the standalone mutation driver; under clang, libFuzzer. Budget
-# override: RELSPEC_FUZZ_SECONDS.
+# --fuzz builds the parser/snapshot/WAL fuzz target (-DRELSPEC_FUZZ=ON,
+# default dir: build-fuzz) and runs a 30-second smoke over the
+# example-program seeds plus the binary corpora: snapshots
+# (tests/fuzz_corpus/snapshots/*.rsnp, RSNP magic → snapshot loader) and
+# durability (tests/fuzz_corpus/wal/*, RWAL magic → delta-log scanner,
+# RCKP magic → checkpoint parser). Under gcc this is the standalone
+# mutation driver; under clang, libFuzzer. Budget override:
+# RELSPEC_FUZZ_SECONDS.
 #
 # --bench builds the serving harness and the perf gate (default dir: build),
 # runs a short fixed-seed serve session, and diffs the fresh BENCH_serve.json
@@ -65,9 +67,10 @@ if [[ "${1:-}" == "--fuzz" ]]; then
   cmake -B "$BUILD_DIR" -S . -DRELSPEC_FUZZ=ON \
       -DRELSPEC_BUILD_BENCHMARKS=OFF -DRELSPEC_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_parser
-  echo "== fuzz smoke (seeds: examples/programs/*.rsp + snapshot corpus) =="
+  echo "== fuzz smoke (seeds: examples/programs/*.rsp + snapshot + WAL corpora) =="
   "$BUILD_DIR"/tests/fuzz_parser examples/programs/*.rsp \
-      tests/fuzz_corpus/snapshots/*.rsnp
+      tests/fuzz_corpus/snapshots/*.rsnp \
+      tests/fuzz_corpus/wal/*
   echo "== fuzz smoke passed =="
   exit 0
 fi
@@ -248,6 +251,22 @@ for flag in sorted(DELTA_FLAGS):
                         "CLI's --help")
     if flag not in incremental:
         problems.append(f"delta flag {flag} absent from docs/INCREMENTAL.md")
+# The durability surface (docs/DURABILITY.md) is pinned the same way:
+# every WAL CLI flag must exist in --help and be documented there, and
+# the serve harness must keep its durable-update mode.
+durability = open("docs/DURABILITY.md").read()
+DURABLE_FLAGS = {"--wal", "--fsync", "--checkpoint-every", "--recover"}
+for flag in sorted(DURABLE_FLAGS):
+    if flag not in help_flags:
+        problems.append(f"docs-drift list pins {flag}, absent from the "
+                        "CLI's --help")
+    if flag not in durability:
+        problems.append(f"WAL flag {flag} absent from docs/DURABILITY.md")
+for flag in sorted(DURABLE_FLAGS - {"--recover"}):
+    if flag not in serve_flags:
+        problems.append(f"serve --help no longer lists {flag} (durable "
+                        "update mode)")
+
 if "update=" not in open(sys.argv[2]).read():
     problems.append("serve --help no longer documents the update request "
                     "type (mix update=N)")
