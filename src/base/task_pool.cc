@@ -91,6 +91,25 @@ void TaskPool::WorkerLoop(size_t self) {
   }
 }
 
+void TaskPool::Submit(std::function<void()> task) {
+  if (num_threads_ <= 1) {
+    RELSPEC_COUNTER("task_pool.tasks");
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    // Round-robin over the worker-owned slots (1..n-1); slot 0 belongs to
+    // whichever thread is inside ParallelFor and may sit idle otherwise.
+    size_t lane = 1 + (submit_rr_++ % static_cast<size_t>(num_threads_ - 1));
+    Slot& slot = *slots_[lane];
+    std::lock_guard<std::mutex> sg(slot.mu);
+    slot.tasks.push_back(std::move(task));
+    ++queued_;
+  }
+  wake_cv_.notify_one();
+}
+
 void TaskPool::ParallelFor(size_t begin, size_t end, size_t min_grain,
                            const ChunkFn& fn) {
   if (end <= begin) return;

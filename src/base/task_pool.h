@@ -63,6 +63,15 @@ class TaskPool {
   void ParallelFor(size_t begin, size_t end, size_t min_grain,
                    const ChunkFn& fn);
 
+  /// Fire-and-forget: enqueues one task for any worker (task-per-request
+  /// serving, see src/serve/server.cc). On a 1-thread pool the task runs
+  /// inline on the caller before Submit returns. Tasks must track their own
+  /// completion: the destructor stops workers without draining, so a task
+  /// still queued when the pool dies is silently dropped — owners drain
+  /// (e.g. an in-flight count) before destroying the pool. Safe to call
+  /// concurrently with ParallelFor and from multiple threads.
+  void Submit(std::function<void()> task);
+
   /// Oversubscription factor: more chunks than lanes so stealing can
   /// rebalance skewed chunk costs.
   static constexpr size_t kChunksPerThread = 4;
@@ -86,6 +95,7 @@ class TaskPool {
   std::condition_variable wake_cv_;
   size_t queued_ = 0;  // tasks sitting in deques; guarded by wake_mu_
   bool stop_ = false;  // guarded by wake_mu_
+  size_t submit_rr_ = 0;  // Submit round-robin cursor; guarded by wake_mu_
 };
 
 }  // namespace relspec

@@ -418,6 +418,7 @@ size_t QueryCache::EffectiveMaxBytes() const {
 
 std::shared_ptr<const QueryAnswer> QueryCache::Lookup(
     uint64_t fingerprint, const std::string& query_key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(FullKey(fingerprint, query_key));
   if (it == index_.end()) {
     RELSPEC_COUNTER("cache.miss");
@@ -434,6 +435,7 @@ void QueryCache::Insert(uint64_t fingerprint, const std::string& query_key,
                         std::shared_ptr<const QueryAnswer> answer) {
   if (options_.max_entries == 0 || answer == nullptr) return;
   std::string key = FullKey(fingerprint, query_key);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->bytes;
@@ -463,6 +465,7 @@ void QueryCache::EvictToBudget(size_t max_bytes) {
 }
 
 void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
   bytes_ = 0;

@@ -20,6 +20,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -142,8 +143,18 @@ StatusOr<bool> YesNo(FunctionalDatabase* db, const Query& query,
 /// LRU cache of query answers, keyed by (database fingerprint, normalized
 /// query text). Answers are immutable once constructed, so hits share them
 /// by shared_ptr; the fingerprint keys out stale entries when a different
-/// database reuses the cache. Not thread-safe — one cache per evaluation
-/// thread, matching the engine's single-coordinator design.
+/// database reuses the cache.
+///
+/// Thread-safe: one internal mutex guards the LRU list, index, and byte
+/// accounting, so a single cache can be shared across serving threads
+/// (src/serve/server.cc). A single mutex rather than stripes because even a
+/// Lookup hit *writes* (splices the entry to the LRU front to refresh
+/// recency) — striping or a shared_mutex would buy nothing on this
+/// structure. Eviction and the cache.hit/miss/evict counters are published
+/// under the lock, so the counters stay consistent with the entries under
+/// concurrency (pinned by the parallel_test cache stress under tsan).
+/// Invalidation semantics are unchanged from the single-threaded cache: the
+/// DeltaCacheTest fingerprint-keying contract holds verbatim.
 class QueryCache {
  public:
   struct Options {
@@ -173,8 +184,14 @@ class QueryCache {
               std::shared_ptr<const QueryAnswer> answer);
 
   void Clear();
-  size_t size() const { return lru_.size(); }
-  size_t bytes() const { return bytes_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+  size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
 
  private:
   struct Entry {
@@ -186,10 +203,11 @@ class QueryCache {
   static std::string FullKey(uint64_t fingerprint,
                              const std::string& query_key);
   size_t EffectiveMaxBytes() const;
-  void EvictToBudget(size_t max_bytes);
+  void EvictToBudget(size_t max_bytes);  // caller holds mu_
 
   Options options_;
-  std::list<Entry> lru_;  // front = most recently used
+  mutable std::mutex mu_;  // guards lru_, index_, bytes_
+  std::list<Entry> lru_;   // front = most recently used
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   size_t bytes_ = 0;
 };

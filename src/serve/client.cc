@@ -1,0 +1,227 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "src/base/str_util.h"
+
+namespace relspec {
+namespace serve {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, strerror(errno)));
+}
+
+Status FromWire(uint32_t code, const std::string& message) {
+  auto status_code = static_cast<StatusCode>(code);
+  switch (status_code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded:
+      return Status(status_code, message);
+  }
+  return Status::Internal(
+      StrFormat("server replied with unknown status code %u: %s", code,
+                message.c_str()));
+}
+
+}  // namespace
+
+Status ServeClient::Reply::ToStatus() const {
+  return FromWire(status_code, payload);
+}
+
+StatusOr<std::unique_ptr<ServeClient>> ServeClient::ConnectUnix(
+    const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("unix socket path too long");
+  }
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status err = Errno(StrFormat("connect(%s)", path.c_str()).c_str());
+    close(fd);
+    return err;
+  }
+  return std::unique_ptr<ServeClient>(new ServeClient(fd));
+}
+
+StatusOr<std::unique_ptr<ServeClient>> ServeClient::ConnectTcp(
+    const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad IPv4 address: %s", host.c_str()));
+  }
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status err = Errno(StrFormat("connect(%s:%d)", host.c_str(), port).c_str());
+    close(fd);
+    return err;
+  }
+  return std::unique_ptr<ServeClient>(new ServeClient(fd));
+}
+
+StatusOr<std::unique_ptr<ServeClient>> ServeClient::Connect(
+    const std::string& address) {
+  size_t colon = address.rfind(':');
+  if (colon != std::string::npos &&
+      address.find('/') == std::string::npos) {
+    int port = atoi(address.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) {
+      return Status::InvalidArgument(
+          StrFormat("bad port in address: %s", address.c_str()));
+    }
+    return ConnectTcp(address.substr(0, colon), port);
+  }
+  return ConnectUnix(address);
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status ServeClient::SendRaw(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a server that died mid-conversation surfaces as an EPIPE
+    // Status, not a SIGPIPE that kills the client process (the chaos tests
+    // SIGKILL servers on purpose).
+    ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("write");
+  }
+  return Status::OK();
+}
+
+StatusOr<ServeClient::Reply> ServeClient::ReadReply() {
+  while (true) {
+    RELSPEC_ASSIGN_OR_RETURN(size_t size, ResponseFrameSize(inbuf_));
+    if (size > 0 && inbuf_.size() >= size) {
+      ResponseHeader header;
+      std::string_view payload;
+      RELSPEC_RETURN_NOT_OK(
+          DecodeResponse(std::string_view(inbuf_).substr(0, size), &header,
+                         &payload));
+      Reply reply;
+      reply.status_code = header.status;
+      reply.request_id = header.request_id;
+      reply.payload = std::string(payload);
+      inbuf_.erase(0, size);
+      return reply;
+    }
+    char buf[4096];
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Internal("server closed the connection mid-reply");
+    }
+    if (errno == EINTR) continue;
+    return Errno("read");
+  }
+}
+
+StatusOr<ServeClient::Reply> ServeClient::Call(RequestType type,
+                                               std::string_view payload,
+                                               uint64_t deadline_ms,
+                                               uint64_t max_tuples) {
+  RequestHeader header;
+  header.type = type;
+  header.request_id = next_id_++;
+  header.deadline_ms = deadline_ms;
+  header.max_tuples = max_tuples;
+  RELSPEC_RETURN_NOT_OK(SendRaw(EncodeRequest(header, payload)));
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply, ReadReply());
+  if (reply.request_id != header.request_id) {
+    return Status::Internal(
+        StrFormat("response id %llu does not match request id %llu",
+                  static_cast<unsigned long long>(reply.request_id),
+                  static_cast<unsigned long long>(header.request_id)));
+  }
+  return reply;
+}
+
+StatusOr<uint64_t> ServeClient::Ping() {
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply, Call(RequestType::kPing, ""));
+  if (!reply.ok()) return reply.ToStatus();
+  if (reply.payload.size() != 8) {
+    return Status::Internal("ping reply payload must be 8 bytes");
+  }
+  uint64_t fp = 0;
+  for (int i = 7; i >= 0; --i) {
+    fp = (fp << 8) | static_cast<uint8_t>(reply.payload[static_cast<size_t>(i)]);
+  }
+  return fp;
+}
+
+StatusOr<bool> ServeClient::Membership(std::string_view fact_text) {
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply,
+                           Call(RequestType::kMembership, fact_text));
+  if (!reply.ok()) return reply.ToStatus();
+  if (reply.payload.size() != 1) {
+    return Status::Internal("membership reply payload must be 1 byte");
+  }
+  return reply.payload[0] != 0;
+}
+
+StatusOr<QueryResult> ServeClient::Query(std::string_view query_text,
+                                         uint64_t deadline_ms,
+                                         uint64_t max_tuples) {
+  RELSPEC_ASSIGN_OR_RETURN(
+      Reply reply,
+      Call(RequestType::kQuery, query_text, deadline_ms, max_tuples));
+  if (!reply.ok()) return reply.ToStatus();
+  return DecodeQueryResult(reply.payload);
+}
+
+StatusOr<UpdateResult> ServeClient::Update(std::string_view delta_text) {
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply,
+                           Call(RequestType::kUpdate, delta_text));
+  if (!reply.ok()) return reply.ToStatus();
+  return DecodeUpdateResult(reply.payload);
+}
+
+StatusOr<std::string> ServeClient::Stats() {
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply, Call(RequestType::kStats, ""));
+  if (!reply.ok()) return reply.ToStatus();
+  return std::move(reply.payload);
+}
+
+StatusOr<std::string> ServeClient::TraceDump() {
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply, Call(RequestType::kTraceDump, ""));
+  if (!reply.ok()) return reply.ToStatus();
+  return std::move(reply.payload);
+}
+
+}  // namespace serve
+}  // namespace relspec

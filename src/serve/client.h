@@ -1,0 +1,80 @@
+// ServeClient: a small synchronous client for the RSRV protocol
+// (docs/DAEMON.md), used by relspec_bench_serve --connect, relspecd --ping,
+// and the conformance/chaos test suites.
+//
+// One connection, one outstanding request at a time (the protocol keeps
+// responses in order per connection, so that is all a synchronous client
+// needs). Not thread-safe: give each serving lane its own client.
+
+#ifndef RELSPEC_SERVE_CLIENT_H_
+#define RELSPEC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/serve/protocol.h"
+
+namespace relspec {
+namespace serve {
+
+class ServeClient {
+ public:
+  static StatusOr<std::unique_ptr<ServeClient>> ConnectUnix(
+      const std::string& path);
+  static StatusOr<std::unique_ptr<ServeClient>> ConnectTcp(
+      const std::string& host, int port);
+  /// "host:port" (no '/') connects TCP; anything else is a unix path.
+  static StatusOr<std::unique_ptr<ServeClient>> Connect(
+      const std::string& address);
+
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// A raw response: the wire status plus the payload (result bytes on OK,
+  /// the server's status message on error).
+  struct Reply {
+    uint32_t status_code = 0;
+    uint64_t request_id = 0;
+    std::string payload;
+    bool ok() const { return status_code == 0; }
+    /// The reply as a Status (OK, or the server's code + message).
+    Status ToStatus() const;
+  };
+
+  /// One round trip: sends a frame, blocks for the matching response.
+  StatusOr<Reply> Call(RequestType type, std::string_view payload,
+                       uint64_t deadline_ms = 0, uint64_t max_tuples = 0);
+
+  // Typed helpers. A non-OK wire status surfaces as that error Status, so
+  // a governor breach on the server shows up as kResourceExhausted /
+  // kDeadlineExceeded / kCancelled here, exactly like an in-process call.
+  StatusOr<uint64_t> Ping();  // returns the engine fingerprint
+  StatusOr<bool> Membership(std::string_view fact_text);
+  StatusOr<QueryResult> Query(std::string_view query_text,
+                              uint64_t deadline_ms = 0,
+                              uint64_t max_tuples = 0);
+  StatusOr<UpdateResult> Update(std::string_view delta_text);
+  StatusOr<std::string> Stats();
+  StatusOr<std::string> TraceDump();
+
+  /// Protocol-conformance escape hatches: ship arbitrary bytes / read one
+  /// raw reply frame (malformed-frame tests).
+  Status SendRaw(std::string_view bytes);
+  StatusOr<Reply> ReadReply();
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  uint64_t next_id_ = 1;
+  std::string inbuf_;
+};
+
+}  // namespace serve
+}  // namespace relspec
+
+#endif  // RELSPEC_SERVE_CLIENT_H_

@@ -1,0 +1,236 @@
+#include "src/serve/protocol.h"
+
+#include <cstring>
+
+#include "src/base/str_util.h"
+
+namespace relspec {
+namespace serve {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(std::string_view s, size_t off) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(s[off + static_cast<size_t>(i)]);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::string_view s, size_t off) {
+  return static_cast<uint64_t>(GetU32(s, off)) |
+         (static_cast<uint64_t>(GetU32(s, off + 4)) << 32);
+}
+
+/// Validates the common 16-byte prefix (magic, version, payload length)
+/// shared by request and response frames; returns the payload length.
+StatusOr<uint32_t> CheckPrefix(std::string_view buffer) {
+  if (buffer.size() < 16) {
+    return Status::InvalidArgument("frame prefix truncated");
+  }
+  if (memcmp(buffer.data(), kMagic, 4) != 0) {
+    return Status::InvalidArgument("bad frame magic (want \"RSRV\")");
+  }
+  uint32_t version = GetU32(buffer, 4);
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported RSRV protocol version %u (this build speaks "
+                  "version %u)",
+                  version, kProtocolVersion));
+  }
+  uint32_t payload_len = GetU32(buffer, 12);
+  if (payload_len > kMaxPayload) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload length %u exceeds the %u-byte ceiling",
+                  payload_len, kMaxPayload));
+  }
+  return payload_len;
+}
+
+StatusOr<size_t> FrameSize(std::string_view buffer, size_t header_size) {
+  if (buffer.size() < 16) return size_t{0};  // need more bytes
+  RELSPEC_ASSIGN_OR_RETURN(uint32_t payload_len, CheckPrefix(buffer));
+  return header_size + payload_len;
+}
+
+}  // namespace
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kPing: return "ping";
+    case RequestType::kMembership: return "membership";
+    case RequestType::kQuery: return "query";
+    case RequestType::kUpdate: return "update";
+    case RequestType::kStats: return "stats";
+    case RequestType::kTraceDump: return "trace-dump";
+  }
+  return "unknown";
+}
+
+std::string EncodeRequest(const RequestHeader& header,
+                          std::string_view payload) {
+  std::string out;
+  out.reserve(kRequestHeaderSize + payload.size());
+  out.append(kMagic, 4);
+  PutU32(&out, header.version);
+  PutU32(&out, static_cast<uint32_t>(header.type));
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU64(&out, header.request_id);
+  PutU64(&out, header.deadline_ms);
+  PutU64(&out, header.max_tuples);
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeResponse(const ResponseHeader& header,
+                           std::string_view payload) {
+  std::string out;
+  out.reserve(kResponseHeaderSize + payload.size());
+  out.append(kMagic, 4);
+  PutU32(&out, header.version);
+  PutU32(&out, header.status);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU64(&out, header.request_id);
+  out.append(payload);
+  return out;
+}
+
+StatusOr<size_t> RequestFrameSize(std::string_view buffer) {
+  return FrameSize(buffer, kRequestHeaderSize);
+}
+
+StatusOr<size_t> ResponseFrameSize(std::string_view buffer) {
+  return FrameSize(buffer, kResponseHeaderSize);
+}
+
+Status DecodeRequest(std::string_view frame, RequestHeader* header,
+                     std::string_view* payload) {
+  if (frame.size() < kRequestHeaderSize) {
+    return Status::InvalidArgument("request frame truncated");
+  }
+  RELSPEC_ASSIGN_OR_RETURN(uint32_t payload_len, CheckPrefix(frame));
+  if (frame.size() != kRequestHeaderSize + payload_len) {
+    return Status::InvalidArgument(StrFormat(
+        "request frame length %zu disagrees with advertised payload %u",
+        frame.size(), payload_len));
+  }
+  uint32_t type = GetU32(frame, 8);
+  header->request_id = GetU64(frame, 16);  // echoable even on a type error
+  if (type > kMaxRequestType) {
+    return Status::InvalidArgument(
+        StrFormat("unknown request type %u", type));
+  }
+  header->version = GetU32(frame, 4);
+  header->type = static_cast<RequestType>(type);
+  header->deadline_ms = GetU64(frame, 24);
+  header->max_tuples = GetU64(frame, 32);
+  *payload = frame.substr(kRequestHeaderSize);
+  return Status::OK();
+}
+
+Status DecodeResponse(std::string_view frame, ResponseHeader* header,
+                      std::string_view* payload) {
+  if (frame.size() < kResponseHeaderSize) {
+    return Status::InvalidArgument("response frame truncated");
+  }
+  RELSPEC_ASSIGN_OR_RETURN(uint32_t payload_len, CheckPrefix(frame));
+  if (frame.size() != kResponseHeaderSize + payload_len) {
+    return Status::InvalidArgument(StrFormat(
+        "response frame length %zu disagrees with advertised payload %u",
+        frame.size(), payload_len));
+  }
+  header->version = GetU32(frame, 4);
+  header->status = GetU32(frame, 8);
+  header->request_id = GetU64(frame, 16);
+  *payload = frame.substr(kResponseHeaderSize);
+  return Status::OK();
+}
+
+std::string EncodeQueryResult(const QueryResult& result) {
+  std::string out;
+  PutU64(&out, result.spec_tuples);
+  out.push_back(result.functional ? 1 : 0);
+  PutU32(&out, static_cast<uint32_t>(result.text.size()));
+  out.append(result.text);
+  return out;
+}
+
+StatusOr<QueryResult> DecodeQueryResult(std::string_view payload) {
+  if (payload.size() < 13) {
+    return Status::InvalidArgument("query result payload truncated");
+  }
+  QueryResult result;
+  result.spec_tuples = GetU64(payload, 0);
+  result.functional = payload[8] != 0;
+  uint32_t text_len = GetU32(payload, 9);
+  if (payload.size() != 13 + static_cast<size_t>(text_len)) {
+    return Status::InvalidArgument(
+        "query result text length disagrees with payload size");
+  }
+  result.text = std::string(payload.substr(13));
+  return result;
+}
+
+std::string EncodeUpdateResult(const UpdateResult& result) {
+  std::string out;
+  PutU64(&out, result.fingerprint);
+  PutU64(&out, result.inserted);
+  PutU64(&out, result.deleted);
+  PutU64(&out, result.noops);
+  PutU64(&out, result.deleted_bits);
+  out.push_back(result.rebuilt ? 1 : 0);
+  out.push_back(result.durable ? 1 : 0);
+  return out;
+}
+
+StatusOr<UpdateResult> DecodeUpdateResult(std::string_view payload) {
+  if (payload.size() != 42) {
+    return Status::InvalidArgument("update result payload must be 42 bytes");
+  }
+  UpdateResult result;
+  result.fingerprint = GetU64(payload, 0);
+  result.inserted = GetU64(payload, 8);
+  result.deleted = GetU64(payload, 16);
+  result.noops = GetU64(payload, 24);
+  result.deleted_bits = GetU64(payload, 32);
+  result.rebuilt = payload[40] != 0;
+  result.durable = payload[41] != 0;
+  return result;
+}
+
+std::string RenderAnswerText(const QueryAnswer& answer) {
+  std::string out = answer.ToString();
+  auto rows = answer.Enumerate(/*max_depth=*/3, /*max_count=*/32);
+  if (!rows.ok()) return out;  // unbounded answers stay spec-only
+  for (const ConcreteAnswer& row : *rows) {
+    out += "  ";
+    bool first = true;
+    if (row.term.has_value()) {
+      out += row.term->ToString(answer.symbols());
+      first = false;
+    }
+    for (ConstId c : row.tuple) {
+      if (!first) out += ", ";
+      out += answer.symbols().constant_name(c);
+      first = false;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace relspec

@@ -1,0 +1,523 @@
+#include "src/serve/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/base/metrics.h"
+#include "src/base/str_util.h"
+#include "src/base/trace.h"
+#include "src/core/mixed_to_pure.h"
+#include "src/parser/parser.h"
+
+namespace relspec {
+namespace serve {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, strerror(errno)));
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+/// One accepted connection. The poll loop owns the struct; the atomics are
+/// the only fields a request task touches after dispatch.
+struct Server::Conn {
+  int fd = -1;
+  std::string inbuf;
+  /// True while a request task for this connection is in flight; the loop
+  /// neither polls nor reads the fd until the task clears it.
+  std::atomic<bool> busy{false};
+  /// Set by a task that answered a malformed frame: close once idle.
+  std::atomic<bool> close_after_reply{false};
+  /// Peer closed or write failed — reap once idle.
+  bool dead = false;
+  /// Drain bookkeeping: this connection already got its final read pass.
+  bool drained = false;
+
+  ~Conn() {
+    if (fd >= 0) close(fd);
+  }
+};
+
+Server::Server(std::unique_ptr<FunctionalDatabase> db, GraphSpecification spec,
+               const ServerOptions& options)
+    : options_(options),
+      db_(std::move(db)),
+      spec_(std::move(spec)),
+      cache_(options.cache),
+      pool_(std::make_unique<TaskPool>(std::max(1, options.threads))) {}
+
+StatusOr<std::unique_ptr<Server>> Server::Create(
+    std::unique_ptr<FunctionalDatabase> db, const ServerOptions& options) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  RELSPEC_ASSIGN_OR_RETURN(GraphSpecification spec, db->BuildGraphSpec());
+  uint64_t fp = db->Fingerprint();  // materialize before concurrent readers
+  std::unique_ptr<Server> server(
+      new Server(std::move(db), std::move(spec), options));
+  server->fingerprint_ = fp;
+  RELSPEC_RETURN_NOT_OK(server->Listen());
+  return server;
+}
+
+StatusOr<std::unique_ptr<Server>> Server::CreateSpecOnly(
+    GraphSpecification spec, const ServerOptions& options) {
+  std::unique_ptr<Server> server(
+      new Server(nullptr, std::move(spec), options));
+  RELSPEC_RETURN_NOT_OK(server->Listen());
+  return server;
+}
+
+Server::~Server() {
+  // Drain before the pool dies: Submit tasks still queued would be dropped.
+  while (in_flight_.load() > 0) usleep(1000);
+  pool_.reset();
+  conns_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_r_ >= 0) close(wake_r_);
+  int w = wake_w_.exchange(-1);
+  if (w >= 0) close(w);
+  if (!options_.unix_path.empty()) unlink(options_.unix_path.c_str());
+}
+
+Status Server::Listen() {
+  if (options_.unix_path.empty() == (options_.tcp_port < 0)) {
+    return Status::InvalidArgument(
+        "exactly one of unix_path / tcp_port must be set");
+  }
+  int pipefd[2];
+  if (pipe(pipefd) != 0) return Errno("pipe");
+  wake_r_ = pipefd[0];
+  wake_w_.store(pipefd[1]);
+  RELSPEC_RETURN_NOT_OK(SetNonBlocking(wake_r_));
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument(
+          StrFormat("unix socket path too long (%zu bytes, max %zu)",
+                    options_.unix_path.size(), sizeof(addr.sun_path) - 1));
+    }
+    memcpy(addr.sun_path, options_.unix_path.c_str(),
+           options_.unix_path.size() + 1);
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Errno("socket(AF_UNIX)");
+    unlink(options_.unix_path.c_str());  // stale path from a crashed run
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Errno("bind(unix)");
+    }
+  } else {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Errno("socket(AF_INET)");
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Errno("bind(tcp)");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (listen(listen_fd_, 64) != 0) return Errno("listen");
+  RELSPEC_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+  return Status::OK();
+}
+
+void Server::RequestShutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Server::Wake() {
+  int w = wake_w_.load(std::memory_order_acquire);
+  if (w >= 0) {
+    char b = 'w';
+    // Best-effort: a full pipe already guarantees a pending wake-up.
+    [[maybe_unused]] ssize_t n = write(w, &b, 1);
+  }
+}
+
+void Server::AcceptAll() {
+  while (true) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error: back to poll
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
+    RELSPEC_COUNTER("serve.accepts");
+  }
+}
+
+bool Server::ReadAvailable(Conn* conn) {
+  char buf[4096];
+  while (true) {
+    ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->inbuf.append(buf, static_cast<size_t>(n));
+      // A peer streaming an over-long frame gets cut off here; the frame
+      // prefix check below rejects it as soon as 16 bytes are in anyway.
+      if (conn->inbuf.size() > kRequestHeaderSize + kMaxPayload) return false;
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    if (errno == EINTR) continue;
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+}
+
+void Server::MaybeDispatch(Conn* conn) {
+  if (conn->busy.load(std::memory_order_acquire) || conn->dead ||
+      conn->close_after_reply.load(std::memory_order_acquire)) {
+    return;
+  }
+  StatusOr<size_t> size = RequestFrameSize(conn->inbuf);
+  if (!size.ok()) {
+    // Malformed prefix: answer with a structured error, then hang up — the
+    // stream offset is unrecoverable once framing is broken.
+    ResponseHeader resp;
+    resp.status = static_cast<uint32_t>(size.status().code());
+    WriteAll(conn->fd, EncodeResponse(resp, size.status().message()));
+    RELSPEC_COUNTER("serve.malformed");
+    conn->dead = true;
+    return;
+  }
+  if (*size == 0 || conn->inbuf.size() < *size) return;  // incomplete
+  std::string frame = conn->inbuf.substr(0, *size);
+  conn->inbuf.erase(0, *size);
+  conn->busy.store(true, std::memory_order_release);
+  in_flight_.fetch_add(1);
+  pool_->Submit([this, conn, frame = std::move(frame)]() mutable {
+    ExecuteFrame(conn, std::move(frame));
+  });
+}
+
+void Server::ExecuteFrame(Conn* conn, std::string frame) {
+  RELSPEC_TRACE_SPAN("serve", "request");
+  RequestHeader req;
+  std::string_view payload;
+  Status decoded = DecodeRequest(frame, &req, &payload);
+  std::string out;
+  if (!decoded.ok()) {
+    ResponseHeader resp;
+    resp.status = static_cast<uint32_t>(decoded.code());
+    resp.request_id = req.request_id;  // echoable even on a type error
+    out = EncodeResponse(resp, decoded.message());
+    conn->close_after_reply.store(true, std::memory_order_release);
+    RELSPEC_COUNTER("serve.malformed");
+  } else {
+    Status status = Status::OK();
+    std::string body = Handle(req, payload, &status);
+    ResponseHeader resp;
+    resp.status = static_cast<uint32_t>(status.code());
+    resp.request_id = req.request_id;
+    out = EncodeResponse(resp, status.ok() ? std::string_view(body)
+                                           : std::string_view(status.message()));
+    if (!status.ok()) {
+      RELSPEC_COUNTER("serve.errors");
+      if (status.IsResourceBreach()) RELSPEC_COUNTER("serve.breaches");
+    }
+  }
+  if (!WriteAll(conn->fd, out)) conn->close_after_reply.store(true);
+  served_.fetch_add(1);
+  conn->busy.store(false, std::memory_order_release);
+  in_flight_.fetch_sub(1);
+  Wake();  // the loop re-arms the connection (or reaps it)
+}
+
+std::string Server::Handle(const RequestHeader& req, std::string_view payload,
+                           Status* out) {
+  // Per-request admission control: the request header's budgets, falling
+  // back to the server-wide defaults. A breach becomes an error reply
+  // carrying the governor's sticky status — never a process exit.
+  GovernorLimits limits = options_.default_limits;
+  if (req.deadline_ms > 0) limits.deadline_ms = static_cast<int64_t>(req.deadline_ms);
+  if (req.max_tuples > 0) limits.max_tuples = req.max_tuples;
+  std::optional<ResourceGovernor> governor;
+  if (limits.deadline_ms > 0 || limits.max_tuples > 0) {
+    governor.emplace(limits);
+  }
+  *out = Status::OK();
+  switch (req.type) {
+    case RequestType::kPing: {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      std::string body;
+      body.resize(8);
+      uint64_t fp = fingerprint_;
+      for (int i = 0; i < 8; ++i) {
+        body[static_cast<size_t>(i)] = static_cast<char>((fp >> (8 * i)) & 0xff);
+      }
+      return body;
+    }
+    case RequestType::kMembership: {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      // The CLI's spec-only pattern: parse against a scratch program holding
+      // a copy of the spec's symbols, so shared state is never mutated.
+      Program scratch;
+      scratch.symbols = spec_.symbols();
+      auto q = ParseQuery("? " + std::string(payload) + ".", &scratch);
+      if (!q.ok()) {
+        *out = q.status();
+        return "";
+      }
+      if (q->atoms.size() != 1 || !q->atoms[0].IsGround() ||
+          !q->atoms[0].fterm.has_value()) {
+        *out = Status::InvalidArgument(
+            "membership wants one ground functional fact, e.g. "
+            "\"OnCall(m0+1, m1)\"");
+        return "";
+      }
+      auto purified = PurifyGroundTerm(*q->atoms[0].fterm, &scratch.symbols);
+      if (!purified.ok()) {
+        *out = purified.status();
+        return "";
+      }
+      std::vector<FuncId> syms;
+      for (const FuncApply& a : purified->apps) syms.push_back(a.fn);
+      std::vector<ConstId> args;
+      for (const NfArg& a : q->atoms[0].args) args.push_back(a.id);
+      bool holds = spec_.Holds(Path(std::move(syms)), q->atoms[0].pred, args);
+      return std::string(1, holds ? '\1' : '\0');
+    }
+    case RequestType::kQuery: {
+      if (db_ == nullptr) {
+        *out = Status::FailedPrecondition(
+            "spec-only server (no rules): query needs a program, not just a "
+            "snapshot");
+        return "";
+      }
+      // Exclusive: ParseQuery interns into the engine's shared symbol table
+      // and the engine API is single-coordinator by design.
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      auto query = ParseQuery(std::string(payload), db_->mutable_program());
+      if (!query.ok()) {
+        *out = query.status();
+        return "";
+      }
+      auto answer = AnswerQueryCached(db_.get(), *query, &cache_,
+                                      governor ? &*governor : nullptr);
+      if (!answer.ok()) {
+        *out = answer.status();
+        return "";
+      }
+      QueryResult result;
+      result.spec_tuples = (*answer)->NumSpecTuples();
+      result.functional = (*answer)->has_functional_answer();
+      result.text = RenderAnswerText(**answer);
+      return EncodeQueryResult(result);
+    }
+    case RequestType::kUpdate: {
+      if (db_ == nullptr) {
+        *out = Status::FailedPrecondition(
+            "spec-only server (no rules): updates need a program, not just a "
+            "snapshot");
+        return "";
+      }
+      std::unique_lock<std::shared_mutex> lock(state_mu_);
+      // Updates run ungoverned: a breach mid-repair would leave the engine
+      // in an unspecified state (docs/INCREMENTAL.md). Through the WAL when
+      // durable, so an OK ack means applied *and* logged.
+      StatusOr<DeltaStats> stats =
+          db_->durable() ? db_->LogAndApplyDeltas(payload)
+                         : db_->ApplyDeltaText(payload);
+      if (!stats.ok()) {
+        *out = stats.status();
+        return "";
+      }
+      if (stats->inserted > 0 || stats->deleted > 0 || stats->rebuilt) {
+        auto spec = db_->BuildGraphSpec();
+        if (!spec.ok()) {
+          *out = Status::Internal(
+              "update applied but spec rebuild failed: " +
+              spec.status().message());
+          return "";
+        }
+        spec_ = *std::move(spec);
+      }
+      fingerprint_ = db_->Fingerprint();  // re-materialize for shared readers
+      UpdateResult result;
+      result.fingerprint = fingerprint_;
+      result.inserted = stats->inserted;
+      result.deleted = stats->deleted;
+      result.noops = stats->noops;
+      result.deleted_bits = stats->deleted_bits;
+      result.rebuilt = stats->rebuilt;
+      result.durable = db_->durable();
+      return EncodeUpdateResult(result);
+    }
+    case RequestType::kStats: {
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      return MetricsRegistry::Global().Snapshot().ToJson();
+    }
+    case RequestType::kTraceDump: {
+      if (!EventTraceEnabled()) {
+        *out = Status::FailedPrecondition(
+            "event tracing is off: start relspecd with --trace-out FILE");
+        return "";
+      }
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      return Tracer::Global().ExportChromeJson();
+    }
+  }
+  *out = Status::InvalidArgument("unknown request type");
+  return "";
+}
+
+bool Server::WriteAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that hung up mid-reply yields EPIPE here, not a
+    // process-killing SIGPIPE (the daemon must outlive any one client).
+    ssize_t n =
+        send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Nonblocking fd with a full socket buffer: wait for drainage. A
+      // worker parking here is acceptable — slow clients get backpressure.
+      pollfd p{fd, POLLOUT, 0};
+      poll(&p, 1, 1000);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+Status Server::Serve() {
+  RELSPEC_TRACE_SPAN("serve", "loop");
+  bool listener_open = true;
+  std::vector<pollfd> fds;
+  std::vector<Conn*> polled;
+  while (true) {
+    bool draining = shutdown_.load(std::memory_order_acquire);
+    if (draining && listener_open) {
+      // Stop accepting; existing connections get one final harvest pass
+      // below (frames already in their socket buffers are still served).
+      close(listen_fd_);
+      listen_fd_ = -1;
+      listener_open = false;
+    }
+
+    // Reap and dispatch.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn* conn = it->get();
+      if (!conn->busy.load(std::memory_order_acquire) &&
+          (conn->dead || conn->close_after_reply.load())) {
+        it = conns_.erase(it);
+        continue;
+      }
+      if (draining && !conn->drained &&
+          !conn->busy.load(std::memory_order_acquire)) {
+        conn->drained = true;
+        if (!ReadAvailable(conn)) conn->dead = true;
+      }
+      MaybeDispatch(conn);
+      if (draining && !conn->busy.load(std::memory_order_acquire) &&
+          !conn->dead && conn->drained) {
+        // Drained, idle, and nothing dispatchable left: we're done with it.
+        StatusOr<size_t> size = RequestFrameSize(conn->inbuf);
+        if (!size.ok() || *size == 0 || conn->inbuf.size() < *size) {
+          conn->dead = true;
+        }
+      }
+      ++it;
+    }
+    // Re-run the reap after drain marking (avoids one extra poll round).
+    if (draining) {
+      conns_.erase(
+          std::remove_if(conns_.begin(), conns_.end(),
+                         [](const std::unique_ptr<Conn>& c) {
+                           return !c->busy.load() &&
+                                  (c->dead || c->close_after_reply.load());
+                         }),
+          conns_.end());
+      if (conns_.empty() && in_flight_.load() == 0) break;
+    }
+
+    fds.clear();
+    polled.clear();
+    fds.push_back(pollfd{wake_r_, POLLIN, 0});
+    if (listener_open) fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (auto& conn : conns_) {
+      if (!conn->busy.load(std::memory_order_acquire) && !conn->dead) {
+        fds.push_back(pollfd{conn->fd, POLLIN, 0});
+        polled.push_back(conn.get());
+      }
+    }
+    int rc = poll(fds.data(), static_cast<nfds_t>(fds.size()), 500);
+    if (rc < 0 && errno != EINTR) return Errno("poll");
+
+    // Drain the wake pipe.
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (read(wake_r_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    size_t base = 1;
+    if (listener_open) {
+      if (fds[1].revents & POLLIN) AcceptAll();
+      base = 2;
+    }
+    for (size_t i = 0; i < polled.size(); ++i) {
+      short revents = fds[base + i].revents;
+      if (revents & (POLLIN | POLLHUP | POLLERR)) {
+        if (!ReadAvailable(polled[i])) {
+          // EOF: serve whatever complete frames are already buffered, then
+          // let the reap pass close it.
+          polled[i]->dead = polled[i]->inbuf.empty() ||
+                            polled[i]->busy.load(std::memory_order_acquire);
+          if (!polled[i]->dead) {
+            MaybeDispatch(polled[i]);
+            if (!polled[i]->busy.load(std::memory_order_acquire)) {
+              polled[i]->dead = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace relspec

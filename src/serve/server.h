@@ -1,0 +1,149 @@
+// The relspecd serving core: a socket front-end over one FunctionalDatabase
+// (docs/DAEMON.md).
+//
+// Design: a thin layer over the existing engine API, not a fork of it. One
+// poll() loop (the thread that calls Serve()) owns the listener and every
+// connection; complete RSRV frames are handed to the TaskPool as
+// task-per-request work (the mxtasking-style scheduler/worker split). At
+// most one request per connection is in flight at a time — the loop stops
+// polling a connection while its task runs — so responses never reorder
+// within a connection, while distinct connections proceed concurrently.
+//
+// Concurrency model over the engine (the honest one, given the engine's
+// documented single-coordinator design):
+//   * membership / ping / stats / trace-dump run under a shared lock —
+//     membership parses into a scratch Program holding a *copy* of the
+//     spec's symbol table (the CLI's spec-only pattern), so it never
+//     mutates shared state; the fingerprint is pre-materialized whenever
+//     the exclusive lock is held, so shared readers never race its lazy
+//     computation.
+//   * query / update run under the exclusive lock: ParseQuery interns into
+//     the engine's shared symbol table, and updates rewrite the engine.
+// The shared QueryCache has its own internal mutex and still pays off:
+// repeated queries skip the whole answer pipeline even though they
+// serialize on the engine lock.
+//
+// Shutdown (SIGTERM/SIGINT -> RequestShutdown, async-signal-safe) drains:
+// the listener closes, one final read pass harvests request frames already
+// delivered to each idle connection's socket buffer, every in-flight
+// request runs to completion and its response is written, then Serve()
+// returns so the caller can flush stats/trace exactly like the CLI.
+
+#ifndef RELSPEC_SERVE_SERVER_H_
+#define RELSPEC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/governor.h"
+#include "src/base/status.h"
+#include "src/base/task_pool.h"
+#include "src/core/engine.h"
+#include "src/core/graph_spec.h"
+#include "src/core/query.h"
+#include "src/serve/protocol.h"
+
+namespace relspec {
+namespace serve {
+
+struct ServerOptions {
+  /// Unix-domain socket path. A stale file at the path is unlinked first.
+  std::string unix_path;
+  /// TCP listener on 127.0.0.1 when >= 0 (0 picks an ephemeral port —
+  /// read it back with tcp_port()). Exactly one of unix_path / tcp_port
+  /// must be set.
+  int tcp_port = -1;
+  /// TaskPool lanes for request execution. 1 runs requests inline on the
+  /// poll loop (fork-friendly: no threads at all).
+  int threads = 2;
+  /// Shared query cache configuration.
+  QueryCache::Options cache;
+  /// Server-side default budgets for requests that carry none in their
+  /// header (0 fields). A request's own nonzero header fields win.
+  GovernorLimits default_limits;
+};
+
+class Server {
+ public:
+  /// Full-engine serving: every request type. Takes ownership of the
+  /// database (which may be durable — updates then go through
+  /// LogAndApplyDeltas and acks imply durability).
+  static StatusOr<std::unique_ptr<Server>> Create(
+      std::unique_ptr<FunctionalDatabase> db, const ServerOptions& options);
+
+  /// Spec-only serving (--load-snapshot warm start without a program):
+  /// membership/ping/stats/trace-dump only; query and update requests get a
+  /// kFailedPrecondition reply (a saved spec has no rules).
+  static StatusOr<std::unique_ptr<Server>> CreateSpecOnly(
+      GraphSpecification spec, const ServerOptions& options);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Runs the accept/poll/dispatch loop until RequestShutdown. Returns OK
+  /// after a clean drain; call at most once.
+  Status Serve();
+
+  /// Initiates drain-then-exit. Async-signal-safe (atomic store + one
+  /// write() to the self-pipe) — call it straight from a SIGTERM handler.
+  void RequestShutdown();
+
+  /// The bound TCP port (meaningful after Create with tcp_port >= 0).
+  int tcp_port() const { return bound_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+  uint64_t requests_served() const { return served_.load(); }
+  /// The served database (null in spec-only mode). The caller may inspect
+  /// it after Serve() returns; touching it while serving races.
+  FunctionalDatabase* db() { return db_.get(); }
+
+ private:
+  struct Conn;
+
+  Server(std::unique_ptr<FunctionalDatabase> db, GraphSpecification spec,
+         const ServerOptions& options);
+
+  Status Listen();
+  void Wake();
+  void AcceptAll();
+  /// Reads everything available; returns false when the peer is gone.
+  bool ReadAvailable(Conn* conn);
+  /// Dispatches the complete frame at the head of conn->inbuf, if any.
+  void MaybeDispatch(Conn* conn);
+  void ExecuteFrame(Conn* conn, std::string frame);
+  /// Runs one decoded request; returns the response payload and sets *out.
+  std::string Handle(const RequestHeader& req, std::string_view payload,
+                     Status* out);
+  static bool WriteAll(int fd, std::string_view bytes);
+
+  ServerOptions options_;
+  std::unique_ptr<FunctionalDatabase> db_;  // null in spec-only mode
+  GraphSpecification spec_;
+  QueryCache cache_;
+  std::unique_ptr<TaskPool> pool_;
+
+  /// Engine lock: shared = membership/ping/stats/trace, exclusive =
+  /// query/update (see the header comment).
+  std::shared_mutex state_mu_;
+  uint64_t fingerprint_ = 0;  // materialized under the exclusive lock
+
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  int wake_r_ = -1;
+  std::atomic<int> wake_w_{-1};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<int> in_flight_{0};
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace serve
+}  // namespace relspec
+
+#endif  // RELSPEC_SERVE_SERVER_H_

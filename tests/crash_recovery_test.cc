@@ -26,14 +26,18 @@
 #include <cstdio>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "src/base/failpoint.h"
+#include "src/base/trace.h"
 #include "src/core/engine.h"
 #include "src/core/snapshot.h"
 #include "src/core/spec_io.h"
 #include "src/core/wal.h"
+#include "src/serve/client.h"
+#include "src/serve/server.h"
 #include "tests/random_program.h"
 
 namespace relspec {
@@ -389,6 +393,198 @@ TEST_P(CrashRecoveryTest, BatchFsyncCrashRecoversToExactPrefix) {
   for (const RefState& r : ref) is_prefix = is_prefix || r == got;
   EXPECT_TRUE(is_prefix) << "recovered state is not an exact prefix";
   CleanWalFiles(wal_path);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon chaos: the same kill matrix, but the updates arrive over the RSRV
+// socket and the acks are the daemon's update *replies* (durable=true under
+// fsync=always). A SIGKILLed daemon must preserve every replied-to update.
+
+// Child body: serve a durable engine on a unix socket, inline execution
+// (threads=1: no threads in the forked child), ready byte once listening.
+int DaemonChildWorkload(const std::string& failpoint_spec,
+                        const std::string& source, const std::string& wal_path,
+                        const std::string& socket_path, int ready_fd) {
+  if (!failpoint::Configure(failpoint_spec).ok()) return 40;
+  auto db = FunctionalDatabase::OpenDurable(source, wal_path, DurableEveryTwo(),
+                                            SingleThreaded());
+  if (!db.ok()) return 41;
+  serve::ServerOptions options;
+  options.unix_path = socket_path;
+  options.threads = 1;
+  auto server = serve::Server::Create(std::move(db).value(), options);
+  if (!server.ok()) return 42;
+  char ready = '!';
+  if (::write(ready_fd, &ready, 1) != 1) return 43;
+  ::close(ready_fd);
+  return (*server)->Serve().ok() ? 0 : 44;
+}
+
+// Forks the serving child, pushes every batch through a ServeClient, and
+// returns how many got an OK durable reply before the armed site killed the
+// daemon (or, if the site never fired, before the parent's own SIGKILL — a
+// daemon crash is a crash either way, there is no drain).
+int RunCrashingDaemon(const std::string& failpoint_spec,
+                      const std::string& source,
+                      const std::vector<std::string>& batches,
+                      const std::string& wal_path,
+                      const std::string& socket_path) {
+  int ready_fds[2];
+  EXPECT_EQ(::pipe(ready_fds), 0);
+  pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(ready_fds[0]);
+    ::_exit(DaemonChildWorkload(failpoint_spec, source, wal_path, socket_path,
+                                ready_fds[1]));
+  }
+  ::close(ready_fds[1]);
+  char ready = 0;
+  ssize_t got = ::read(ready_fds[0], &ready, 1);
+  ::close(ready_fds[0]);
+  EXPECT_EQ(got, 1) << failpoint_spec << ": daemon died before listening";
+  int acked = 0;
+  if (got == 1) {
+    auto client = serve::ServeClient::Connect(socket_path);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    if (client.ok()) {
+      for (const std::string& batch : batches) {
+        auto result = (*client)->Update(batch);
+        if (!result.ok()) break;  // the armed site fired mid-request
+        EXPECT_TRUE(result->durable) << failpoint_spec;
+        ++acked;
+      }
+    }
+  }
+  ::kill(pid, SIGKILL);
+  int wstatus = 0;
+  EXPECT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL)
+      << failpoint_spec;
+  return acked;
+}
+
+TEST_P(CrashRecoveryTest, DaemonKillAtWalSitesPreservesAckedUpdates) {
+  const unsigned seed = static_cast<unsigned>(GetParam());
+  const std::string source = MakeSource(seed);
+  const std::vector<std::string> batches = MakeBatches(seed);
+  SCOPED_TRACE(source);
+
+  std::vector<RefState> ref;
+  {
+    auto db = FunctionalDatabase::FromSource(source, SingleThreaded());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ref.push_back(Render(db->get()));
+    for (const std::string& batch : batches) {
+      auto stats = (*db)->ApplyDeltaText(batch, SingleThreaded());
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      ref.push_back(Render(db->get()));
+    }
+  }
+
+  // A representative slice of the WAL matrix (the full sweep above already
+  // covers every site in-process; here the point is the socket ack path).
+  struct SiteCase {
+    const char* site;
+    int hit_spread;
+  };
+  const SiteCase kSites[] = {
+      {"wal.append.write", 3},
+      {"wal.append.acked", 3},
+      {"wal.fsync", 3},
+      {"wal.checkpoint.rename_wal", 2},
+  };
+
+  const std::string wal_path = ::testing::TempDir() + "daemon_crash_seed" +
+                               std::to_string(seed) + ".wal";
+  const std::string socket_path = ::testing::TempDir() + "daemon_crash_seed" +
+                                  std::to_string(seed) + ".sock";
+  for (const SiteCase& sc : kSites) {
+    const int kill_hit = 1 + static_cast<int>(seed) % sc.hit_spread;
+    const std::string spec =
+        std::string(sc.site) + "=abort" + std::to_string(kill_hit);
+    SCOPED_TRACE(spec);
+    CleanWalFiles(wal_path);
+    std::remove(socket_path.c_str());
+    int acked =
+        RunCrashingDaemon(spec, source, batches, wal_path, socket_path);
+    RecoverAndVerify(source, batches, ref, wal_path, acked);
+  }
+  CleanWalFiles(wal_path);
+  std::remove(socket_path.c_str());
+}
+
+// Graceful shutdown is the opposite contract: RequestShutdown (exactly what
+// relspecd's SIGTERM handler calls) must reply to the request already on the
+// wire, flush a contract-valid trace, and leave the WAL replayable.
+TEST_P(CrashRecoveryTest, DaemonShutdownDrainsInFlightRepliesAndTrace) {
+  const unsigned seed = static_cast<unsigned>(GetParam());
+  if (seed >= 5) GTEST_SKIP() << "drain spot check: 5 seeds";
+  const std::string source = MakeSource(seed);
+  const std::vector<std::string> batches = MakeBatches(seed);
+  const std::string wal_path = ::testing::TempDir() + "daemon_drain_seed" +
+                               std::to_string(seed) + ".wal";
+  const std::string socket_path = ::testing::TempDir() + "daemon_drain_seed" +
+                                  std::to_string(seed) + ".sock";
+  CleanWalFiles(wal_path);
+  std::remove(socket_path.c_str());
+
+  EnableEventTrace(true);
+  Tracer::Global().Reset();
+  uint64_t fp_after_updates = 0;
+  {
+    auto db = FunctionalDatabase::OpenDurable(source, wal_path,
+                                              DurableEveryTwo(),
+                                              SingleThreaded());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    serve::ServerOptions options;
+    options.unix_path = socket_path;
+    options.threads = 2;
+    auto server = serve::Server::Create(std::move(db).value(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    Status served = Status::Internal("never served");
+    std::thread serving([&] { served = (*server)->Serve(); });
+
+    auto client = serve::ServeClient::Connect(socket_path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    for (const std::string& batch : batches) {
+      auto result = (*client)->Update(batch);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_TRUE(result->durable);
+      fp_after_updates = result->fingerprint;
+    }
+
+    // Put a ping on the wire, then shut down before reading the reply. The
+    // drain's final read pass must harvest the frame and answer it.
+    serve::RequestHeader ping;
+    ping.type = serve::RequestType::kPing;
+    ping.request_id = 777;
+    ASSERT_TRUE((*client)->SendRaw(serve::EncodeRequest(ping, "")).ok());
+    (*server)->RequestShutdown();
+    auto reply = (*client)->ReadReply();
+    ASSERT_TRUE(reply.ok()) << "drain dropped an in-flight request: "
+                            << reply.status().ToString();
+    EXPECT_EQ(reply->request_id, 777u);
+    EXPECT_TRUE(reply->ok());
+
+    serving.join();
+    EXPECT_TRUE(served.ok()) << served.ToString();
+  }
+  EnableEventTrace(false);
+  TraceSummary exported;
+  std::string json = Tracer::Global().ExportChromeJson(&exported);
+  auto summary = ValidateChromeTraceJson(json);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_GT(summary->begins + summary->instants, 0u)
+      << "the serving run recorded no trace events";
+
+  // The drained WAL replays to the exact acked state.
+  auto reopened = FunctionalDatabase::OpenDurable(
+      source, wal_path, DurableEveryTwo(), SingleThreaded());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->Fingerprint(), fp_after_updates);
+  CleanWalFiles(wal_path);
+  std::remove(socket_path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecoveryTest, ::testing::Range(0, 15));

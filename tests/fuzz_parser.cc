@@ -25,7 +25,12 @@
 //    report them consistently, never read past the buffer, and never
 //    accept a record whose checksum does not hold;
 //  * "RCKP" → the checkpoint parser (tests/fuzz_corpus/wal/*.rckp), whose
-//    symbol-table sections carry attacker-controlled counts and lengths.
+//    symbol-table sections carry attacker-controlled counts and lengths;
+//  * "RSRV" → the serving protocol (tests/fuzz_corpus/serve/*.rsrv).
+//    Requests and responses share the magic, so the input is fed to both
+//    framers and both decoders: attacker-controlled payload lengths,
+//    versions, types, and typed result payloads (QueryResult/UpdateResult)
+//    must all come back as Status, never out-of-bounds reads.
 
 #include <cstddef>
 #include <cstdint>
@@ -34,6 +39,7 @@
 #include "src/core/snapshot.h"
 #include "src/core/wal.h"
 #include "src/parser/parser.h"
+#include "src/serve/protocol.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   std::string_view input(reinterpret_cast<const char*>(data), size);
@@ -55,6 +61,33 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (input.size() >= 4 && input.substr(0, 4) == "RCKP") {
     auto ckpt = relspec::ParseCheckpoint(input);
     (void)ckpt;
+    return 0;
+  }
+  if (input.size() >= 4 && input.substr(0, 4) == "RSRV") {
+    // The request and response framings share the magic; run the input
+    // through both, then through the typed result decoders (whose inputs
+    // are a decoded response's payload bytes on the client side).
+    if (auto size = relspec::serve::RequestFrameSize(input);
+        size.ok() && *size > 0 && input.size() >= *size) {
+      relspec::serve::RequestHeader header;
+      std::string_view payload;
+      auto decoded = relspec::serve::DecodeRequest(input.substr(0, *size),
+                                                   &header, &payload);
+      (void)decoded;
+    }
+    if (auto size = relspec::serve::ResponseFrameSize(input);
+        size.ok() && *size > 0 && input.size() >= *size) {
+      relspec::serve::ResponseHeader header;
+      std::string_view payload;
+      auto decoded = relspec::serve::DecodeResponse(input.substr(0, *size),
+                                                    &header, &payload);
+      if (decoded.ok()) {
+        auto query = relspec::serve::DecodeQueryResult(payload);
+        (void)query;
+        auto update = relspec::serve::DecodeUpdateResult(payload);
+        (void)update;
+      }
+    }
     return 0;
   }
   // The result (well-formed or error Status) is irrelevant; surviving is

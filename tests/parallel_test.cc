@@ -7,17 +7,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <numeric>
+#include <random>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/base/task_pool.h"
 #include "src/core/engine.h"
+#include "src/core/query.h"
 #include "src/core/spec_io.h"
 #include "src/datalog/database.h"
 #include "src/datalog/evaluator.h"
+#include "src/parser/parser.h"
 
 namespace relspec {
 namespace {
@@ -329,6 +335,93 @@ TEST(ThreadDeterminism, FixpointAnswersMatchSequential) {
   EXPECT_TRUE(answers[0][1]);
   EXPECT_FALSE(answers[0][2]);
   EXPECT_TRUE(answers[0][3]);
+}
+
+// --- shared QueryCache under contention (relspecd's serving cache) ----------
+
+// Counter-reading fixture: the registry is process-global, so start clean
+// and leave metrics disabled for the next suite.
+class CacheStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().Reset();
+    EnableMetrics(true);
+  }
+  void TearDown() override {
+    EnableMetrics(false);
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(CacheStressTest, SharedCacheHoldsBudgetsAndCountersUnderContention) {
+  // Real answers up front (the cache charges QueryAnswer::ApproxBytes), so
+  // the threads exercise only the cache itself: Lookup / Insert / Clear /
+  // size / bytes racing across four threads, with max_entries far below the
+  // key population to keep the LRU eviction path hot.
+  auto db = FunctionalDatabase::FromSource(
+      "OnCall(0, alice).\n"
+      "Rotate(alice, bob).\n"
+      "Rotate(bob, alice).\n"
+      "OnCall(t, x), Rotate(x, y) -> OnCall(t+1, y).\n");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  QueryCache warmup;
+  std::vector<std::shared_ptr<const QueryAnswer>> answers;
+  for (const char* text :
+       {"?(t, x1) OnCall(t, x1).", "?(t) OnCall(t, alice).",
+        "?(t) OnCall(t, bob).", "?(x1) Rotate(alice, x1)."}) {
+    auto q = ParseQuery(text, (*db)->mutable_program());
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    auto a = AnswerQueryCached(db->get(), *q, &warmup);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    answers.push_back(*a);
+  }
+  // The warmup misses are not part of the ledger under test.
+  MetricsRegistry::Global().Reset();
+
+  QueryCache::Options copt;
+  copt.max_entries = 4;
+  QueryCache cache(copt);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  constexpr int kKeys = 16;
+  std::atomic<uint64_t> lookups{0};
+  std::atomic<uint64_t> hits{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<unsigned>(t) * 7919u + 3u);
+      for (int i = 0; i < kRounds; ++i) {
+        std::string key = "q" + std::to_string(rng() % kKeys);
+        auto hit = cache.Lookup(1, key);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        if (hit != nullptr) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cache.Insert(1, key, answers[rng() % answers.size()]);
+        }
+        // The budgets are invariants, not end states: every concurrent
+        // observer must see them hold mid-flight.
+        EXPECT_LE(cache.size(), copt.max_entries);
+        EXPECT_LE(cache.bytes(), copt.max_bytes);
+        if (t == 0 && i % 501 == 500) cache.Clear();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Counter ledger: every Lookup incremented exactly one of hit/miss, and
+  // every eviction traces back to a missed insert.
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("cache.hit"), hits.load());
+  EXPECT_EQ(snap.counter("cache.hit") + snap.counter("cache.miss"),
+            lookups.load());
+  EXPECT_GT(snap.counter("cache.evict"), 0u)
+      << "max_entries = 4 over 16 keys never evicted";
+  EXPECT_LE(snap.counter("cache.evict"), snap.counter("cache.miss"));
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
 }
 
 }  // namespace

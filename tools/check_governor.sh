@@ -20,6 +20,10 @@
 #   SIGINT — the divergent program must unwind cleanly with exit 7 (not die
 #   on the default signal disposition, which would be 143), promptly, with
 #   --stats and --trace-out flushed. A supervisor's TERM is not data loss.
+# MODE daemon: CLI_BINARY carries relspecd instead. SIGTERM mid-serving must
+#   drain — requests already accepted get replies, the process exits 0 (not
+#   143, never 7: a daemon maps breaches to error replies), and --stats /
+#   --trace-out are flushed and valid, exactly like the CLI contract above.
 set -u
 
 cli="$1"
@@ -128,6 +132,46 @@ case "$mode" in
         || fail "--trace-out JSON from a SIGTERM'd run failed validation"
     fi
     echo "PASS: SIGTERM cancelled cooperatively in ${elapsed} ms; stats + trace flushed"
+    ;;
+  daemon)
+    work=$(mktemp -d)
+    trap 'rm -rf "$work"' EXIT
+    sock="$work/g.sock"
+    stats="$work/stats.json"
+    trace="$work/trace.json"
+    "$cli" --rotation 8 --socket "$sock" --stats="$stats" \
+        --trace-out "$trace" >"$work/daemon.log" 2>&1 &
+    pid=$!
+    up=0
+    for _ in $(seq 100); do
+      if [ -S "$sock" ]; then up=1; break; fi
+      sleep 0.1
+    done
+    [ "$up" -eq 1 ] || fail "daemon did not come up (see daemon.log)"
+    # Serve some real load so the drain has requests to account for.
+    for _ in 1 2 3; do
+      "$cli" --ping "$sock" >/dev/null || fail "ping against the daemon failed"
+    done
+    kill -TERM "$pid" 2>/dev/null || fail "daemon exited before SIGTERM"
+    term_ms=$(($(date +%s%N) / 1000000))
+    wait "$pid"
+    code=$?
+    end_ms=$(($(date +%s%N) / 1000000))
+    elapsed=$((end_ms - term_ms))
+    # 143 would mean the default disposition killed the daemon mid-drain.
+    [ "$code" -eq 0 ] || fail "expected exit 0 (drained), got $code"
+    [ "$elapsed" -lt 10000 ] || fail "took ${elapsed} ms to honor SIGTERM"
+    grep -q "drained after" "$work/daemon.log" \
+      || fail "daemon did not report its drain"
+    [ -s "$stats" ] || fail "--stats file not flushed on SIGTERM"
+    grep -q "serve.accepts" "$stats" \
+      || fail "--stats snapshot lacks the serve.accepts counter"
+    [ -s "$trace" ] || fail "--trace-out file not flushed on SIGTERM"
+    if [ -n "$trace_check" ]; then
+      "$trace_check" "$trace" --min-events 1 --require-lane main \
+        || fail "--trace-out JSON from the drained daemon failed validation"
+    fi
+    echo "PASS: daemon drained in ${elapsed} ms; stats + trace flushed"
     ;;
   *)
     fail "unknown mode '$mode'"

@@ -15,6 +15,11 @@
 #   also exit 0 with a well-formed report.
 # MODE gate: bench_compare on the report against itself exits 0, and a
 #   synthetic +50% p99 regression exits 1 under --threshold p99_ns=0.2.
+# MODE daemon: COMPARE_BINARY carries relspecd instead. The daemon replay
+#   (--connect) of the update-free default mix must reproduce the in-process
+#   answers_hash bit-for-bit; then a durable daemon is killed -9 after an
+#   update replay and its recovered fingerprint (relspecd --ping) must match
+#   the pre-kill one — acked updates survive the crash.
 set -u
 
 serve="$1"
@@ -125,6 +130,81 @@ EOF
     [ "$code" -eq 1 ] \
       || fail "synthetic +50% p99 regression must exit 1, got $code"
     echo "PASS: self-compare green, synthetic p99 regression gates"
+    ;;
+  daemon)
+    daemon="$compare"  # this mode's second binary is relspecd
+    sock="$tmpdir/d.sock"
+    wal="$tmpdir/d.wal"
+    wait_for_socket() {
+      for _ in $(seq 100); do
+        [ -S "$sock" ] && return 0
+        sleep 0.1
+      done
+      return 1
+    }
+    ping_fp() {
+      "$daemon" --ping "$sock" | sed -n 's/^pong fp=//p'
+    }
+
+    # 1) Wire parity: the daemon replay of the update-free default mix must
+    #    reproduce the in-process answers_hash bit-for-bit.
+    "$daemon" --rotation 8 --socket "$sock" >"$tmpdir/daemon1.log" 2>&1 &
+    dpid=$!
+    wait_for_socket || fail "daemon did not come up (see daemon1.log)"
+    "$serve" "${common[@]}" --out "$tmpdir/inproc.json" >/dev/null 2>&1 \
+      || fail "in-process serve run failed"
+    "$serve" "${common[@]}" --connect "$sock" --out "$tmpdir/remote.json" \
+        >/dev/null 2>&1 \
+      || fail "--connect replay against the daemon failed"
+    python3 - "$tmpdir/inproc.json" "$tmpdir/remote.json" <<'EOF' || exit 1
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+if a["answers_hash"] != b["answers_hash"]:
+    sys.exit("FAIL: daemon replay answers_hash differs from in-process")
+for name, r in (("in-process", a), ("daemon", b)):
+    if r["requests"]["errors"] != 0:
+        sys.exit(f"FAIL: {name} run had {r['requests']['errors']} errors")
+EOF
+    kill -TERM "$dpid"
+    wait "$dpid"
+    code=$?
+    [ "$code" -eq 0 ] || fail "daemon SIGTERM drain must exit 0, got $code"
+
+    # 2) Crash durability: replay updates into a durable daemon, kill -9,
+    #    recover from the WAL — the fingerprint must survive the crash.
+    rm -f "$sock"  # a stale socket file would fool wait_for_socket
+    "$daemon" --rotation 8 --socket "$sock" --wal "$wal" \
+        >"$tmpdir/daemon2.log" 2>&1 &
+    dpid=$!
+    wait_for_socket || fail "durable daemon did not come up (see daemon2.log)"
+    "$serve" --qps 500 --requests 60 --clients 1 --seed 7 --population 32 \
+        --mix update=1 --connect "$sock" --out "$tmpdir/up.json" \
+        >/dev/null 2>&1 \
+      || fail "update replay against the durable daemon failed"
+    python3 - "$tmpdir/up.json" <<'EOF' || exit 1
+import json, sys
+r = json.load(open(sys.argv[1]))["requests"]
+if r["errors"] != 0:
+    sys.exit(f"FAIL: update replay had {r['errors']} errors")
+EOF
+    fp_before=$(ping_fp)
+    [ -n "$fp_before" ] || fail "could not ping the daemon before the kill"
+    kill -9 "$dpid"
+    wait "$dpid" 2>/dev/null
+    rm -f "$sock"
+    "$daemon" --rotation 8 --socket "$sock" --wal "$wal" \
+        >"$tmpdir/daemon3.log" 2>&1 &
+    dpid=$!
+    wait_for_socket || fail "recovered daemon did not come up (see daemon3.log)"
+    grep -q "recovered" "$tmpdir/daemon3.log" \
+      || fail "restarted daemon did not report a WAL recovery"
+    fp_after=$(ping_fp)
+    kill -TERM "$dpid"
+    wait "$dpid" || fail "recovered daemon failed its drain"
+    [ "$fp_before" = "$fp_after" ] \
+      || fail "fingerprint lost across kill -9: $fp_before -> $fp_after"
+    echo "PASS: daemon replay bit-identical; acked updates survive kill -9"
     ;;
   *)
     fail "unknown mode '$mode'"

@@ -21,6 +21,9 @@
 #   bench_serve_durable  the same schedule served through per-lane WALs
 #                (update mix, fsync=batch, checkpoint rotation) — the CI
 #                durable replay, which also recovery-checks every lane
+#   bench_serve_daemon  the update-free schedule replayed over the RSRV
+#                socket against a live relspecd (--connect), so the gate
+#                also covers the wire protocol + daemon dispatch overhead
 #
 # Thresholds are deliberately generous (default 3.0 = 4x allowed) because
 # CI runs on shared 1-core containers where absolute times swing wildly;
@@ -34,7 +37,8 @@ BUILD_DIR="${1:-build}"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
     bench_query --target bench_trace --target bench_delta \
-    --target bench_wal --target relspec_bench_serve >/dev/null
+    --target bench_wal --target relspec_bench_serve \
+    --target relspecd >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -76,9 +80,24 @@ echo "== bench_serve_durable =="
     --wal "$TMP/serve_wal" --fsync batch --checkpoint-every 64 \
     --suite-name bench_serve_durable --out "$TMP/serve_durable.json"
 
+echo "== bench_serve_daemon =="
+"$BUILD_DIR"/tools/relspecd --rotation 8 --socket "$TMP/daemon.sock" \
+    >"$TMP/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 100); do
+  [ -S "$TMP/daemon.sock" ] && break
+  sleep 0.1
+done
+"$BUILD_DIR"/tools/relspec_bench_serve \
+    --qps 1500 --requests 1500 --clients 2 --seed 42 --population 64 \
+    --slow-ms 5 --connect "$TMP/daemon.sock" \
+    --suite-name bench_serve_daemon --out "$TMP/serve_daemon.json"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+
 python3 - "$TMP/query.json" "$TMP/trace.json" "$TMP/delta.json" \
     "$TMP/wal.json" "$TMP/serve.json" "$TMP/serve_durable.json" \
-    BENCH_baseline.json <<'EOF'
+    "$TMP/serve_daemon.json" BENCH_baseline.json <<'EOF'
 import json, sys
 
 def suite_from_gbench(path):
@@ -120,12 +139,14 @@ baseline = {
         "bench_serve": json.load(open(sys.argv[5]))["suites"]["bench_serve"],
         "bench_serve_durable":
             json.load(open(sys.argv[6]))["suites"]["bench_serve_durable"],
+        "bench_serve_daemon":
+            json.load(open(sys.argv[7]))["suites"]["bench_serve_daemon"],
     },
 }
-with open(sys.argv[7], "w") as f:
+with open(sys.argv[8], "w") as f:
     json.dump(baseline, f, indent=2)
     f.write("\n")
 total = sum(len(s["metrics"]) for s in baseline["suites"].values())
-print(f"wrote {sys.argv[7]}: {len(baseline['suites'])} suites, "
+print(f"wrote {sys.argv[8]}: {len(baseline['suites'])} suites, "
       f"{total} metrics")
 EOF

@@ -34,6 +34,15 @@
 // fingerprint that differs from the lane's final in-memory fingerprint is a
 // harness failure, so the report doubles as a durability check.
 //
+// Daemon replay (--connect ADDR): the same precomputed stream is shipped to a
+// running relspecd over the RSRV protocol (src/serve/protocol.h) instead of
+// being executed in-process — membership and snapshot requests become wire
+// membership lookups, cached/uncached become wire queries, updates become
+// wire deltas. The per-type answer mixing is identical, so an update-free mix
+// replayed against a daemon serving the same program produces the same
+// answers_hash as the in-process run (the acceptance check in
+// tools/check_serve.sh daemon mode relies on this). See docs/DAEMON.md.
+//
 // Each client lane owns its own FunctionalDatabase, GraphSpecification and
 // QueryCache (the cache and parts of the engine are documented
 // not-thread-safe); lanes are scheduled through the existing TaskPool so
@@ -75,6 +84,7 @@
 #include "src/core/snapshot.h"
 #include "src/core/wal.h"
 #include "src/parser/parser.h"
+#include "src/serve/client.h"
 #include "src/term/path.h"
 
 namespace relspec {
@@ -127,6 +137,17 @@ struct Options {
   /// schedule stays deterministic).
   std::string wal_prefix;
   DurableOptions durable;
+  /// Daemon replay: when set, every lane connects to a running relspecd at
+  /// this address (unix path or host:port) and requests go over the RSRV
+  /// protocol instead of in-process calls. The PROGRAM/--rotation flags
+  /// must describe the same program the daemon serves; the per-key request
+  /// material (probe facts, query text, deltas) is still derived locally,
+  /// so an update-free mix replays to the same answers_hash as in-process
+  /// mode. Mixes with updates are still deterministic across daemon replays
+  /// at --clients 1, but diverge from in-process: the daemon rebuilds its
+  /// spec after every update, while in-process lanes probe a spec built at
+  /// setup. See docs/DAEMON.md.
+  std::string connect;
 };
 
 void PrintHelp() {
@@ -169,6 +190,16 @@ void PrintHelp() {
       "  --fsync always|batch|off      WAL durability policy (default always)\n"
       "  --checkpoint-every N          checkpoint + rotate a lane's log after\n"
       "                                every N logged batches (default 0)\n"
+      "\n"
+      "daemon replay:\n"
+      "  --connect ADDR                replay the stream against a running\n"
+      "                                relspecd (unix path or host:port) over\n"
+      "                                the RSRV protocol instead of\n"
+      "                                in-process calls; PROGRAM/--rotation\n"
+      "                                must match the daemon's program, and\n"
+      "                                an update-free mix reproduces the\n"
+      "                                in-process answers_hash exactly\n"
+      "                                (docs/DAEMON.md); excludes --wal\n"
       "\n"
       "per-request SLO:\n"
       "  --deadline-ms N               per-request deadline; a breach is an\n"
@@ -290,6 +321,11 @@ struct Workload {
     std::vector<ConstId> args;
   };
   std::vector<Probe> probes;
+  /// The same probes rendered as fact text ("Pred(f(g(0)), c)") — the
+  /// --connect mode ships membership requests as text over the wire, and the
+  /// daemon re-parses them against the same program, so Holds sees the same
+  /// (path, pred, args) triple.
+  std::vector<std::string> probe_text;
   /// Query text for key k (parsed per client; ~1 in 5 keys get a
   /// non-uniform shape that exercises the recompute path).
   std::vector<std::string> queries;
@@ -372,6 +408,18 @@ StatusOr<Workload> BuildWorkload(const Options& opt, std::string source) {
       if (consts.empty()) break;
       probe.args.push_back(consts[SplitMix64(&rng) % consts.size()]);
     }
+    // Rendered form of the same probe. Path symbols are innermost-first, so
+    // folding RenderTerm over them rebuilds the nested term left to right:
+    // [f, g] -> g(f(0)). Requires a surface-renderable alphabet, the same
+    // constraint the recompute query shape below already imposes.
+    std::string term = "0";
+    for (FuncId f : probe.path.symbols()) {
+      term = RenderTerm(sym.function(f).name, term);
+    }
+    std::string fact = sym.predicate(probe.pred).name + "(" + term;
+    for (ConstId carg : probe.args) fact += ", " + sym.constant_name(carg);
+    fact += ")";
+    w.probe_text.push_back(std::move(fact));
     w.probes.push_back(std::move(probe));
 
     // Query text. Shapes (per-key, fixed by the seed):
@@ -437,6 +485,9 @@ struct ClientState {
   GraphSpecification spec;
   std::unique_ptr<QueryCache> cache;
   std::vector<Query> queries;  // parsed against this client's program
+  /// --connect mode: this lane's RSRV connection to the daemon (the in-process
+  /// members above stay empty).
+  std::unique_ptr<serve::ServeClient> remote;
   /// Update-toggle state per key: true while the key's delta fact is present
   /// in this lane's program (all facts start present).
   std::vector<uint8_t> fact_present;
@@ -455,6 +506,13 @@ struct ClientState {
 
 Status SetupClient(const Options& opt, const Workload& w, size_t lane,
                    ClientState* c) {
+  if (!opt.connect.empty()) {
+    // Daemon replay: no local engine at all — every lane is just a socket.
+    RELSPEC_ASSIGN_OR_RETURN(c->remote,
+                             serve::ServeClient::Connect(opt.connect));
+    c->fact_present.assign(w.delta_facts.size(), 1);
+    return Status::OK();
+  }
   if (opt.wal_prefix.empty()) {
     RELSPEC_ASSIGN_OR_RETURN(c->db, FunctionalDatabase::FromSource(w.source));
   } else {
@@ -547,6 +605,54 @@ Status ExecuteRequest(const Workload& w, const Request& r,
   return Status::Internal("unreachable request type");
 }
 
+/// --connect mode: the same request, shipped over RSRV instead of called
+/// in-process. Each type mixes the same value into answers_hash as its
+/// in-process twin, so an update-free replay against a daemon serving the
+/// same program reproduces the in-process report's answers_hash exactly.
+/// Updates mix the daemon's post-apply fingerprint; at --clients 1 the apply
+/// order is fixed, so the hash is stable across daemon replays (though not
+/// equal to in-process, whose membership probes see a setup-time spec while
+/// the daemon's spec tracks every delta).
+Status ExecuteRemote(const Options& opt, const Workload& w, const Request& r,
+                     ClientState* c) {
+  switch (r.type) {
+    case kMembership:
+    case kSnapshot: {
+      // Both map to a daemon membership lookup: the daemon *is* the
+      // warm-started spec, so the snapshot type degenerates to Holds.
+      auto holds = c->remote->Membership(w.probe_text[r.key]);
+      if (!holds.ok()) return holds.status();
+      MixAnswer(c, *holds ? 1 : 0);
+      return Status::OK();
+    }
+    case kCached:
+    case kUncached: {
+      // The daemon routes every query through its shared cache; the
+      // distinction between the two types lives server-side only. Both mix
+      // the spec-tuple count, which is cache-invariant.
+      auto result = c->remote->Query(
+          w.queries[r.key],
+          opt.deadline_ms > 0 ? static_cast<uint64_t>(opt.deadline_ms) : 0,
+          opt.request_max_tuples);
+      if (!result.ok()) return result.status();
+      MixAnswer(c, result->spec_tuples);
+      return Status::OK();
+    }
+    case kUpdate: {
+      const bool insert = c->fact_present[r.key] == 0;
+      auto result = c->remote->Update(
+          StrFormat("%c %s.\n", insert ? '+' : '-',
+                    w.delta_fact_text[r.key].c_str()));
+      if (!result.ok()) return result.status();
+      c->fact_present[r.key] = insert ? 1 : 0;
+      MixAnswer(c, result->fingerprint ^ (result->rebuilt ? 1 : 0) ^
+                       (result->deleted_bits << 1));
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable request type");
+}
+
 void ServeLane(const Options& opt, const Workload& w,
                const std::vector<Request>& reqs,
                std::chrono::steady_clock::time_point start, size_t lane,
@@ -568,7 +674,12 @@ void ServeLane(const Options& opt, const Workload& w,
     auto t0 = std::chrono::steady_clock::now();
 
     Status reply;
-    if (governed) {
+    if (c->remote != nullptr) {
+      // Daemon replay: the SLO limits travel in the request header and the
+      // governor lives server-side; a breach comes back as an error reply
+      // whose status code IsResourceBreach() recognizes.
+      reply = ExecuteRemote(opt, w, r, c);
+    } else if (governed) {
       // Constructed per request: the governor arms its deadline at
       // construction, so each request gets a fresh budget.
       ResourceGovernor governor(limits);
@@ -654,6 +765,7 @@ std::string BuildReport(const Options& opt, const std::string& program_label,
   out += "  \"tool\": \"relspec_bench_serve\",\n";
   out += "  \"config\": {\n";
   out += StrFormat("    \"program\": \"%s\",\n", program_label.c_str());
+  out += StrFormat("    \"connect\": \"%s\",\n", opt.connect.c_str());
   out += StrFormat(
       "    \"qps\": %.3f, \"clients\": %d, \"duration_ms\": %lld,\n", opt.qps,
       opt.clients, static_cast<long long>(opt.duration_ms));
@@ -806,6 +918,8 @@ int Run(int argc, char** argv) {
       }
     } else if (matches(argv[i], "--wal")) {
       opt.wal_prefix = value_of(&i, "--wal");
+    } else if (matches(argv[i], "--connect")) {
+      opt.connect = value_of(&i, "--connect");
     } else if (matches(argv[i], "--fsync")) {
       std::string value = value_of(&i, "--fsync");
       auto mode = ParseFsyncMode(value);
@@ -846,6 +960,11 @@ int Run(int argc, char** argv) {
   if (opt.rotation < 1) return Usage("--rotation must be >= 1");
   if (opt.duration_ms < 1 && opt.requests == 0) {
     return Usage("--duration-ms must be >= 1");
+  }
+  if (!opt.connect.empty() && !opt.wal_prefix.empty()) {
+    // In daemon replay the lanes own no engine: durability belongs to the
+    // daemon's own --wal flag, not the harness.
+    return Usage("--connect and --wal are mutually exclusive");
   }
 
   EnableMetrics(true);  // the report is built from histograms

@@ -6,8 +6,9 @@
 #      hit/miss/lookup invariant, phase spans);
 #   2. one benchmark run under RELSPEC_BENCH_METRICS=1 emits a valid
 #      single-line {"bench": ..., "metrics": {...}} record on stderr;
-#   3. the flag tables in README.md and docs/ agree with the CLI's actual
-#      --help output (docs drift check).
+#   3. the flag tables in README.md and docs/ agree with the actual
+#      --help output of relspec_cli, relspec_bench_serve, bench_compare,
+#      and relspecd (docs drift check).
 #
 # Usage: tools/run_checks.sh [BUILD_DIR]   (default: build)
 #        tools/run_checks.sh --tsan [BUILD_DIR]
@@ -25,12 +26,14 @@
 # parser) under ASan+UBSan: every injected unwind path must be leak- and
 # UB-free. See docs/ROBUSTNESS.md.
 #
-# --fuzz builds the parser/snapshot/WAL fuzz target (-DRELSPEC_FUZZ=ON,
-# default dir: build-fuzz) and runs a 30-second smoke over the
-# example-program seeds plus the binary corpora: snapshots
-# (tests/fuzz_corpus/snapshots/*.rsnp, RSNP magic → snapshot loader) and
+# --fuzz builds the parser/snapshot/WAL/protocol fuzz target
+# (-DRELSPEC_FUZZ=ON, default dir: build-fuzz) and runs a 30-second smoke
+# over the example-program seeds plus the binary corpora: snapshots
+# (tests/fuzz_corpus/snapshots/*.rsnp, RSNP magic → snapshot loader),
 # durability (tests/fuzz_corpus/wal/*, RWAL magic → delta-log scanner,
-# RCKP magic → checkpoint parser). Under gcc this is the standalone
+# RCKP magic → checkpoint parser), and the serving protocol
+# (tests/fuzz_corpus/serve/*.rsrv, RSRV magic → request/response framers
+# and the typed result decoders). Under gcc this is the standalone
 # mutation driver; under clang, libFuzzer. Budget override:
 # RELSPEC_FUZZ_SECONDS.
 #
@@ -67,10 +70,11 @@ if [[ "${1:-}" == "--fuzz" ]]; then
   cmake -B "$BUILD_DIR" -S . -DRELSPEC_FUZZ=ON \
       -DRELSPEC_BUILD_BENCHMARKS=OFF -DRELSPEC_BUILD_EXAMPLES=OFF
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target fuzz_parser
-  echo "== fuzz smoke (seeds: examples/programs/*.rsp + snapshot + WAL corpora) =="
+  echo "== fuzz smoke (seeds: examples/programs/*.rsp + snapshot + WAL + RSRV corpora) =="
   "$BUILD_DIR"/tests/fuzz_parser examples/programs/*.rsp \
       tests/fuzz_corpus/snapshots/*.rsnp \
-      tests/fuzz_corpus/wal/*
+      tests/fuzz_corpus/wal/* \
+      tests/fuzz_corpus/serve/*.rsrv
   echo "== fuzz smoke passed =="
   exit 0
 fi
@@ -184,21 +188,24 @@ echo "== docs drift check =="
 HELP_FILE="$(mktemp)"
 SERVE_HELP_FILE="$(mktemp)"
 COMPARE_HELP_FILE="$(mktemp)"
+DAEMON_HELP_FILE="$(mktemp)"
 trap 'rm -f "$STATS_FILE" "$BENCH_ERR_FILE" "$HELP_FILE" \
-    "$SERVE_HELP_FILE" "$COMPARE_HELP_FILE"' EXIT
+    "$SERVE_HELP_FILE" "$COMPARE_HELP_FILE" "$DAEMON_HELP_FILE"' EXIT
 "$BUILD_DIR"/tools/relspec_cli --help > "$HELP_FILE"
 "$BUILD_DIR"/tools/relspec_bench_serve --help > "$SERVE_HELP_FILE"
 "$BUILD_DIR"/tools/bench_compare --help > "$COMPARE_HELP_FILE"
+"$BUILD_DIR"/tools/relspecd --help > "$DAEMON_HELP_FILE"
 python3 - "$HELP_FILE" "$SERVE_HELP_FILE" "$COMPARE_HELP_FILE" \
-    README.md docs/*.md <<'EOF'
+    "$DAEMON_HELP_FILE" README.md docs/*.md <<'EOF'
 import re, sys
 
 help_text = open(sys.argv[1]).read()
 help_flags = set(re.findall(r"--[a-z][a-z_-]*", help_text))
-# The serving harness and perf gate have their own --help; docs may
-# reference any flag from the three tools' combined surface.
+# The serving harness, perf gate, and daemon have their own --help; docs
+# may reference any flag from the four tools' combined surface.
 serve_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[2]).read()))
 compare_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[3]).read()))
+daemon_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[4]).read()))
 
 # Flags that legitimately appear in the docs but belong to other tools
 # (google-benchmark, ctest, cmake, this script) or are flag *prefixes*.
@@ -213,10 +220,10 @@ WHITELIST = {
     "--bench",
 }
 
-all_tool_flags = help_flags | serve_flags | compare_flags
+all_tool_flags = help_flags | serve_flags | compare_flags | daemon_flags
 problems = []
 doc_flags = set()
-for path in sys.argv[4:]:
+for path in sys.argv[5:]:
     text = open(path).read()
     for flag in set(re.findall(r"--[a-z][a-z_-]*", text)):
         if flag in WHITELIST:
@@ -227,7 +234,7 @@ for path in sys.argv[4:]:
                             "tool's --help")
 
 # Every CLI flag must be documented in README.md (the flag table).
-readme = open(sys.argv[4]).read()
+readme = open(sys.argv[5]).read()
 for flag in sorted(help_flags - {"--help"}):
     if flag not in readme:
         problems.append(f"--help lists {flag}, absent from README.md")
@@ -274,12 +281,36 @@ if "update" not in incremental:
     problems.append("serve update request type absent from "
                     "docs/INCREMENTAL.md")
 
+# The daemon surface (docs/DAEMON.md) is pinned the same way: every
+# relspecd flag must appear in docs/DAEMON.md, the daemon-only flags in
+# the list below must keep existing in relspecd --help, and the serve
+# harness must keep its --connect daemon-replay mode.
+daemon_doc = open("docs/DAEMON.md").read()
+for flag in sorted(daemon_flags - {"--help"}):
+    if flag not in daemon_doc:
+        problems.append(f"relspecd --help lists {flag}, absent from "
+                        "docs/DAEMON.md")
+DAEMON_FLAGS = {"--socket", "--tcp-port", "--threads", "--rotation",
+                "--ping", "--cache-entries", "--cache-bytes",
+                "--deadline-ms", "--max-tuples", "--wal", "--fsync",
+                "--checkpoint-every", "--load-snapshot"}
+for flag in sorted(DAEMON_FLAGS):
+    if flag not in daemon_flags:
+        problems.append(f"docs-drift list pins {flag}, absent from "
+                        "relspecd --help")
+if "--connect" not in serve_flags:
+    problems.append("serve --help no longer lists --connect (daemon "
+                    "replay mode)")
+if "--connect" not in daemon_doc:
+    problems.append("--connect replay absent from docs/DAEMON.md")
+
 for p in problems:
     print("DRIFT:", p, file=sys.stderr)
 if problems:
     sys.exit(1)
 print(f"docs drift OK: {len(help_flags)} CLI flags, "
       f"{len(serve_flags | compare_flags)} serve/gate flags, "
+      f"{len(daemon_flags)} daemon flags, "
       f"{len(doc_flags)} doc mentions consistent")
 EOF
 
