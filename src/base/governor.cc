@@ -122,6 +122,11 @@ Status ResourceGovernor::RecordBreach(Status s) {
   if (!breached_.load(std::memory_order_relaxed)) {
     RELSPEC_TRACE_INSTANT1("governor", "breach", "code",
                            static_cast<int>(s.code()));
+    const uint64_t trace_id = trace_id_.load(std::memory_order_relaxed);
+    if (trace_id != 0) {
+      RELSPEC_TRACE_INSTANT1("governor", "breach_trace", "trace_id",
+                             trace_id);
+    }
     breach_ = std::move(s);
     // Release so that readers who observe breached_ == true see breach_.
     breached_.store(true, std::memory_order_release);

@@ -120,6 +120,17 @@ class ResourceGovernor {
   /// Milliseconds elapsed since construction.
   int64_t elapsed_ms() const;
 
+  /// Request-scoped trace context (docs/OPERATIONS.md): the serving layer
+  /// stamps the request's 64-bit trace ID on its per-request governor so a
+  /// breach instant in the exported timeline carries the ID of the request
+  /// that breached, not just the breach code. 0 = no trace context.
+  void set_trace_id(uint64_t id) {
+    trace_id_.store(id, std::memory_order_relaxed);
+  }
+  uint64_t trace_id() const {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+
   /// One-line progress summary, e.g. for breach messages and --stats.
   std::string ProgressString() const;
 
@@ -147,6 +158,7 @@ class ResourceGovernor {
   std::atomic<uint64_t> peak_nodes_{0};
   std::atomic<uint64_t> peak_depth_{0};
   std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> trace_id_{0};
 };
 
 }  // namespace relspec

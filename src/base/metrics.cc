@@ -323,6 +323,57 @@ std::string MetricsSnapshot::ToJson(bool pretty) const {
   return out;
 }
 
+namespace {
+
+// Registry names use '.'/'-' separators; Prometheus metric names may not.
+std::string PrometheusName(std::string_view name) {
+  std::string out = "relspec_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string pname = PrometheusName(name);
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", pname.c_str(),
+                     pname.c_str(), static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string pname = PrometheusName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %lld\n", pname.c_str(),
+                     pname.c_str(), static_cast<long long>(v));
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string pname = PrometheusName(h.name);
+    out += StrFormat("# TYPE %s summary\n", pname.c_str());
+    for (double q : HistogramSnapshot::kReportedQuantiles) {
+      out += StrFormat(
+          "%s{quantile=\"%g\"} %llu\n", pname.c_str(), q,
+          static_cast<unsigned long long>(h.ValueAtQuantile(q)));
+    }
+    out += StrFormat("%s_sum %llu\n%s_count %llu\n", pname.c_str(),
+                     static_cast<unsigned long long>(h.sum), pname.c_str(),
+                     static_cast<unsigned long long>(h.count));
+  }
+  for (const PhaseSnapshot& p : phases) {
+    const std::string pname = PrometheusName(p.name);
+    out += StrFormat("# TYPE %s_count counter\n%s_count %llu\n",
+                     pname.c_str(), pname.c_str(),
+                     static_cast<unsigned long long>(p.count));
+    out += StrFormat("# TYPE %s_total_ns counter\n%s_total_ns %llu\n",
+                     pname.c_str(), pname.c_str(),
+                     static_cast<unsigned long long>(p.total_ns));
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // JSON parsing (the subset ToJson emits) — shared parser in base/json.h
 // ---------------------------------------------------------------------------

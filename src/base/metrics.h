@@ -177,6 +177,16 @@ struct MetricsSnapshot {
   /// Parses a ToJson string back (round-trip validation; also the parser
   /// behind `tools/run_checks.sh`'s snapshot check).
   static StatusOr<MetricsSnapshot> FromJson(std::string_view json);
+
+  /// Renders the snapshot in the Prometheus text exposition format
+  /// (version 0.0.4): counters and phase totals as `counter` families,
+  /// gauges as `gauge` families, histograms as `summary` families whose
+  /// quantile series come from ValueAtQuantile over kReportedQuantiles.
+  /// Metric names are the registry names with '.' mapped to '_' and a
+  /// `relspec_` prefix (e.g. serve.accepts -> relspec_serve_accepts); the
+  /// full name table is pinned in docs/OPERATIONS.md. Deterministic:
+  /// families and series are emitted in sorted-name order.
+  std::string ToPrometheusText() const;
 };
 
 /// The process-wide instrument registry. Instruments are created on first

@@ -473,7 +473,8 @@ void QueryCache::Clear() {
 
 StatusOr<std::shared_ptr<const QueryAnswer>> AnswerQueryCached(
     FunctionalDatabase* db, const Query& query, QueryCache* cache,
-    ResourceGovernor* governor) {
+    ResourceGovernor* governor, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
   if (cache == nullptr) {
     RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer,
                              AnswerQuery(db, query, governor));
@@ -481,7 +482,10 @@ StatusOr<std::shared_ptr<const QueryAnswer>> AnswerQueryCached(
   }
   uint64_t fp = db->Fingerprint();
   std::string key = ToString(query, db->program().symbols);
-  if (auto hit = cache->Lookup(fp, key)) return hit;
+  if (auto hit = cache->Lookup(fp, key)) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return hit;
+  }
   RELSPEC_ASSIGN_OR_RETURN(QueryAnswer answer,
                            AnswerQuery(db, query, governor));
   auto shared = std::make_shared<const QueryAnswer>(std::move(answer));

@@ -216,10 +216,12 @@ class QueryCache {
 /// printed in normal form), so textually different spellings of the same
 /// normalized query share an entry. With a null cache this is exactly
 /// AnswerQuery. The per-request `governor` is consulted only on the miss
-/// path (a hit is a map lookup — pointless to breach).
+/// path (a hit is a map lookup — pointless to breach). When `cache_hit` is
+/// non-null it is set to whether the answer came from the cache (the
+/// serving slow log attributes latency to the cache or eval phase by it).
 StatusOr<std::shared_ptr<const QueryAnswer>> AnswerQueryCached(
     FunctionalDatabase* db, const Query& query, QueryCache* cache,
-    ResourceGovernor* governor = nullptr);
+    ResourceGovernor* governor = nullptr, bool* cache_hit = nullptr);
 
 }  // namespace relspec
 

@@ -8,6 +8,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+
 #include "src/base/str_util.h"
 
 namespace relspec {
@@ -41,7 +43,18 @@ Status FromWire(uint32_t code, const std::string& message) {
                 message.c_str()));
 }
 
+/// Connection counter backing per-client request-id uniqueness: client k
+/// starts its ids at (k << 32) + 1, so ids from distinct clients in one
+/// process never collide (and are never 0 — id 0 asks the server to
+/// assign a trace ID).
+std::atomic<uint64_t> g_client_seq{0};
+
 }  // namespace
+
+ServeClient::ServeClient(int fd)
+    : fd_(fd),
+      next_id_((g_client_seq.fetch_add(1, std::memory_order_relaxed) << 32) +
+               1) {}
 
 Status ServeClient::Reply::ToStatus() const {
   return FromWire(status_code, payload);
@@ -155,20 +168,31 @@ StatusOr<ServeClient::Reply> ServeClient::Call(RequestType type,
                                                std::string_view payload,
                                                uint64_t deadline_ms,
                                                uint64_t max_tuples) {
-  RequestHeader header;
-  header.type = type;
-  header.request_id = next_id_++;
-  header.deadline_ms = deadline_ms;
-  header.max_tuples = max_tuples;
-  RELSPEC_RETURN_NOT_OK(SendRaw(EncodeRequest(header, payload)));
-  RELSPEC_ASSIGN_OR_RETURN(Reply reply, ReadReply());
-  if (reply.request_id != header.request_id) {
+  const uint64_t id = next_id_++;
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply,
+                           CallWithId(id, type, payload, deadline_ms,
+                                      max_tuples));
+  if (reply.request_id != id) {
     return Status::Internal(
         StrFormat("response id %llu does not match request id %llu",
                   static_cast<unsigned long long>(reply.request_id),
-                  static_cast<unsigned long long>(header.request_id)));
+                  static_cast<unsigned long long>(id)));
   }
   return reply;
+}
+
+StatusOr<ServeClient::Reply> ServeClient::CallWithId(uint64_t request_id,
+                                                     RequestType type,
+                                                     std::string_view payload,
+                                                     uint64_t deadline_ms,
+                                                     uint64_t max_tuples) {
+  RequestHeader header;
+  header.type = type;
+  header.request_id = request_id;
+  header.deadline_ms = deadline_ms;
+  header.max_tuples = max_tuples;
+  RELSPEC_RETURN_NOT_OK(SendRaw(EncodeRequest(header, payload)));
+  return ReadReply();
 }
 
 StatusOr<uint64_t> ServeClient::Ping() {
@@ -217,10 +241,29 @@ StatusOr<std::string> ServeClient::Stats() {
   return std::move(reply.payload);
 }
 
+StatusOr<std::string> ServeClient::StatsPrometheus() {
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply,
+                           Call(RequestType::kStats, "prometheus"));
+  if (!reply.ok()) return reply.ToStatus();
+  return std::move(reply.payload);
+}
+
 StatusOr<std::string> ServeClient::TraceDump() {
   RELSPEC_ASSIGN_OR_RETURN(Reply reply, Call(RequestType::kTraceDump, ""));
   if (!reply.ok()) return reply.ToStatus();
   return std::move(reply.payload);
+}
+
+StatusOr<std::string> ServeClient::SlowlogDump() {
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply, Call(RequestType::kSlowlogDump, ""));
+  if (!reply.ok()) return reply.ToStatus();
+  return std::move(reply.payload);
+}
+
+StatusOr<HealthResult> ServeClient::Health() {
+  RELSPEC_ASSIGN_OR_RETURN(Reply reply, Call(RequestType::kHealth, ""));
+  if (!reply.ok()) return reply.ToStatus();
+  return DecodeHealthResult(reply.payload);
 }
 
 }  // namespace serve

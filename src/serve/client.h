@@ -45,9 +45,19 @@ class ServeClient {
     Status ToStatus() const;
   };
 
-  /// One round trip: sends a frame, blocks for the matching response.
+  /// One round trip: sends a frame, blocks for the matching response. The
+  /// request id (= the server-side trace ID, docs/OPERATIONS.md) is
+  /// auto-assigned: unique within the process across all clients, never 0.
   StatusOr<Reply> Call(RequestType type, std::string_view payload,
                        uint64_t deadline_ms = 0, uint64_t max_tuples = 0);
+
+  /// Call with a caller-chosen request id / trace ID (0 asks the server to
+  /// assign one; the reply then carries the server-generated ID, which is
+  /// why this variant skips the id-echo check that Call enforces).
+  StatusOr<Reply> CallWithId(uint64_t request_id, RequestType type,
+                             std::string_view payload,
+                             uint64_t deadline_ms = 0,
+                             uint64_t max_tuples = 0);
 
   // Typed helpers. A non-OK wire status surfaces as that error Status, so
   // a governor breach on the server shows up as kResourceExhausted /
@@ -59,7 +69,13 @@ class ServeClient {
                               uint64_t max_tuples = 0);
   StatusOr<UpdateResult> Update(std::string_view delta_text);
   StatusOr<std::string> Stats();
+  /// kStats with the "prometheus" payload selector: the registry rendered
+  /// in the Prometheus text exposition format.
+  StatusOr<std::string> StatsPrometheus();
   StatusOr<std::string> TraceDump();
+  /// kSlowlogDump: the slow-query audit ring as JSONL (docs/OPERATIONS.md).
+  StatusOr<std::string> SlowlogDump();
+  StatusOr<HealthResult> Health();
 
   /// Protocol-conformance escape hatches: ship arbitrary bytes / read one
   /// raw reply frame (malformed-frame tests).
@@ -67,10 +83,13 @@ class ServeClient {
   StatusOr<Reply> ReadReply();
 
  private:
-  explicit ServeClient(int fd) : fd_(fd) {}
+  explicit ServeClient(int fd);
 
   int fd_;
-  uint64_t next_id_ = 1;
+  /// Seeded from a process-wide connection counter so two clients in one
+  /// process never reuse a request id — trace IDs stay unique per request
+  /// across every lane of a multi-client bench run.
+  uint64_t next_id_;
   std::string inbuf_;
 };
 

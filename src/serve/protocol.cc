@@ -76,6 +76,8 @@ const char* RequestTypeName(RequestType type) {
     case RequestType::kUpdate: return "update";
     case RequestType::kStats: return "stats";
     case RequestType::kTraceDump: return "trace-dump";
+    case RequestType::kSlowlogDump: return "slowlog-dump";
+    case RequestType::kHealth: return "health";
   }
   return "unknown";
 }
@@ -211,23 +213,53 @@ StatusOr<UpdateResult> DecodeUpdateResult(std::string_view payload) {
   return result;
 }
 
-std::string RenderAnswerText(const QueryAnswer& answer) {
+std::string EncodeHealthResult(const HealthResult& result) {
+  std::string out;
+  out.push_back(result.ready ? 1 : 0);
+  out.push_back(result.live ? 1 : 0);
+  PutU64(&out, result.fingerprint);
+  PutU64(&out, result.uptime_ms);
+  PutU64(&out, result.wal_seq);
+  PutU64(&out, result.served);
+  return out;
+}
+
+StatusOr<HealthResult> DecodeHealthResult(std::string_view payload) {
+  if (payload.size() != 34) {
+    return Status::InvalidArgument("health result payload must be 34 bytes");
+  }
+  HealthResult result;
+  result.ready = payload[0] != 0;
+  result.live = payload[1] != 0;
+  result.fingerprint = GetU64(payload, 2);
+  result.uptime_ms = GetU64(payload, 10);
+  result.wal_seq = GetU64(payload, 18);
+  result.served = GetU64(payload, 26);
+  return result;
+}
+
+std::string RenderAnswerText(const QueryAnswer& answer, int64_t elapsed_ns) {
   std::string out = answer.ToString();
   auto rows = answer.Enumerate(/*max_depth=*/3, /*max_count=*/32);
-  if (!rows.ok()) return out;  // unbounded answers stay spec-only
-  for (const ConcreteAnswer& row : *rows) {
-    out += "  ";
-    bool first = true;
-    if (row.term.has_value()) {
-      out += row.term->ToString(answer.symbols());
-      first = false;
+  if (rows.ok()) {  // unbounded answers stay spec-only
+    for (const ConcreteAnswer& row : *rows) {
+      out += "  ";
+      bool first = true;
+      if (row.term.has_value()) {
+        out += row.term->ToString(answer.symbols());
+        first = false;
+      }
+      for (ConstId c : row.tuple) {
+        if (!first) out += ", ";
+        out += answer.symbols().constant_name(c);
+        first = false;
+      }
+      out += "\n";
     }
-    for (ConstId c : row.tuple) {
-      if (!first) out += ", ";
-      out += answer.symbols().constant_name(c);
-      first = false;
-    }
-    out += "\n";
+  }
+  if (elapsed_ns >= 0) {
+    out += StrFormat("  -- elapsed %lld ns\n",
+                     static_cast<long long>(elapsed_ns));
   }
   return out;
 }

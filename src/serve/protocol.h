@@ -59,11 +59,13 @@ enum class RequestType : uint32_t {
   kMembership = 1,  // payload: fact text -> u8 0/1
   kQuery = 2,       // payload: query text -> QueryResult
   kUpdate = 3,      // payload: delta text -> UpdateResult
-  kStats = 4,       // payload: none      -> metrics JSON text
+  kStats = 4,       // payload: none or "prometheus" -> metrics text
   kTraceDump = 5,   // payload: none      -> Chrome trace JSON text
+  kSlowlogDump = 6,  // payload: none     -> slow-log JSONL text
+  kHealth = 7,       // payload: none     -> HealthResult
 };
 inline constexpr uint32_t kMaxRequestType =
-    static_cast<uint32_t>(RequestType::kTraceDump);
+    static_cast<uint32_t>(RequestType::kHealth);
 
 const char* RequestTypeName(RequestType type);
 
@@ -133,12 +135,37 @@ struct UpdateResult {
 std::string EncodeUpdateResult(const UpdateResult& result);
 StatusOr<UpdateResult> DecodeUpdateResult(std::string_view payload);
 
+/// kHealth response payload: u8 ready | u8 live | u64 fingerprint |
+/// u64 uptime_ms | u64 wal_seq | u64 served (exactly 34 bytes).
+/// `live` is 1 whenever the daemon answered at all; `ready` is 1 once the
+/// engine is built and the listener accepts work. `wal_seq` is the sequence
+/// number the next durably logged batch will use (0 when the engine is not
+/// durable); it advances per acked update and restarts after a checkpoint
+/// rotation, so a change signals WAL-generation movement. See
+/// docs/OPERATIONS.md for the health semantics table.
+struct HealthResult {
+  bool ready = false;
+  bool live = false;
+  uint64_t fingerprint = 0;
+  uint64_t uptime_ms = 0;
+  uint64_t wal_seq = 0;
+  uint64_t served = 0;
+};
+std::string EncodeHealthResult(const HealthResult& result);
+StatusOr<HealthResult> DecodeHealthResult(std::string_view payload);
+
 /// The canonical text rendering of a query answer used on the wire: the
 /// answer's ToString() followed by a bounded deterministic enumeration
 /// (depth <= 3, at most 32 concrete answers, one per "  "-indented line).
 /// Exported so the conformance tests can assert byte-identity between a
 /// daemon reply and an in-process AnswerQueryCached answer.
-std::string RenderAnswerText(const QueryAnswer& answer);
+///
+/// `elapsed_ns >= 0` appends one trailing "  -- elapsed N ns\n" summary
+/// line (the daemon's `--reply-timing` flag); the default -1 renders the
+/// canonical byte-stable text, keeping the golden vectors and the
+/// daemon-vs-in-process identity contract valid.
+std::string RenderAnswerText(const QueryAnswer& answer,
+                             int64_t elapsed_ns = -1);
 
 }  // namespace serve
 }  // namespace relspec

@@ -29,6 +29,16 @@ Status Errno(const char* what) {
   return Status::Internal(StrFormat("%s: %s", what, strerror(errno)));
 }
 
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Marks a trace ID as server-assigned (the client sent request_id 0).
+constexpr uint64_t kServerTraceIdBit = 1ULL << 63;
+
 Status SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
@@ -65,7 +75,8 @@ Server::Server(std::unique_ptr<FunctionalDatabase> db, GraphSpecification spec,
       db_(std::move(db)),
       spec_(std::move(spec)),
       cache_(options.cache),
-      pool_(std::make_unique<TaskPool>(std::max(1, options.threads))) {}
+      pool_(std::make_unique<TaskPool>(std::max(1, options.threads))),
+      slowlog_(options.slowlog) {}
 
 StatusOr<std::unique_ptr<Server>> Server::Create(
     std::unique_ptr<FunctionalDatabase> db, const ServerOptions& options) {
@@ -229,24 +240,44 @@ void Server::MaybeDispatch(Conn* conn) {
 }
 
 void Server::ExecuteFrame(Conn* conn, std::string frame) {
-  RELSPEC_TRACE_SPAN("serve", "request");
+  const auto start = std::chrono::steady_clock::now();
   RequestHeader req;
   std::string_view payload;
   Status decoded = DecodeRequest(frame, &req, &payload);
+  // Trace-context assignment: the client's request_id IS the trace ID when
+  // nonzero; otherwise the server mints one (high bit marks it assigned).
+  // Echoed in the reply header either way, stamped on the request span and
+  // the per-request governor, and carried by the slow-log entry — one ID
+  // correlates the wire, the timeline, and the audit log.
+  const uint64_t trace_id =
+      req.request_id != 0
+          ? req.request_id
+          : (kServerTraceIdBit |
+             next_trace_id_.fetch_add(1, std::memory_order_relaxed));
+  RELSPEC_TRACE_SPAN1("serve", "request", "trace_id", trace_id);
+  SlowlogEntry entry;
+  entry.trace_id = trace_id;
+  entry.type = static_cast<uint32_t>(req.type);
+  Status status = Status::OK();
   std::string out;
   if (!decoded.ok()) {
+    status = decoded;
     ResponseHeader resp;
     resp.status = static_cast<uint32_t>(decoded.code());
-    resp.request_id = req.request_id;  // echoable even on a type error
+    // Echo whatever id the decoder salvaged (0 when the prefix itself was
+    // broken) — a minted trace ID is a service for well-formed requests,
+    // not a promise a hostile frame can rely on. The slow-log entry still
+    // carries the minted id so the rejection is auditable.
+    resp.request_id = req.request_id;
     out = EncodeResponse(resp, decoded.message());
     conn->close_after_reply.store(true, std::memory_order_release);
     RELSPEC_COUNTER("serve.malformed");
   } else {
-    Status status = Status::OK();
-    std::string body = Handle(req, payload, &status);
+    entry.query_hash = SlowlogHash(payload);
+    std::string body = Handle(req, payload, trace_id, &status, &entry);
     ResponseHeader resp;
     resp.status = static_cast<uint32_t>(status.code());
-    resp.request_id = req.request_id;
+    resp.request_id = trace_id;
     out = EncodeResponse(resp, status.ok() ? std::string_view(body)
                                            : std::string_view(status.message()));
     if (!status.ok()) {
@@ -254,7 +285,14 @@ void Server::ExecuteFrame(Conn* conn, std::string frame) {
       if (status.IsResourceBreach()) RELSPEC_COUNTER("serve.breaches");
     }
   }
+  const auto write_start = std::chrono::steady_clock::now();
   if (!WriteAll(conn->fd, out)) conn->close_after_reply.store(true);
+  entry.write_ns = ElapsedNs(write_start);
+  entry.total_ns = ElapsedNs(start);
+  entry.status = static_cast<uint32_t>(status.code());
+  rates_.Tick(UptimeSec(), !status.ok());
+  RELSPEC_HISTOGRAM("serve.request_ns", entry.total_ns);
+  slowlog_.MaybeRecord(entry);
   served_.fetch_add(1);
   conn->busy.store(false, std::memory_order_release);
   in_flight_.fetch_sub(1);
@@ -262,7 +300,8 @@ void Server::ExecuteFrame(Conn* conn, std::string frame) {
 }
 
 std::string Server::Handle(const RequestHeader& req, std::string_view payload,
-                           Status* out) {
+                           uint64_t trace_id, Status* out,
+                           SlowlogEntry* entry) {
   // Per-request admission control: the request header's budgets, falling
   // back to the server-wide defaults. A breach becomes an error reply
   // carrying the governor's sticky status — never a process exit.
@@ -272,7 +311,29 @@ std::string Server::Handle(const RequestHeader& req, std::string_view payload,
   std::optional<ResourceGovernor> governor;
   if (limits.deadline_ms > 0 || limits.max_tuples > 0) {
     governor.emplace(limits);
+    governor->set_trace_id(trace_id);
   }
+  std::string body =
+      HandleRequest(req, payload, governor ? &*governor : nullptr, out, entry);
+  if (governor) {
+    // Governor headroom at completion: what was left of the budgets when
+    // the request finished (negative = how far past them it ran).
+    if (limits.deadline_ms > 0) {
+      entry->headroom_ms = limits.deadline_ms - governor->elapsed_ms();
+    }
+    if (limits.max_tuples > 0) {
+      entry->headroom_tuples =
+          static_cast<int64_t>(limits.max_tuples) -
+          static_cast<int64_t>(governor->peak_tuples());
+    }
+  }
+  return body;
+}
+
+std::string Server::HandleRequest(const RequestHeader& req,
+                                  std::string_view payload,
+                                  ResourceGovernor* governor, Status* out,
+                                  SlowlogEntry* entry) {
   *out = Status::OK();
   switch (req.type) {
     case RequestType::kPing: {
@@ -289,6 +350,7 @@ std::string Server::Handle(const RequestHeader& req, std::string_view payload,
       std::shared_lock<std::shared_mutex> lock(state_mu_);
       // The CLI's spec-only pattern: parse against a scratch program holding
       // a copy of the spec's symbols, so shared state is never mutated.
+      const auto parse_start = std::chrono::steady_clock::now();
       Program scratch;
       scratch.symbols = spec_.symbols();
       auto q = ParseQuery("? " + std::string(payload) + ".", &scratch);
@@ -308,11 +370,14 @@ std::string Server::Handle(const RequestHeader& req, std::string_view payload,
         *out = purified.status();
         return "";
       }
+      entry->parse_ns = ElapsedNs(parse_start);
+      const auto eval_start = std::chrono::steady_clock::now();
       std::vector<FuncId> syms;
       for (const FuncApply& a : purified->apps) syms.push_back(a.fn);
       std::vector<ConstId> args;
       for (const NfArg& a : q->atoms[0].args) args.push_back(a.id);
       bool holds = spec_.Holds(Path(std::move(syms)), q->atoms[0].pred, args);
+      entry->eval_ns = ElapsedNs(eval_start);
       return std::string(1, holds ? '\1' : '\0');
     }
     case RequestType::kQuery: {
@@ -325,22 +390,37 @@ std::string Server::Handle(const RequestHeader& req, std::string_view payload,
       // Exclusive: ParseQuery interns into the engine's shared symbol table
       // and the engine API is single-coordinator by design.
       std::unique_lock<std::shared_mutex> lock(state_mu_);
+      const auto parse_start = std::chrono::steady_clock::now();
       auto query = ParseQuery(std::string(payload), db_->mutable_program());
       if (!query.ok()) {
         *out = query.status();
         return "";
       }
-      auto answer = AnswerQueryCached(db_.get(), *query, &cache_,
-                                      governor ? &*governor : nullptr);
+      entry->parse_ns = ElapsedNs(parse_start);
+      const auto answer_start = std::chrono::steady_clock::now();
+      bool cache_hit = false;
+      auto answer =
+          AnswerQueryCached(db_.get(), *query, &cache_, governor, &cache_hit);
+      // The answer time is the cache phase on a hit (a map lookup) and the
+      // eval phase on a miss (the full answer pipeline).
+      const uint64_t answer_ns = ElapsedNs(answer_start);
+      entry->cache_hit = cache_hit ? 1 : 0;
+      (cache_hit ? entry->cache_ns : entry->eval_ns) = answer_ns;
       if (!answer.ok()) {
         *out = answer.status();
         return "";
       }
+      const auto render_start = std::chrono::steady_clock::now();
       QueryResult result;
       result.spec_tuples = (*answer)->NumSpecTuples();
       result.functional = (*answer)->has_functional_answer();
-      result.text = RenderAnswerText(**answer);
-      return EncodeQueryResult(result);
+      result.text = RenderAnswerText(
+          **answer, options_.reply_timing
+                        ? static_cast<int64_t>(ElapsedNs(parse_start))
+                        : -1);
+      std::string body = EncodeQueryResult(result);
+      entry->render_ns = ElapsedNs(render_start);
+      return body;
     }
     case RequestType::kUpdate: {
       if (db_ == nullptr) {
@@ -353,6 +433,7 @@ std::string Server::Handle(const RequestHeader& req, std::string_view payload,
       // Updates run ungoverned: a breach mid-repair would leave the engine
       // in an unspecified state (docs/INCREMENTAL.md). Through the WAL when
       // durable, so an OK ack means applied *and* logged.
+      const auto eval_start = std::chrono::steady_clock::now();
       StatusOr<DeltaStats> stats =
           db_->durable() ? db_->LogAndApplyDeltas(payload)
                          : db_->ApplyDeltaText(payload);
@@ -371,6 +452,7 @@ std::string Server::Handle(const RequestHeader& req, std::string_view payload,
         spec_ = *std::move(spec);
       }
       fingerprint_ = db_->Fingerprint();  // re-materialize for shared readers
+      entry->eval_ns = ElapsedNs(eval_start);
       UpdateResult result;
       result.fingerprint = fingerprint_;
       result.inserted = stats->inserted;
@@ -382,8 +464,23 @@ std::string Server::Handle(const RequestHeader& req, std::string_view payload,
       return EncodeUpdateResult(result);
     }
     case RequestType::kStats: {
+      RefreshLiveGauges();
       std::shared_lock<std::shared_mutex> lock(state_mu_);
-      return MetricsRegistry::Global().Snapshot().ToJson();
+      const auto eval_start = std::chrono::steady_clock::now();
+      MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+      std::string body;
+      if (payload == "prometheus") {
+        body = snap.ToPrometheusText();
+      } else if (payload.empty()) {
+        body = snap.ToJson();
+      } else {
+        *out = Status::InvalidArgument(
+            "unknown stats format (want an empty payload for JSON or "
+            "\"prometheus\")");
+        return "";
+      }
+      entry->eval_ns = ElapsedNs(eval_start);
+      return body;
     }
     case RequestType::kTraceDump: {
       if (!EventTraceEnabled()) {
@@ -392,11 +489,104 @@ std::string Server::Handle(const RequestHeader& req, std::string_view payload,
         return "";
       }
       std::shared_lock<std::shared_mutex> lock(state_mu_);
-      return Tracer::Global().ExportChromeJson();
+      const auto eval_start = std::chrono::steady_clock::now();
+      std::string body = Tracer::Global().ExportChromeJson();
+      entry->eval_ns = ElapsedNs(eval_start);
+      return body;
+    }
+    case RequestType::kSlowlogDump: {
+      if (!slowlog_.enabled()) {
+        *out = Status::FailedPrecondition(
+            "slow log is off: start relspecd with --slowlog-ms N");
+        return "";
+      }
+      // The ring is lock-free; no engine lock needed. The dump cannot
+      // contain its own request — this entry is recorded after the reply.
+      const auto eval_start = std::chrono::steady_clock::now();
+      std::string body = slowlog_.DumpJsonl();
+      entry->eval_ns = ElapsedNs(eval_start);
+      return body;
+    }
+    case RequestType::kHealth: {
+      RefreshLiveGauges();
+      std::shared_lock<std::shared_mutex> lock(state_mu_);
+      HealthResult health;
+      health.live = true;
+      health.ready = true;  // the listener answered and the engine is built
+      health.fingerprint = fingerprint_;
+      health.uptime_ms = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start_time_)
+              .count());
+      health.wal_seq =
+          (db_ != nullptr && db_->wal() != nullptr) ? db_->wal()->next_seq()
+                                                    : 0;
+      health.served = served_.load(std::memory_order_relaxed);
+      return EncodeHealthResult(health);
     }
   }
   *out = Status::InvalidArgument("unknown request type");
   return "";
+}
+
+uint64_t Server::UptimeSec() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+void Server::RateWindow::Tick(uint64_t now_sec, bool error) {
+  const size_t slot = now_sec % kSlots;
+  const uint64_t want = now_sec + 1;  // 0 marks a never-used slot
+  uint64_t have = stamp[slot].load(std::memory_order_relaxed);
+  if (have != want &&
+      stamp[slot].compare_exchange_strong(have, want,
+                                          std::memory_order_relaxed)) {
+    requests[slot].store(0, std::memory_order_relaxed);
+    errors[slot].store(0, std::memory_order_relaxed);
+  }
+  requests[slot].fetch_add(1, std::memory_order_relaxed);
+  if (error) errors[slot].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::RateWindow::Sum60(uint64_t now_sec, uint64_t* reqs,
+                               uint64_t* errs) const {
+  *reqs = 0;
+  *errs = 0;
+  for (int i = 0; i < kSlots; ++i) {
+    const uint64_t have = stamp[i].load(std::memory_order_relaxed);
+    if (have == 0) continue;
+    const uint64_t sec = have - 1;
+    if (sec > now_sec || now_sec - sec >= 60) continue;
+    *reqs += requests[i].load(std::memory_order_relaxed);
+    *errs += errors[i].load(std::memory_order_relaxed);
+  }
+}
+
+void Server::RefreshLiveGauges() {
+  RELSPEC_GAUGE_SET("cache.entries", static_cast<int64_t>(cache_.size()));
+  RELSPEC_GAUGE_SET("cache.bytes", static_cast<int64_t>(cache_.bytes()));
+  RELSPEC_GAUGE_SET("trace.dropped",
+                    static_cast<int64_t>(Tracer::Global().dropped()));
+  RELSPEC_GAUGE_SET(
+      "serve.uptime_ms",
+      static_cast<int64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start_time_)
+              .count()));
+  const uint64_t now_sec = UptimeSec();
+  uint64_t reqs = 0, errs = 0;
+  rates_.Sum60(now_sec, &reqs, &errs);
+  // The effective window is shorter than a minute while the daemon warms
+  // up; divide by the real window so early readings aren't diluted.
+  const uint64_t window = std::max<uint64_t>(1, std::min<uint64_t>(60, now_sec + 1));
+  RELSPEC_GAUGE_SET("serve.qps_1m", static_cast<int64_t>(reqs / window));
+  // Errors per 10,000 requests over the window (basis points): an integer
+  // gauge that still resolves sub-percent error rates.
+  RELSPEC_GAUGE_SET(
+      "serve.error_rate_1m",
+      reqs == 0 ? 0 : static_cast<int64_t>(errs * 10000 / reqs));
 }
 
 bool Server::WriteAll(int fd, std::string_view bytes) {

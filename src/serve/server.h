@@ -32,7 +32,9 @@
 #ifndef RELSPEC_SERVE_SERVER_H_
 #define RELSPEC_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -48,6 +50,7 @@
 #include "src/core/graph_spec.h"
 #include "src/core/query.h"
 #include "src/serve/protocol.h"
+#include "src/serve/slowlog.h"
 
 namespace relspec {
 namespace serve {
@@ -67,6 +70,12 @@ struct ServerOptions {
   /// Server-side default budgets for requests that carry none in their
   /// header (0 fields). A request's own nonzero header fields win.
   GovernorLimits default_limits;
+  /// Slow-query audit log policy (threshold_ms < 0 disables it; then
+  /// kSlowlogDump answers kFailedPrecondition). See docs/OPERATIONS.md.
+  SlowLog::Options slowlog;
+  /// Append "  -- elapsed N ns" to every kQuery reply text (the daemon's
+  /// --reply-timing flag). Off by default so reply bytes stay canonical.
+  bool reply_timing = false;
 };
 
 class Server {
@@ -102,9 +111,26 @@ class Server {
   /// The served database (null in spec-only mode). The caller may inspect
   /// it after Serve() returns; touching it while serving races.
   FunctionalDatabase* db() { return db_.get(); }
+  /// The slow-query audit ring (always present; enabled() reflects the
+  /// configured policy). Safe to dump after Serve() returns — the drain
+  /// flush in relspecd reads it exactly like a kSlowlogDump request.
+  const SlowLog& slowlog() const { return slowlog_; }
 
  private:
   struct Conn;
+
+  /// Sliding 60-second window of request/error counts, one bucket per
+  /// second, backing the serve.qps_1m / serve.error_rate_1m gauges.
+  /// Lock-free and approximate: a bucket reset racing an increment can
+  /// miscount one request, which is noise for a rate gauge.
+  struct RateWindow {
+    static constexpr int kSlots = 64;
+    std::array<std::atomic<uint64_t>, kSlots> stamp{};  // second + 1; 0 = empty
+    std::array<std::atomic<uint64_t>, kSlots> requests{};
+    std::array<std::atomic<uint64_t>, kSlots> errors{};
+    void Tick(uint64_t now_sec, bool error);
+    void Sum60(uint64_t now_sec, uint64_t* reqs, uint64_t* errs) const;
+  };
 
   Server(std::unique_ptr<FunctionalDatabase> db, GraphSpecification spec,
          const ServerOptions& options);
@@ -117,9 +143,19 @@ class Server {
   /// Dispatches the complete frame at the head of conn->inbuf, if any.
   void MaybeDispatch(Conn* conn);
   void ExecuteFrame(Conn* conn, std::string frame);
-  /// Runs one decoded request; returns the response payload and sets *out.
+  /// Governor setup + dispatch + headroom capture for one decoded request;
+  /// returns the response payload and sets *out. Phase timings and cache
+  /// attribution land in *entry (always non-null).
   std::string Handle(const RequestHeader& req, std::string_view payload,
-                     Status* out);
+                     uint64_t trace_id, Status* out, SlowlogEntry* entry);
+  std::string HandleRequest(const RequestHeader& req, std::string_view payload,
+                            ResourceGovernor* governor, Status* out,
+                            SlowlogEntry* entry);
+  /// Re-publishes the live gauges (cache.entries/bytes, trace.dropped,
+  /// serve.qps_1m, serve.error_rate_1m, serve.uptime_ms) so a stats or
+  /// health reply never reports stale values.
+  void RefreshLiveGauges();
+  uint64_t UptimeSec() const;
   static bool WriteAll(int fd, std::string_view bytes);
 
   ServerOptions options_;
@@ -141,6 +177,15 @@ class Server {
   std::atomic<uint64_t> served_{0};
   std::atomic<int> in_flight_{0};
   std::vector<std::unique_ptr<Conn>> conns_;
+
+  SlowLog slowlog_;
+  RateWindow rates_;
+  /// Fallback trace-ID source for requests that arrive with request_id 0:
+  /// the high bit marks the ID as server-assigned, the counter keeps it
+  /// unique (and nonzero) within the process.
+  std::atomic<uint64_t> next_trace_id_{1};
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace serve

@@ -1,0 +1,152 @@
+#include "src/serve/slowlog.h"
+
+#include <algorithm>
+
+#include "src/base/str_util.h"
+#include "src/serve/protocol.h"
+
+namespace relspec {
+namespace serve {
+
+uint64_t SlowlogHash(std::string_view text) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+SlowLog::SlowLog(const Options& options) : options_(options) {
+  size_t cap = 8;
+  while (cap < options_.capacity) cap <<= 1;
+  mask_ = cap - 1;
+  slots_ = std::make_unique<Slot[]>(cap);
+}
+
+void SlowLog::Pack(const SlowlogEntry& e, Slot* slot) {
+  const uint64_t w[kWords] = {
+      e.seq,
+      e.trace_id,
+      (static_cast<uint64_t>(e.type) << 32) | e.status,
+      e.query_hash,
+      e.total_ns,
+      e.parse_ns,
+      e.cache_ns,
+      e.eval_ns,
+      e.render_ns,
+      e.write_ns,
+      (static_cast<uint64_t>(e.cache_hit) << 1) | (e.sampled ? 1 : 0),
+      static_cast<uint64_t>(e.headroom_ms),
+      static_cast<uint64_t>(e.headroom_tuples),
+  };
+  for (size_t i = 0; i < kWords; ++i) {
+    slot->words[i].store(w[i], std::memory_order_relaxed);
+  }
+}
+
+SlowlogEntry SlowLog::Unpack(const Slot& slot) {
+  uint64_t w[kWords];
+  for (size_t i = 0; i < kWords; ++i) {
+    w[i] = slot.words[i].load(std::memory_order_relaxed);
+  }
+  SlowlogEntry e;
+  e.seq = w[0];
+  e.trace_id = w[1];
+  e.type = static_cast<uint32_t>(w[2] >> 32);
+  e.status = static_cast<uint32_t>(w[2] & 0xffffffffu);
+  e.query_hash = w[3];
+  e.total_ns = w[4];
+  e.parse_ns = w[5];
+  e.cache_ns = w[6];
+  e.eval_ns = w[7];
+  e.render_ns = w[8];
+  e.write_ns = w[9];
+  e.cache_hit = static_cast<uint8_t>(w[10] >> 1);
+  e.sampled = (w[10] & 1) != 0;
+  e.headroom_ms = static_cast<int64_t>(w[11]);
+  e.headroom_tuples = static_cast<int64_t>(w[12]);
+  return e;
+}
+
+bool SlowLog::MaybeRecord(SlowlogEntry entry) {
+  if (!enabled()) return false;
+  const uint64_t n = observed_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t threshold_ns =
+      static_cast<uint64_t>(options_.threshold_ms) * 1000000ULL;
+  bool sampled = false;
+  if (entry.total_ns < threshold_ns) {
+    if (options_.sample_every == 0) return false;
+    if (n % options_.sample_every != 0) return false;
+    sampled = true;
+  }
+  entry.sampled = sampled;
+  const uint64_t k = next_.fetch_add(1, std::memory_order_relaxed);
+  entry.seq = k;
+  Slot& slot = slots_[k & mask_];
+  slot.seq.store(2 * k + 1, std::memory_order_release);
+  Pack(entry, &slot);
+  slot.seq.store(2 * k + 2, std::memory_order_release);
+  return true;
+}
+
+std::vector<SlowlogEntry> SlowLog::Snapshot() const {
+  std::vector<SlowlogEntry> out;
+  if (!enabled()) return out;
+  const size_t cap = mask_ + 1;
+  out.reserve(std::min<uint64_t>(cap, recorded()));
+  for (size_t i = 0; i < cap; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1) != 0) continue;  // empty or mid-write
+    SlowlogEntry entry = Unpack(slot);
+    const uint64_t s2 = slot.seq.load(std::memory_order_acquire);
+    if (s1 != s2) continue;  // overwritten while copying
+    out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowlogEntry& a, const SlowlogEntry& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string SlowLog::EntryJson(const SlowlogEntry& e) {
+  std::string cache;
+  switch (e.cache_hit) {
+    case 0: cache = "miss"; break;
+    case 1: cache = "hit"; break;
+    default: cache = "none"; break;
+  }
+  return StrFormat(
+      "{\"seq\":%llu,\"trace_id\":%llu,\"type\":\"%s\",\"status\":%u,"
+      "\"query_hash\":\"%016llx\",\"total_ns\":%llu,\"parse_ns\":%llu,"
+      "\"cache_ns\":%llu,\"eval_ns\":%llu,\"render_ns\":%llu,"
+      "\"write_ns\":%llu,\"cache\":\"%s\",\"headroom_ms\":%lld,"
+      "\"headroom_tuples\":%lld,\"sampled\":%s}",
+      static_cast<unsigned long long>(e.seq),
+      static_cast<unsigned long long>(e.trace_id),
+      RequestTypeName(static_cast<RequestType>(e.type)), e.status,
+      static_cast<unsigned long long>(e.query_hash),
+      static_cast<unsigned long long>(e.total_ns),
+      static_cast<unsigned long long>(e.parse_ns),
+      static_cast<unsigned long long>(e.cache_ns),
+      static_cast<unsigned long long>(e.eval_ns),
+      static_cast<unsigned long long>(e.render_ns),
+      static_cast<unsigned long long>(e.write_ns), cache.c_str(),
+      static_cast<long long>(e.headroom_ms),
+      static_cast<long long>(e.headroom_tuples),
+      e.sampled ? "true" : "false");
+}
+
+std::string SlowLog::DumpJsonl() const {
+  std::string out;
+  for (const SlowlogEntry& entry : Snapshot()) {
+    out += EntryJson(entry);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace relspec

@@ -1,0 +1,131 @@
+// SlowLog — a lock-free, fixed-capacity audit ring of per-request serving
+// telemetry (docs/OPERATIONS.md).
+//
+// The server records one entry per request whose total latency reaches the
+// configured threshold, plus a 1-in-N sample of the faster rest, so the
+// slow tail is always attributable without paying for (or drowning in) a
+// full request log. Recording is wait-free for writers: a slot index is
+// claimed with one fetch_add, the entry fields are written, and a per-slot
+// sequence publish (release store) makes the entry visible. Readers
+// (kSlowlogDump, the drain flush) validate the per-slot sequence after
+// copying, so a concurrently overwritten slot is skipped rather than read
+// torn — the classic seqlock discipline, one writer per claimed slot.
+//
+// Entries serialize as JSONL: one self-contained JSON object per line with
+// the request type, trace ID, normalized query-text hash, per-phase ns
+// breakdown (parse/cache/eval/render/write), cache hit/miss, governor
+// headroom at completion, and the reply status. The schema is documented
+// (and pinned) in docs/OPERATIONS.md.
+
+#ifndef RELSPEC_SERVE_SLOWLOG_H_
+#define RELSPEC_SERVE_SLOWLOG_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relspec {
+namespace serve {
+
+/// One audit record. Plain data; string rendering happens only at dump
+/// time so the record path stays allocation-free.
+struct SlowlogEntry {
+  /// Admission order (0-based, assigned by MaybeRecord).
+  uint64_t seq = 0;
+  uint64_t trace_id = 0;
+  uint32_t type = 0;        // RequestType numeric
+  uint32_t status = 0;      // StatusCode numeric (0 = OK)
+  uint64_t query_hash = 0;  // FNV-1a over the normalized request payload
+  uint64_t total_ns = 0;
+  uint64_t parse_ns = 0;
+  uint64_t cache_ns = 0;
+  uint64_t eval_ns = 0;
+  uint64_t render_ns = 0;
+  uint64_t write_ns = 0;
+  // 0 = miss, 1 = hit, 2 = not applicable (non-query request).
+  uint8_t cache_hit = 2;
+  // Governor headroom at completion: remaining deadline budget in ms and
+  // remaining tuple budget; -1 = the corresponding limit was unset.
+  int64_t headroom_ms = -1;
+  int64_t headroom_tuples = -1;
+  // True when the entry was admitted by sampling rather than the
+  // threshold (distinguishes "slow" from "representative" records).
+  bool sampled = false;
+};
+
+/// FNV-1a 64-bit, the hash used for SlowlogEntry::query_hash.
+uint64_t SlowlogHash(std::string_view text);
+
+class SlowLog {
+ public:
+  struct Options {
+    /// Threshold in milliseconds: every request whose total latency is
+    /// >= this is recorded (0 records everything). Negative disables the
+    /// slow log entirely — MaybeRecord becomes a single branch.
+    int64_t threshold_ms = -1;
+    /// When > 0, additionally record every Nth request that falls under
+    /// the threshold (1-in-N sampling of the fast path).
+    uint64_t sample_every = 0;
+    /// Ring capacity (rounded up to a power of two, minimum 8). Once the
+    /// ring wraps, the oldest entries are overwritten.
+    size_t capacity = 4096;
+  };
+
+  explicit SlowLog(const Options& options);
+
+  bool enabled() const { return options_.threshold_ms >= 0; }
+  const Options& options() const { return options_; }
+
+  /// Records `entry` if the policy admits it (threshold or sampling).
+  /// Wait-free; safe from any number of threads. Returns true when the
+  /// entry was admitted. `entry.sampled` is set by this call.
+  bool MaybeRecord(SlowlogEntry entry);
+
+  /// Entries admitted since construction (including any already
+  /// overwritten by ring wrap-around).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the surviving entries, oldest first. Entries being
+  /// concurrently overwritten are skipped, never returned torn.
+  std::vector<SlowlogEntry> Snapshot() const;
+
+  /// Snapshot rendered as JSONL (one JSON object per line, "\n"-separated,
+  /// trailing newline when nonempty). Schema: docs/OPERATIONS.md.
+  std::string DumpJsonl() const;
+
+  /// One entry rendered as a single JSON line (no trailing newline).
+  static std::string EntryJson(const SlowlogEntry& entry);
+
+ private:
+  // Entries live in slots as packed arrays of relaxed-atomic words, so a
+  // wrap-around collision between two stalled writers is a benign word
+  // race, never UB — the per-slot sequence check filters mixed copies.
+  static constexpr size_t kWords = 13;
+
+  struct Slot {
+    // 0 = never written; odd = being written; value 2*k+2 marks the slot
+    // as holding the k-th admitted entry.
+    std::atomic<uint64_t> seq{0};
+    std::array<std::atomic<uint64_t>, kWords> words{};
+  };
+
+  static void Pack(const SlowlogEntry& entry, Slot* slot);
+  static SlowlogEntry Unpack(const Slot& slot);
+
+  Options options_;
+  size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> next_{0};      // admitted-entry counter
+  std::atomic<uint64_t> observed_{0};  // all requests offered (for sampling)
+};
+
+}  // namespace serve
+}  // namespace relspec
+
+#endif  // RELSPEC_SERVE_SLOWLOG_H_

@@ -164,6 +164,54 @@ TEST_F(MetricsTest, JsonRoundTrip) {
   EXPECT_EQ(compact->ToJson(), json);
 }
 
+TEST_F(MetricsTest, PrometheusTextExposition) {
+  MetricsRegistry::Global().GetCounter("serve.errors")->Add(3);
+  MetricsRegistry::Global().GetGauge("serve.qps_1m")->Set(-7);
+  Histogram* h = MetricsRegistry::Global().GetHistogram("serve.request_ns");
+  h->Record(1000);
+  h->Record(1000);
+  h->Record(1000);
+  MetricsRegistry::Global().GetPhase("eval.fixpoint")->Record(42000);
+
+  std::string text = MetricsRegistry::Global().Snapshot().ToPrometheusText();
+
+  // Names are prefixed and sanitized (dots -> underscores), each family
+  // carries a # TYPE line, and values are plain decimals.
+  EXPECT_NE(text.find("# TYPE relspec_serve_errors counter\n"
+                      "relspec_serve_errors 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE relspec_serve_qps_1m gauge\n"
+                      "relspec_serve_qps_1m -7\n"),
+            std::string::npos)
+      << text;
+  // Histograms render as summaries: one series per reported quantile plus
+  // _sum/_count. Three equal samples put every quantile at that value.
+  EXPECT_NE(text.find("# TYPE relspec_serve_request_ns summary\n"),
+            std::string::npos)
+      << text;
+  for (const char* q : {"0.5", "0.9", "0.95", "0.99", "0.999"}) {
+    std::string series = "relspec_serve_request_ns{quantile=\"";
+    series += q;
+    series += "\"} 1000\n";
+    EXPECT_NE(text.find(series), std::string::npos) << text;
+  }
+  EXPECT_NE(text.find("relspec_serve_request_ns_sum 3000\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("relspec_serve_request_ns_count 3\n"),
+            std::string::npos)
+      << text;
+  // Phases become a _count/_total_ns counter pair.
+  EXPECT_NE(text.find("# TYPE relspec_eval_fixpoint_count counter\n"
+                      "relspec_eval_fixpoint_count 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("relspec_eval_fixpoint_total_ns 42000\n"),
+            std::string::npos)
+      << text;
+}
+
 TEST_F(MetricsTest, JsonEscapesSpecialCharacters) {
   MetricsRegistry::Global().GetCounter("weird\"name\\with\ncontrol")->Add(1);
   MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "src/base/metrics.h"
+#include "src/base/str_util.h"
 #include "src/base/trace.h"
 #include "src/core/engine.h"
 #include "src/core/mixed_to_pure.h"
@@ -34,16 +36,19 @@
 #include "src/serve/client.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
+#include "src/serve/slowlog.h"
 #include "src/term/path.h"
 #include "tests/random_program.h"
 
 namespace relspec {
 namespace {
 
+using serve::DecodeHealthResult;
 using serve::DecodeQueryResult;
 using serve::DecodeRequest;
 using serve::DecodeResponse;
 using serve::DecodeUpdateResult;
+using serve::EncodeHealthResult;
 using serve::EncodeQueryResult;
 using serve::EncodeRequest;
 using serve::EncodeResponse;
@@ -158,11 +163,32 @@ TEST(ServeProtocolGolden, UpdateResultPayloadBytes) {
   EXPECT_EQ(EncodeUpdateResult(r), Bytes(want, sizeof(want)));
 }
 
+TEST(ServeProtocolGolden, HealthResultPayloadBytes) {
+  serve::HealthResult h;
+  h.ready = true;
+  h.live = true;
+  h.fingerprint = 0x1122334455667788ULL;
+  h.uptime_ms = 0x0102030405060708ULL;
+  h.wal_seq = 0xff;
+  h.served = 0x1000;
+  const unsigned char want[] = {
+      0x01,                                            // ready
+      0x01,                                            // live
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // fingerprint
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // uptime_ms
+      0xff, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // wal_seq
+      0x00, 0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // served
+  };
+  EXPECT_EQ(EncodeHealthResult(h), Bytes(want, sizeof(want)));
+}
+
 // Every request type and both payload codecs must round-trip losslessly.
 TEST(ServeProtocol, RequestRoundTripEveryType) {
   const RequestType kTypes[] = {
-      RequestType::kPing,   RequestType::kMembership, RequestType::kQuery,
-      RequestType::kUpdate, RequestType::kStats,      RequestType::kTraceDump,
+      RequestType::kPing,      RequestType::kMembership,
+      RequestType::kQuery,     RequestType::kUpdate,
+      RequestType::kStats,     RequestType::kTraceDump,
+      RequestType::kSlowlogDump, RequestType::kHealth,
   };
   uint64_t id = 100;
   for (RequestType type : kTypes) {
@@ -225,6 +251,22 @@ TEST(ServeProtocol, TypedPayloadRoundTrip) {
   EXPECT_EQ(u2->fingerprint, u.fingerprint);
   EXPECT_EQ(u2->noops, u.noops);
   EXPECT_TRUE(u2->durable);
+
+  serve::HealthResult health;
+  health.ready = true;
+  health.live = false;
+  health.fingerprint = 0xfeedfacecafebeefULL;
+  health.uptime_ms = 123456;
+  health.wal_seq = 42;
+  health.served = 7;
+  auto h2 = DecodeHealthResult(EncodeHealthResult(health));
+  ASSERT_TRUE(h2.ok());
+  EXPECT_TRUE(h2->ready);
+  EXPECT_FALSE(h2->live);
+  EXPECT_EQ(h2->fingerprint, health.fingerprint);
+  EXPECT_EQ(h2->uptime_ms, health.uptime_ms);
+  EXPECT_EQ(h2->wal_seq, health.wal_seq);
+  EXPECT_EQ(h2->served, health.served);
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +350,9 @@ TEST(ServeProtocolMalformed, TypedPayloadSizeChecks) {
   std::string u = EncodeUpdateResult(UpdateResult{});
   EXPECT_FALSE(DecodeUpdateResult(u.substr(0, 41)).ok());
   EXPECT_FALSE(DecodeUpdateResult(u + "x").ok());
+  std::string h = EncodeHealthResult(serve::HealthResult{});
+  EXPECT_FALSE(DecodeHealthResult(h.substr(0, h.size() - 1)).ok());
+  EXPECT_FALSE(DecodeHealthResult(h + "x").ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -448,11 +493,26 @@ TEST(ServeLive, EveryRequestTypeRoundTrips) {
   ASSERT_TRUE(del.ok()) << del.status().ToString();
   EXPECT_EQ(del->fingerprint, fp0);
 
-  // Stats: the metrics registry JSON.
+  // Stats: the metrics registry JSON, the Prometheus selector, and a
+  // rejection for any other payload.
   auto stats = client->Stats();
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_FALSE(stats->empty());
   EXPECT_EQ((*stats)[0], '{');
+  // With metrics off the exposition is legitimately empty; armed, the
+  // kStats request itself refreshes the live serve gauges.
+  EnableMetrics(true);
+  auto prom = client->StatsPrometheus();
+  EnableMetrics(false);
+  MetricsRegistry::Global().Reset();
+  ASSERT_TRUE(prom.ok()) << prom.status().ToString();
+  EXPECT_NE(prom->find("# TYPE relspec_serve_uptime_ms gauge"),
+            std::string::npos)
+      << *prom;
+  auto bad_format = client->Call(RequestType::kStats, "xml");
+  ASSERT_TRUE(bad_format.ok());
+  EXPECT_EQ(bad_format->status_code,
+            static_cast<uint32_t>(StatusCode::kInvalidArgument));
 
   // Trace dump: precondition error while tracing is off, JSON once on.
   auto off = client->TraceDump();
@@ -463,6 +523,214 @@ TEST(ServeLive, EveryRequestTypeRoundTrips) {
   EnableEventTrace(false);
   ASSERT_TRUE(on.ok()) << on.status().ToString();
   EXPECT_NE(on->find("traceEvents"), std::string::npos);
+
+  // Slow-log dump: precondition error — this server runs without a
+  // threshold (the default), so the ring never arms.
+  auto slowlog = client->SlowlogDump();
+  EXPECT_FALSE(slowlog.ok());
+  EXPECT_EQ(slowlog.status().code(), StatusCode::kFailedPrecondition);
+
+  // Health: live + ready, fingerprint matching ping, a served count that
+  // covers at least the requests this test already made.
+  auto health = client->Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health->ready);
+  EXPECT_TRUE(health->live);
+  EXPECT_EQ(health->fingerprint, fp0);
+  EXPECT_EQ(health->wal_seq, 0u) << "non-durable server must report wal_seq 0";
+  EXPECT_GE(health->served, 10u);
+}
+
+// One ID correlates all three observability surfaces: a client-supplied
+// request id is echoed in the reply header, recorded in the slow-query log,
+// and stamped as a span arg on the request's trace timeline; id 0 gets a
+// server-minted ID (high bit set) that flows the same way.
+TEST(ServeLive, TraceIdFlowsThroughReplySlowlogAndTrace) {
+  auto db = FunctionalDatabase::FromSource(RotationSource());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  serve::ServerOptions options;
+  options.slowlog.threshold_ms = 0;  // record every request
+  auto live = LiveServer::Start(std::move(db).value(), "traceid", options);
+  ASSERT_NE(live, nullptr);
+  auto client = live->Connect();
+  ASSERT_NE(client, nullptr);
+
+  Tracer::Global().Reset();
+  EnableEventTrace(true);
+  const uint64_t id = 0xABCDEF0123456789ULL;
+  const std::string query_text = "?(t, x) OnCall(t, x).";
+  auto tagged = client->CallWithId(id, RequestType::kQuery, query_text);
+  ASSERT_TRUE(tagged.ok()) << tagged.status().ToString();
+  EXPECT_EQ(tagged->status_code, 0u);
+  EXPECT_EQ(tagged->request_id, id) << "client trace ID must echo verbatim";
+
+  // The same query again: the server cache now hits, and the slow log must
+  // attribute the second request to the cache phase.
+  auto repeat = client->Query(query_text);
+  ASSERT_TRUE(repeat.ok()) << repeat.status().ToString();
+
+  // id 0 asks the server to assign a trace ID: nonzero, high bit marks it
+  // server-minted, and it still tags the span + slow-log entry.
+  auto minted = client->CallWithId(0, RequestType::kPing, "");
+  ASSERT_TRUE(minted.ok()) << minted.status().ToString();
+  EXPECT_EQ(minted->status_code, 0u);
+  EXPECT_NE(minted->request_id, 0u);
+  EXPECT_NE(minted->request_id & (1ULL << 63), 0u)
+      << "server-assigned IDs carry the high marker bit";
+
+  auto trace_json = client->TraceDump();
+  EnableEventTrace(false);
+  ASSERT_TRUE(trace_json.ok()) << trace_json.status().ToString();
+  auto validated = ValidateChromeTraceJson(*trace_json);
+  ASSERT_TRUE(validated.ok()) << validated.status().ToString();
+  const std::string tagged_arg = StrFormat(
+      "\"trace_id\":%llu", static_cast<unsigned long long>(id));
+  EXPECT_NE(trace_json->find(tagged_arg), std::string::npos)
+      << "client trace ID missing from the request span args";
+  const std::string minted_arg = StrFormat(
+      "\"trace_id\":%llu",
+      static_cast<unsigned long long>(minted->request_id));
+  EXPECT_NE(trace_json->find(minted_arg), std::string::npos)
+      << "server-minted trace ID missing from the request span args";
+
+  auto slowlog = client->SlowlogDump();
+  ASSERT_TRUE(slowlog.ok()) << slowlog.status().ToString();
+  EXPECT_NE(slowlog->find(tagged_arg), std::string::npos)
+      << "client trace ID missing from the slow log";
+  EXPECT_NE(slowlog->find(minted_arg), std::string::npos)
+      << "server-minted trace ID missing from the slow log";
+  EXPECT_NE(slowlog->find("\"cache\":\"miss\""), std::string::npos)
+      << "first query must record a cache miss";
+  EXPECT_NE(slowlog->find("\"cache\":\"hit\""), std::string::npos)
+      << "repeated query must record a cache hit";
+  // Both queries hash the same normalized payload.
+  const std::string hash_field = StrFormat(
+      "\"query_hash\":\"%016llx\"",
+      static_cast<unsigned long long>(serve::SlowlogHash(query_text)));
+  EXPECT_NE(slowlog->find(hash_field), std::string::npos);
+
+  // The in-process ring agrees with the wire dump, and every entry's phase
+  // breakdown fits inside its total.
+  const std::vector<serve::SlowlogEntry> entries =
+      live->server()->slowlog().Snapshot();
+  ASSERT_GE(entries.size(), 3u);
+  for (const serve::SlowlogEntry& e : entries) {
+    EXPECT_GT(e.total_ns, 0u);
+    EXPECT_LE(e.parse_ns + e.cache_ns + e.eval_ns + e.render_ns + e.write_ns,
+              e.total_ns)
+        << "phase sum must be monotone under the total (seq " << e.seq << ")";
+  }
+}
+
+// --reply-timing appends a single trailing "  -- elapsed N ns" line to the
+// rendered query text; the default keeps reply bytes canonical (the
+// concurrency suite asserts byte-identity against in-process rendering).
+TEST(ServeLive, ReplyTimingAppendsElapsedLineWhenOptedIn) {
+  auto db = FunctionalDatabase::FromSource(RotationSource());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  auto ref_db = FunctionalDatabase::FromSource(RotationSource());
+  ASSERT_TRUE(ref_db.ok());
+
+  serve::ServerOptions options;
+  options.reply_timing = true;
+  auto live = LiveServer::Start(std::move(db).value(), "replytiming", options);
+  ASSERT_NE(live, nullptr);
+  auto client = live->Connect();
+  ASSERT_NE(client, nullptr);
+
+  const std::string query_text = "?(t, x) OnCall(t, x).";
+  auto ref_query = ParseQuery(query_text, (*ref_db)->mutable_program());
+  ASSERT_TRUE(ref_query.ok());
+  QueryCache ref_cache;
+  auto ref_answer =
+      AnswerQueryCached(ref_db->get(), *ref_query, &ref_cache, nullptr);
+  ASSERT_TRUE(ref_answer.ok());
+  const std::string canonical = serve::RenderAnswerText(**ref_answer);
+
+  auto remote = client->Query(query_text);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  ASSERT_GT(remote->text.size(), canonical.size());
+  EXPECT_EQ(remote->text.compare(0, canonical.size(), canonical), 0)
+      << "timing must only append, never alter the canonical rows";
+  const std::string tail = remote->text.substr(canonical.size());
+  EXPECT_EQ(tail.rfind("  -- elapsed ", 0), 0u) << "tail: " << tail;
+  EXPECT_EQ(tail.substr(tail.size() - 4), " ns\n") << "tail: " << tail;
+}
+
+// The audit ring itself: threshold + sampling admission, wrap-around
+// keeping the newest entries, and the documented JSONL schema.
+TEST(SlowLogRing, AdmissionPolicyAndWrapAround) {
+  serve::SlowLog::Options options;
+  options.threshold_ms = 10;
+  options.sample_every = 4;
+  options.capacity = 8;
+  serve::SlowLog log(options);
+  ASSERT_TRUE(log.enabled());
+
+  serve::SlowlogEntry slow;
+  slow.total_ns = 25'000'000;  // over the 10ms threshold
+  serve::SlowlogEntry fast;
+  fast.total_ns = 1'000'000;  // under it
+
+  // Offer 0 is fast and lands on the 1-in-4 sample; offers 1..3 are fast
+  // non-samples and must drop; a slow offer always records.
+  EXPECT_TRUE(log.MaybeRecord(fast));
+  EXPECT_FALSE(log.MaybeRecord(fast));
+  EXPECT_FALSE(log.MaybeRecord(fast));
+  EXPECT_FALSE(log.MaybeRecord(fast));
+  EXPECT_TRUE(log.MaybeRecord(slow));
+  ASSERT_EQ(log.recorded(), 2u);
+  std::vector<serve::SlowlogEntry> entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].sampled) << "threshold-missing entry is a sample";
+  EXPECT_FALSE(entries[1].sampled) << "threshold-reaching entry is not";
+
+  // Wrap-around: 20 more slow entries through the 8-slot ring keep only
+  // the newest 8, still sorted by admission order.
+  for (uint64_t i = 0; i < 20; ++i) {
+    slow.trace_id = 100 + i;
+    ASSERT_TRUE(log.MaybeRecord(slow));
+  }
+  EXPECT_EQ(log.recorded(), 22u);
+  entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 8u);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].seq, 14 + i);
+    EXPECT_EQ(entries[i].trace_id, 112 + i);
+  }
+
+  serve::SlowLog disabled(serve::SlowLog::Options{});
+  EXPECT_FALSE(disabled.enabled());
+  EXPECT_FALSE(disabled.MaybeRecord(slow));
+  EXPECT_TRUE(disabled.DumpJsonl().empty());
+}
+
+TEST(SlowLogRing, EntryJsonSchemaGolden) {
+  serve::SlowlogEntry e;
+  e.seq = 3;
+  e.trace_id = 0xABCDEF0123456789ULL;
+  e.type = static_cast<uint32_t>(RequestType::kQuery);
+  e.status = 8;  // kResourceExhausted
+  e.query_hash = serve::SlowlogHash("?(t, x) OnCall(t, x).");
+  e.total_ns = 1234567;
+  e.parse_ns = 1000;
+  e.cache_ns = 0;
+  e.eval_ns = 1200000;
+  e.render_ns = 30000;
+  e.write_ns = 4000;
+  e.cache_hit = 0;
+  e.headroom_ms = -3;
+  e.headroom_tuples = 42;
+  e.sampled = false;
+  EXPECT_EQ(
+      serve::SlowLog::EntryJson(e),
+      StrFormat("{\"seq\":3,\"trace_id\":12379813738877118345,"
+                "\"type\":\"query\",\"status\":8,\"query_hash\":\"%016llx\","
+                "\"total_ns\":1234567,\"parse_ns\":1000,\"cache_ns\":0,"
+                "\"eval_ns\":1200000,\"render_ns\":30000,\"write_ns\":4000,"
+                "\"cache\":\"miss\",\"headroom_ms\":-3,"
+                "\"headroom_tuples\":42,\"sampled\":false}",
+                static_cast<unsigned long long>(e.query_hash)));
 }
 
 TEST(ServeLive, MalformedFramesGetErrorRepliesThenHangup) {

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# CTest driver for the slow-query audit log contract (docs/OPERATIONS.md).
+#
+# Usage: check_slowlog.sh RELSPECD_BINARY SERVE_BINARY TAIL_BINARY
+#
+# Starts relspecd with --slowlog-ms 0 (every request is recorded),
+# --slowlog-out and --trace-out, replays the deterministic update-free
+# bench mix against it, pokes the live exposition with relspec_tail, and
+# after the SIGTERM drain asserts over the flushed JSONL:
+#
+#   1. every benched request (membership/query) appears exactly once, with
+#      a unique non-zero trace ID;
+#   2. per-phase breakdowns are monotone: parse + cache + eval + render +
+#      write <= total, and total > 0;
+#   3. every benched trace ID also appears as a span "trace_id" arg in the
+#      --trace-out Chrome export (request-to-timeline correlation);
+#   4. the telemetry-on daemon replay reproduces the in-process
+#      answers_hash bit-for-bit — recording is invisible to answers.
+#
+# relspec_tail is exercised in all four modes (--health, --prometheus,
+# --slowlog, live polling) against the running daemon.
+set -u
+
+daemon="$1"
+serve="$2"
+tail_bin="$3"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+sock="$tmpdir/d.sock"
+common=(--qps 1500 --requests 600 --clients 2 --seed 7 --population 32)
+
+"$daemon" --rotation 8 --socket "$sock" --stats="$tmpdir/stats.json" \
+    --slowlog-ms 0 --slowlog-out "$tmpdir/slow.jsonl" \
+    --trace-out "$tmpdir/trace.json" >"$tmpdir/daemon.log" 2>&1 &
+dpid=$!
+for _ in $(seq 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || fail "daemon did not come up (see daemon.log)"
+
+# In-process baseline (no daemon, no slow log) for the answers_hash parity
+# check, then the telemetry-on daemon replay.
+"$serve" "${common[@]}" --out "$tmpdir/inproc.json" >/dev/null 2>&1 \
+  || fail "in-process serve run failed"
+"$serve" "${common[@]}" --connect "$sock" --out "$tmpdir/remote.json" \
+    >/dev/null 2>&1 \
+  || fail "--connect replay against the slow-logging daemon failed"
+
+# Live exposition smoke tests while the daemon is still up.
+"$tail_bin" "$sock" --health >"$tmpdir/health.txt" \
+  || fail "relspec_tail --health failed"
+grep -q "ready=1 live=1" "$tmpdir/health.txt" \
+  || fail "health line does not report ready=1 live=1"
+grep -q "served=" "$tmpdir/health.txt" \
+  || fail "health line has no served count"
+"$tail_bin" "$sock" --prometheus >"$tmpdir/prom.txt" \
+  || fail "relspec_tail --prometheus failed"
+grep -q "^# TYPE relspec_serve_request_ns summary" "$tmpdir/prom.txt" \
+  || fail "Prometheus exposition lacks the serve.request_ns summary"
+grep -q "^relspec_serve_request_ns{quantile=\"0.99\"}" "$tmpdir/prom.txt" \
+  || fail "Prometheus exposition lacks the p99 quantile series"
+"$tail_bin" "$sock" --count 2 --interval-ms 100 >"$tmpdir/live.txt" \
+  || fail "relspec_tail live polling failed"
+[ "$(wc -l <"$tmpdir/live.txt")" -eq 2 ] \
+  || fail "live view did not print one line per poll"
+grep -q "served" "$tmpdir/live.txt" || fail "live view line looks wrong"
+"$tail_bin" "$sock" --slowlog >"$tmpdir/slow_live.jsonl" \
+  || fail "relspec_tail --slowlog failed"
+[ -s "$tmpdir/slow_live.jsonl" ] || fail "live slow-log dump is empty"
+
+kill -TERM "$dpid"
+wait "$dpid"
+code=$?
+[ "$code" -eq 0 ] || fail "daemon SIGTERM drain must exit 0, got $code"
+[ -s "$tmpdir/slow.jsonl" ] || fail "--slowlog-out file missing or empty"
+
+python3 - "$tmpdir/slow.jsonl" "$tmpdir/trace.json" "$tmpdir/inproc.json" \
+    "$tmpdir/remote.json" <<'EOF' || exit 1
+import json, sys
+
+entries = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+if not entries:
+    sys.exit("FAIL: slow log is empty")
+
+# The bench traffic is membership + query; relspec_tail's own health /
+# stats / slowlog-dump polls are recorded too and excluded here.
+benched = [e for e in entries if e["type"] in ("membership", "query")]
+report = json.load(open(sys.argv[4]))
+total = report["requests"]["total"]
+if len(benched) != total:
+    sys.exit(f"FAIL: {len(benched)} benched slow-log entries, "
+             f"expected {total} (every request must appear exactly once)")
+
+ids = [e["trace_id"] for e in benched]
+if any(i == 0 for i in ids):
+    sys.exit("FAIL: a slow-log entry has trace_id 0")
+if len(set(ids)) != len(ids):
+    sys.exit("FAIL: duplicate trace IDs in the slow log")
+
+for e in entries:
+    phases = (e["parse_ns"] + e["cache_ns"] + e["eval_ns"] + e["render_ns"]
+              + e["write_ns"])
+    if e["total_ns"] <= 0:
+        sys.exit(f"FAIL: entry seq {e['seq']} has non-positive total_ns")
+    if phases > e["total_ns"]:
+        sys.exit(f"FAIL: entry seq {e['seq']} phase sum {phases} exceeds "
+                 f"total_ns {e['total_ns']}")
+
+trace = json.load(open(sys.argv[2]))
+span_ids = {ev["args"]["trace_id"]
+            for ev in trace["traceEvents"]
+            if isinstance(ev.get("args"), dict) and "trace_id" in ev["args"]}
+missing = [i for i in ids if i not in span_ids]
+if missing:
+    sys.exit(f"FAIL: {len(missing)} slow-log trace IDs missing from the "
+             f"trace export (e.g. {missing[0]})")
+
+inproc = json.load(open(sys.argv[3]))
+if inproc["answers_hash"] != report["answers_hash"]:
+    sys.exit("FAIL: answers_hash differs with the slow log on — recording "
+             "must be invisible to answers")
+for name, r in (("in-process", inproc), ("daemon", report)):
+    if r["requests"]["errors"] != 0:
+        sys.exit(f"FAIL: {name} run had {r['requests']['errors']} errors")
+EOF
+
+# CI sets SLOWLOG_ARTIFACT_DIR to keep the audit trail after the tmpdir
+# trap fires (the serve job uploads it).
+if [ -n "${SLOWLOG_ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$SLOWLOG_ARTIFACT_DIR"
+  cp "$tmpdir/slow.jsonl" "$tmpdir/slow_live.jsonl" "$tmpdir/trace.json" \
+     "$tmpdir/prom.txt" "$tmpdir/health.txt" "$tmpdir/daemon.log" \
+     "$SLOWLOG_ARTIFACT_DIR/"
+fi
+echo "PASS: slow log complete + monotone, trace IDs correlate, answers identical"

@@ -4,7 +4,7 @@
 #
 # Usage: tools/regen_baseline.sh [BUILD_DIR]   (default: build)
 #
-# Six suites:
+# Eight suites:
 #   bench_query  representative E18 microbenchmarks (cache, snapshot warm
 #                start) from bench/bench_query.cc
 #   bench_trace  representative E19 tracer-ablation numbers from
@@ -16,6 +16,9 @@
 #                bench/bench_wal.cc — only the fsync-free paths (append,
 #                scan, durable update with fsync=off, recovery): device
 #                sync latency on shared runners is too noisy to gate
+#   bench_slowlog  E28 slow-query audit log ablation (recording disabled /
+#                sampled / always-on / full-ring JSONL dump) from
+#                bench/bench_slowlog.cc
 #   bench_serve  a fixed-seed serving session from relspec_bench_serve
 #                (the same flags the CI perf job uses)
 #   bench_serve_durable  the same schedule served through per-lane WALs
@@ -37,8 +40,8 @@ BUILD_DIR="${1:-build}"
 
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
     bench_query --target bench_trace --target bench_delta \
-    --target bench_wal --target relspec_bench_serve \
-    --target relspecd >/dev/null
+    --target bench_wal --target bench_slowlog \
+    --target relspec_bench_serve --target relspecd >/dev/null
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -66,6 +69,12 @@ echo "== bench_wal =="
     --benchmark_filter='BM_Wal_Append/0$|BM_Wal_ScanBytes/512$|BM_Wal_DurableUpdate/0$|BM_Wal_Recover/16$' \
     --benchmark_min_time=0.05 --benchmark_format=json \
     > "$TMP/wal.json"
+
+echo "== bench_slowlog =="
+"$BUILD_DIR"/bench/bench_slowlog \
+    --benchmark_filter='BM_Slowlog_(Disabled|Sampled|AlwaysOn|Dump)$' \
+    --benchmark_min_time=0.05 --benchmark_format=json \
+    > "$TMP/slowlog.json"
 
 echo "== bench_serve =="
 "$BUILD_DIR"/tools/relspec_bench_serve \
@@ -96,8 +105,9 @@ kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 
 python3 - "$TMP/query.json" "$TMP/trace.json" "$TMP/delta.json" \
-    "$TMP/wal.json" "$TMP/serve.json" "$TMP/serve_durable.json" \
-    "$TMP/serve_daemon.json" BENCH_baseline.json <<'EOF'
+    "$TMP/wal.json" "$TMP/slowlog.json" "$TMP/serve.json" \
+    "$TMP/serve_durable.json" "$TMP/serve_daemon.json" \
+    BENCH_baseline.json <<'EOF'
 import json, sys
 
 def suite_from_gbench(path):
@@ -135,18 +145,22 @@ baseline = {
             "thresholds": {"default": 3.0},
             "metrics": suite_from_gbench(sys.argv[4]),
         },
+        "bench_slowlog": {
+            "thresholds": {"default": 3.0},
+            "metrics": suite_from_gbench(sys.argv[5]),
+        },
         # The serve reports already carry their suites in gate-ready form.
-        "bench_serve": json.load(open(sys.argv[5]))["suites"]["bench_serve"],
+        "bench_serve": json.load(open(sys.argv[6]))["suites"]["bench_serve"],
         "bench_serve_durable":
-            json.load(open(sys.argv[6]))["suites"]["bench_serve_durable"],
+            json.load(open(sys.argv[7]))["suites"]["bench_serve_durable"],
         "bench_serve_daemon":
-            json.load(open(sys.argv[7]))["suites"]["bench_serve_daemon"],
+            json.load(open(sys.argv[8]))["suites"]["bench_serve_daemon"],
     },
 }
-with open(sys.argv[8], "w") as f:
+with open(sys.argv[9], "w") as f:
     json.dump(baseline, f, indent=2)
     f.write("\n")
 total = sum(len(s["metrics"]) for s in baseline["suites"].values())
-print(f"wrote {sys.argv[8]}: {len(baseline['suites'])} suites, "
+print(f"wrote {sys.argv[9]}: {len(baseline['suites'])} suites, "
       f"{total} metrics")
 EOF

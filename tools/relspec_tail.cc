@@ -1,0 +1,180 @@
+// relspec_tail: a live one-line-per-poll view of a running relspecd
+// (docs/OPERATIONS.md).
+//
+//   relspec_tail ADDR [flags]
+//
+//   ADDR is the daemon's address: a Unix socket path or host:port. Each
+//   poll issues one kHealth and one kStats request and renders a single
+//   line — uptime, served-request count (and delta since the last poll),
+//   the serve.qps_1m / serve.error_rate_1m windowed gauges, request-latency
+//   p50/p99 from the serve.request_ns histogram, live cache occupancy, and
+//   dropped trace events. Start the daemon with --stats for non-zero
+//   metrics (the health fields work regardless).
+//
+//     --interval-ms N   poll interval (default 1000)
+//     --count N         stop after N polls (default 0 = until interrupted)
+//     --prometheus      dump the Prometheus text exposition once and exit
+//     --health          print one parsed health line and exit
+//     --slowlog         dump the slow-query log JSONL once and exit
+//     --help            this summary
+//
+//   Exit codes: 0 ok, 1 connection or request failure, 2 usage error.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/base/metrics.h"
+#include "src/base/str_util.h"
+#include "src/serve/client.h"
+#include "src/serve/protocol.h"
+
+namespace relspec {
+namespace {
+
+int UsageError(const std::string& message) {
+  fprintf(stderr, "relspec_tail: %s\n", message.c_str());
+  return 2;
+}
+
+int Fail(const Status& status) {
+  fprintf(stderr, "relspec_tail: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintHelp(const char* argv0) {
+  printf(
+      "usage: %s ADDR [flags]\n"
+      "\n"
+      "Poll a running relspecd (docs/OPERATIONS.md) and render one status\n"
+      "line per poll. ADDR is a Unix socket path or host:port.\n"
+      "\n"
+      "  --interval-ms N   poll interval (default 1000)\n"
+      "  --count N         stop after N polls (0 = until interrupted)\n"
+      "  --prometheus      dump the Prometheus text exposition and exit\n"
+      "  --health          print one parsed health line and exit\n"
+      "  --slowlog         dump the slow-query log JSONL and exit\n"
+      "  --help            this summary\n",
+      argv0);
+}
+
+std::string FormatNs(uint64_t ns) {
+  if (ns < 1000) return StrFormat("%lluns", static_cast<unsigned long long>(ns));
+  if (ns < 1000000) return StrFormat("%.1fus", static_cast<double>(ns) / 1e3);
+  if (ns < 1000000000ULL) {
+    return StrFormat("%.1fms", static_cast<double>(ns) / 1e6);
+  }
+  return StrFormat("%.2fs", static_cast<double>(ns) / 1e9);
+}
+
+int Run(int argc, char** argv) {
+  std::string address;
+  long interval_ms = 1000;
+  long count = 0;
+  bool prometheus = false, health_once = false, slowlog_once = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--help") {
+      PrintHelp(argv[0]);
+      return 0;
+    } else if (flag == "--interval-ms") {
+      interval_ms = atol(next());
+    } else if (flag == "--count") {
+      count = atol(next());
+    } else if (flag == "--prometheus") {
+      prometheus = true;
+    } else if (flag == "--health") {
+      health_once = true;
+    } else if (flag == "--slowlog") {
+      slowlog_once = true;
+    } else if (!flag.empty() && flag[0] == '-') {
+      return UsageError("unknown flag " + flag + " (see --help)");
+    } else if (address.empty()) {
+      address = flag;
+    } else {
+      return UsageError("more than one ADDR given (see --help)");
+    }
+  }
+  if (address.empty()) return UsageError("no daemon ADDR given (see --help)");
+  if (interval_ms <= 0) return UsageError("--interval-ms must be positive");
+  if (prometheus + health_once + slowlog_once > 1) {
+    return UsageError(
+        "--prometheus / --health / --slowlog are mutually exclusive");
+  }
+
+  auto client = serve::ServeClient::Connect(address);
+  if (!client.ok()) return Fail(client.status());
+
+  if (prometheus) {
+    auto text = (*client)->StatsPrometheus();
+    if (!text.ok()) return Fail(text.status());
+    fputs(text->c_str(), stdout);
+    return 0;
+  }
+  if (slowlog_once) {
+    auto text = (*client)->SlowlogDump();
+    if (!text.ok()) return Fail(text.status());
+    fputs(text->c_str(), stdout);
+    return 0;
+  }
+  if (health_once) {
+    auto health = (*client)->Health();
+    if (!health.ok()) return Fail(health.status());
+    printf("ready=%d live=%d fp=0x%016llx uptime_ms=%llu wal_seq=%llu "
+           "served=%llu\n",
+           health->ready ? 1 : 0, health->live ? 1 : 0,
+           static_cast<unsigned long long>(health->fingerprint),
+           static_cast<unsigned long long>(health->uptime_ms),
+           static_cast<unsigned long long>(health->wal_seq),
+           static_cast<unsigned long long>(health->served));
+    return 0;
+  }
+
+  uint64_t last_served = 0;
+  bool have_last = false;
+  for (long poll = 0; count == 0 || poll < count; ++poll) {
+    if (poll > 0) usleep(static_cast<useconds_t>(interval_ms) * 1000);
+    auto health = (*client)->Health();
+    if (!health.ok()) return Fail(health.status());
+    auto stats_json = (*client)->Stats();
+    if (!stats_json.ok()) return Fail(stats_json.status());
+    auto snap = MetricsSnapshot::FromJson(*stats_json);
+    if (!snap.ok()) return Fail(snap.status());
+    const uint64_t served = health->served;
+    const uint64_t delta = have_last ? served - last_served : served;
+    last_served = served;
+    have_last = true;
+    uint64_t p50 = 0, p99 = 0;
+    if (const HistogramSnapshot* h = snap->histogram("serve.request_ns")) {
+      p50 = h->ValueAtQuantile(0.50);
+      p99 = h->ValueAtQuantile(0.99);
+    }
+    printf(
+        "up %llus  served %llu (+%llu)  qps1m %lld  err1m %lldbp  p50 %s  "
+        "p99 %s  cache %lld/%lldB  dropped %lld\n",
+        static_cast<unsigned long long>(health->uptime_ms / 1000),
+        static_cast<unsigned long long>(served),
+        static_cast<unsigned long long>(delta),
+        static_cast<long long>(snap->gauge("serve.qps_1m")),
+        static_cast<long long>(snap->gauge("serve.error_rate_1m")),
+        FormatNs(p50).c_str(), FormatNs(p99).c_str(),
+        static_cast<long long>(snap->gauge("cache.entries")),
+        static_cast<long long>(snap->gauge("cache.bytes")),
+        static_cast<long long>(snap->gauge("trace.dropped")));
+    fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace relspec
+
+int main(int argc, char** argv) {
+  return relspec::Run(argc, argv);
+}

@@ -27,6 +27,15 @@
 //     --deadline-ms N           default per-request deadline for requests
 //                               that carry none in their header
 //     --max-tuples N            default per-request tuple budget, likewise
+//     --slowlog-ms N            slow-query audit log: record every request
+//                               whose total latency is >= N ms (0 records
+//                               all); arms the `slowlog-dump` request type.
+//                               Off by default (docs/OPERATIONS.md)
+//     --slowlog-sample N        also record 1-in-N of the requests under
+//                               the --slowlog-ms threshold (0 = none)
+//     --slowlog-out FILE        flush the slow log as JSONL on drain
+//     --reply-timing            append "  -- elapsed N ns" to every query
+//                               reply text (off: reply bytes stay canonical)
 //     --stats[=FILE]            dump a JSON metrics snapshot on exit
 //                               (stdout when no FILE); also enables the
 //                               live `stats` request type's metrics
@@ -123,6 +132,10 @@ void PrintHelp(const char* argv0) {
       "  --cache-bytes N           query-cache byte ceiling (default 16M)\n"
       "  --deadline-ms N           default per-request deadline\n"
       "  --max-tuples N            default per-request tuple budget\n"
+      "  --slowlog-ms N            record requests slower than N ms (0 = all)\n"
+      "  --slowlog-sample N        sample 1-in-N of the faster requests\n"
+      "  --slowlog-out FILE        flush the slow log as JSONL on drain\n"
+      "  --reply-timing            append elapsed-ns to query reply text\n"
       "  --stats[=FILE]            JSON metrics snapshot on exit\n"
       "  --trace-out FILE          Chrome trace timeline, written on exit\n"
       "  --ping ADDR               client mode: ping a running daemon\n"
@@ -144,7 +157,7 @@ int RunDaemon(int argc, char** argv) {
     first_flag = 2;
   }
   std::string load_snapshot, wal_path, ping_addr;
-  std::string stats_file, trace_file;
+  std::string stats_file, trace_file, slowlog_file;
   bool want_stats = false;
   bool fsync_given = false, checkpoint_given = false;
   int rotation = 0;
@@ -188,6 +201,14 @@ int RunDaemon(int argc, char** argv) {
     } else if (flag == "--max-tuples") {
       options.default_limits.max_tuples =
           static_cast<uint64_t>(atoll(next()));
+    } else if (flag == "--slowlog-ms") {
+      options.slowlog.threshold_ms = atoll(next());
+    } else if (flag == "--slowlog-sample") {
+      options.slowlog.sample_every = static_cast<uint64_t>(atoll(next()));
+    } else if (flag == "--slowlog-out") {
+      slowlog_file = next();
+    } else if (flag == "--reply-timing") {
+      options.reply_timing = true;
     } else if (flag == "--stats") {
       want_stats = true;
     } else if (flag.rfind("--stats=", 0) == 0) {
@@ -237,6 +258,12 @@ int RunDaemon(int argc, char** argv) {
     return UsageError(
         "--wal is exclusive with --load-snapshot: the WAL's own checkpoint "
         "is the durable warm start (docs/DURABILITY.md)");
+  }
+  if (options.slowlog.threshold_ms < 0 &&
+      (options.slowlog.sample_every > 0 || !slowlog_file.empty())) {
+    return UsageError(
+        "--slowlog-sample / --slowlog-out only apply with the slow log on: "
+        "add --slowlog-ms N");
   }
 
   // --stats / --trace-out arm the live request types too.
@@ -312,6 +339,18 @@ int RunDaemon(int argc, char** argv) {
          static_cast<unsigned long long>((*server)->requests_served()));
 
   int code = kExitOk;
+  // Slow-log flush on drain: the same JSONL a kSlowlogDump request returns,
+  // written after every in-flight request has completed and recorded.
+  if (!slowlog_file.empty()) {
+    std::ofstream out(slowlog_file);
+    if (!out) {
+      RELSPEC_LOG(kError) << "cannot write --slowlog-out file "
+                          << slowlog_file;
+      code = kExitIo;
+    } else {
+      out << (*server)->slowlog().DumpJsonl();
+    }
+  }
   // Trace before stats, like the CLI: the exporter's trace.dropped gauge
   // then lands in the stats JSON.
   if (!trace_file.empty()) {

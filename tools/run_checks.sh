@@ -189,23 +189,27 @@ HELP_FILE="$(mktemp)"
 SERVE_HELP_FILE="$(mktemp)"
 COMPARE_HELP_FILE="$(mktemp)"
 DAEMON_HELP_FILE="$(mktemp)"
+TAIL_HELP_FILE="$(mktemp)"
 trap 'rm -f "$STATS_FILE" "$BENCH_ERR_FILE" "$HELP_FILE" \
-    "$SERVE_HELP_FILE" "$COMPARE_HELP_FILE" "$DAEMON_HELP_FILE"' EXIT
+    "$SERVE_HELP_FILE" "$COMPARE_HELP_FILE" "$DAEMON_HELP_FILE" \
+    "$TAIL_HELP_FILE"' EXIT
 "$BUILD_DIR"/tools/relspec_cli --help > "$HELP_FILE"
 "$BUILD_DIR"/tools/relspec_bench_serve --help > "$SERVE_HELP_FILE"
 "$BUILD_DIR"/tools/bench_compare --help > "$COMPARE_HELP_FILE"
 "$BUILD_DIR"/tools/relspecd --help > "$DAEMON_HELP_FILE"
+"$BUILD_DIR"/tools/relspec_tail --help > "$TAIL_HELP_FILE"
 python3 - "$HELP_FILE" "$SERVE_HELP_FILE" "$COMPARE_HELP_FILE" \
-    "$DAEMON_HELP_FILE" README.md docs/*.md <<'EOF'
+    "$DAEMON_HELP_FILE" "$TAIL_HELP_FILE" README.md docs/*.md <<'EOF'
 import re, sys
 
 help_text = open(sys.argv[1]).read()
 help_flags = set(re.findall(r"--[a-z][a-z_-]*", help_text))
-# The serving harness, perf gate, and daemon have their own --help; docs
-# may reference any flag from the four tools' combined surface.
+# The serving harness, perf gate, daemon, and live tail have their own
+# --help; docs may reference any flag from the five tools' combined surface.
 serve_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[2]).read()))
 compare_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[3]).read()))
 daemon_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[4]).read()))
+tail_flags = set(re.findall(r"--[a-z][a-z_-]*", open(sys.argv[5]).read()))
 
 # Flags that legitimately appear in the docs but belong to other tools
 # (google-benchmark, ctest, cmake, this script) or are flag *prefixes*.
@@ -220,10 +224,11 @@ WHITELIST = {
     "--bench",
 }
 
-all_tool_flags = help_flags | serve_flags | compare_flags | daemon_flags
+all_tool_flags = (help_flags | serve_flags | compare_flags | daemon_flags
+                  | tail_flags)
 problems = []
 doc_flags = set()
-for path in sys.argv[5:]:
+for path in sys.argv[6:]:
     text = open(path).read()
     for flag in set(re.findall(r"--[a-z][a-z_-]*", text)):
         if flag in WHITELIST:
@@ -234,7 +239,7 @@ for path in sys.argv[5:]:
                             "tool's --help")
 
 # Every CLI flag must be documented in README.md (the flag table).
-readme = open(sys.argv[5]).read()
+readme = open(sys.argv[6]).read()
 for flag in sorted(help_flags - {"--help"}):
     if flag not in readme:
         problems.append(f"--help lists {flag}, absent from README.md")
@@ -293,7 +298,9 @@ for flag in sorted(daemon_flags - {"--help"}):
 DAEMON_FLAGS = {"--socket", "--tcp-port", "--threads", "--rotation",
                 "--ping", "--cache-entries", "--cache-bytes",
                 "--deadline-ms", "--max-tuples", "--wal", "--fsync",
-                "--checkpoint-every", "--load-snapshot"}
+                "--checkpoint-every", "--load-snapshot",
+                "--slowlog-ms", "--slowlog-sample", "--slowlog-out",
+                "--reply-timing"}
 for flag in sorted(DAEMON_FLAGS):
     if flag not in daemon_flags:
         problems.append(f"docs-drift list pins {flag}, absent from "
@@ -304,6 +311,27 @@ if "--connect" not in serve_flags:
 if "--connect" not in daemon_doc:
     problems.append("--connect replay absent from docs/DAEMON.md")
 
+# The observability surface (docs/OPERATIONS.md) is pinned the same way:
+# every relspec_tail flag and every slow-log / telemetry daemon flag must
+# be documented there, and the tail tool must keep its one-shot modes.
+operations = open("docs/OPERATIONS.md").read()
+for flag in sorted(tail_flags - {"--help"}):
+    if flag not in operations:
+        problems.append(f"relspec_tail --help lists {flag}, absent from "
+                        "docs/OPERATIONS.md")
+TAIL_FLAGS = {"--interval-ms", "--count", "--prometheus", "--health",
+              "--slowlog"}
+for flag in sorted(TAIL_FLAGS):
+    if flag not in tail_flags:
+        problems.append(f"docs-drift list pins {flag}, absent from "
+                        "relspec_tail --help")
+SLOWLOG_FLAGS = {"--slowlog-ms", "--slowlog-sample", "--slowlog-out",
+                 "--reply-timing"}
+for flag in sorted(SLOWLOG_FLAGS):
+    if flag not in operations:
+        problems.append(f"telemetry flag {flag} absent from "
+                        "docs/OPERATIONS.md")
+
 for p in problems:
     print("DRIFT:", p, file=sys.stderr)
 if problems:
@@ -311,6 +339,7 @@ if problems:
 print(f"docs drift OK: {len(help_flags)} CLI flags, "
       f"{len(serve_flags | compare_flags)} serve/gate flags, "
       f"{len(daemon_flags)} daemon flags, "
+      f"{len(tail_flags)} tail flags, "
       f"{len(doc_flags)} doc mentions consistent")
 EOF
 
